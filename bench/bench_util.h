@@ -1,0 +1,80 @@
+// Shared helpers for the figure-reproduction benches: workload-set
+// construction, environment-based scaling, and table printing.
+//
+// Every bench prints the rows/series of one paper figure. Absolute numbers
+// will not match the paper (the substrate is a simulator and the traces are
+// calibrated synthetics — see DESIGN.md), but the shapes should.
+//
+// Scaling: set ADAPT_BENCH_VOLUMES / ADAPT_BENCH_FILL to trade accuracy for
+// runtime (defaults keep each bench around a minute).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "sim/simulator.h"
+#include "trace/synthetic.h"
+
+namespace adapt::bench {
+
+inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+inline double env_f64(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::strtod(v, nullptr) : fallback;
+}
+
+inline std::size_t volumes_per_workload() {
+  return static_cast<std::size_t>(env_u64("ADAPT_BENCH_VOLUMES", 10));
+}
+
+inline double fill_factor() { return env_f64("ADAPT_BENCH_FILL", 8.0); }
+
+struct WorkloadSet {
+  std::string name;
+  std::vector<trace::Volume> volumes;
+};
+
+inline WorkloadSet make_workload(const trace::CloudProfile& profile,
+                                 std::size_t volumes, double fill,
+                                 std::uint64_t seed = 1234) {
+  WorkloadSet set;
+  set.name = profile.name;
+  trace::CloudVolumeModel model(profile, seed);
+  set.volumes.reserve(volumes);
+  for (std::size_t i = 0; i < volumes; ++i) {
+    set.volumes.push_back(model.make_volume(i, fill));
+  }
+  return set;
+}
+
+inline std::vector<WorkloadSet> all_workloads() {
+  const std::size_t n = volumes_per_workload();
+  const double fill = fill_factor();
+  return {make_workload(trace::alibaba_profile(), n, fill),
+          make_workload(trace::tencent_profile(), n, fill),
+          make_workload(trace::msrc_profile(), n, fill)};
+}
+
+inline void print_header(const char* figure, const char* description) {
+  std::printf("==================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("(synthetic trace substitute; compare shapes, not values)\n");
+  std::printf("==================================================\n");
+}
+
+inline void print_policy_row_header(const char* label) {
+  std::printf("%-14s", label);
+  for (const auto p : sim::all_policy_names()) {
+    std::printf("%10.*s", static_cast<int>(p.size()), p.data());
+  }
+  std::printf("\n");
+}
+
+}  // namespace adapt::bench

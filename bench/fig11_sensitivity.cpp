@@ -1,0 +1,62 @@
+// Figure 11 — workload-sensitivity study on YCSB-A-style update-heavy
+// workloads: WA vs access density (left) and vs Zipf skew (right), all
+// schemes, Greedy selection.
+//
+// Paper reference points: ADAPT best under light traffic (21.2-53.5% fewer
+// GC writes), SepGC second-best there; MiDA and WARCIP consistently worse
+// than SepGC; WA falls as density rises (padding disappears) and as skew
+// rises; at alpha = 0 all schemes are close.
+#include "bench_util.h"
+
+int main() {
+  using namespace adapt;
+  bench::print_header("Figure 11",
+                      "WA vs access density (left) and Zipf skew (right)");
+
+  const std::uint64_t working_set =
+      bench::env_u64("ADAPT_BENCH_YCSB_BLOCKS", 1u << 17);
+  const auto writes = static_cast<std::uint64_t>(
+      bench::fill_factor() * static_cast<double>(working_set));
+  sim::SimConfig config;
+
+  std::printf("\n(left) WA vs traffic intensity (alpha = 0.99)\n");
+  std::printf("  light = gaps above the 100 us window, heavy = chunk fills "
+              "within it\n");
+  bench::print_policy_row_header("  gap_us");
+  struct Density {
+    const char* label;
+    double gap_us;
+  };
+  for (const auto& d : {Density{"light-400", 400.0}, Density{"light-150", 150.0},
+                        Density{"medium-25", 25.0}, Density{"heavy-5", 5.0},
+                        Density{"heavy-2", 2.0}}) {
+    trace::YcsbConfig wc;
+    wc.working_set_blocks = working_set;
+    wc.zipf_alpha = 0.99;
+    wc.mean_interarrival_us = d.gap_us;
+    wc.seed = 7;
+    const trace::Volume volume = trace::make_ycsb_volume(wc, writes);
+    std::printf("  %-12s", d.label);
+    for (const auto p : sim::all_policy_names()) {
+      std::printf("%10.3f", sim::run_volume(volume, p, config).wa());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n(right) WA vs Zipf skew (gap = 50 us)\n");
+  bench::print_policy_row_header("  alpha");
+  for (const double alpha : {0.0, 0.3, 0.6, 0.9, 1.1}) {
+    trace::YcsbConfig wc;
+    wc.working_set_blocks = working_set;
+    wc.zipf_alpha = alpha;
+    wc.mean_interarrival_us = 50.0;
+    wc.seed = 7;
+    const trace::Volume volume = trace::make_ycsb_volume(wc, writes);
+    std::printf("  %-12.1f", alpha);
+    for (const auto p : sim::all_policy_names()) {
+      std::printf("%10.3f", sim::run_volume(volume, p, config).wa());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,201 @@
+#include "adapt/adapt_policy.h"
+
+#include <algorithm>
+
+namespace adapt::core {
+
+AdaptPolicy::AdaptPolicy(const AdaptConfig& config)
+    : config_(config),
+      last_write_(config.logical_blocks, kNeverWritten),
+      fallback_threshold_(static_cast<double>(config.segment_blocks) * 4.0) {
+  if (config_.enable_threshold_adaptation) {
+    AdapterConfig ac;
+    ac.sample_rate = config_.sample_rate;
+    ac.num_ghosts = config_.num_ghosts;
+    ac.segment_blocks = config_.segment_blocks;
+    ac.logical_blocks = config_.logical_blocks;
+    ac.over_provision = config_.over_provision;
+    ac.update_fraction = config_.update_fraction;
+    adapter_ = std::make_unique<ThresholdAdapter>(ac);
+  }
+  if (config_.enable_proactive_demotion) {
+    discriminators_.reserve(kGcGroups);
+    for (GroupId g = 0; g < kGcGroups; ++g) {
+      discriminators_.emplace_back(config_.bloom_filters_per_group,
+                                   config_.bloom_filter_capacity);
+    }
+  }
+}
+
+double AdaptPolicy::threshold() const noexcept {
+  if (adapter_ != nullptr && adapter_->adopted()) {
+    return static_cast<double>(adapter_->threshold());
+  }
+  return fallback_threshold_;
+}
+
+GroupId AdaptPolicy::place_user_write(Lba lba, VTime now) {
+  if (adapter_ != nullptr) adapter_->on_user_write(lba, now);
+
+  // §3.4: long-lived blocks skip the user groups entirely when the
+  // re-access identifier is confident about their destination. Demotion is
+  // gated on the block's *prior lifespan* (the correlation the paper
+  // builds on): only a version that just demonstrated a cold-group-scale
+  // lifetime is a demotion candidate — that filters out warm blocks that
+  // merely churned through the GC ladder.
+  if (config_.enable_proactive_demotion) {
+    const VTime prior = last_write_[lba];
+    const bool long_lived =
+        prior != kNeverWritten &&
+        static_cast<double>(now - prior) >= 4.0 * threshold();
+    if (long_lived) {
+      GroupId best_group = kInvalidGroup;
+      std::uint32_t best_score = 0;
+      for (GroupId g = 0; g < kGcGroups; ++g) {
+        const std::uint32_t s = discriminators_[g].score(lba);
+        if (s > best_score) {
+          best_score = s;
+          best_group = kFirstGcGroup + g;
+        }
+      }
+      if (best_score >= config_.demotion_score_threshold) {
+        ++demotions_;
+        last_write_[lba] = now;
+        return best_group;
+      }
+    }
+  }
+
+  const VTime last = last_write_[lba];
+  last_write_[lba] = now;
+  if (last == kNeverWritten) return kColdUser;
+  const auto lifespan = static_cast<double>(now - last);
+  return lifespan < threshold() ? kHotUser : kColdUser;
+}
+
+GroupId AdaptPolicy::place_gc_rewrite(Lba lba, GroupId victim_group,
+                                      VTime now) {
+  // Residual-lifespan estimate from the age of the current version,
+  // SepBIT-style geometric boundaries in multiples of the threshold.
+  const VTime birth = last_write_[lba];
+  const auto age =
+      static_cast<double>(birth == kNeverWritten ? now : now - birth);
+  const double l = threshold();
+  GroupId target = kFirstGcGroup;
+  if (age >= 4.0 * l) target = kFirstGcGroup + 1;
+  if (age >= 16.0 * l) target = kFirstGcGroup + 2;
+  if (age >= 64.0 * l) target = kFirstGcGroup + 3;
+  // A block never climbs back toward hotter GC groups: its residual
+  // lifespan only shrinks. Without this, a proactively demoted block
+  // (young version age, cold group) would bounce to the hottest GC group
+  // at its first GC and re-pay the whole ladder.
+  if (victim_group >= kFirstGcGroup && victim_group < group_count()) {
+    target = std::max(target, victim_group);
+  }
+
+  // §3.4: a block GC re-places into its *own* group has demonstrated a
+  // lifetime matching that group — record it in the group's identifier.
+  if (config_.enable_proactive_demotion && victim_group == target &&
+      target >= kFirstGcGroup) {
+    discriminators_[target - kFirstGcGroup].insert(lba);
+  }
+  return target;
+}
+
+void AdaptPolicy::note_segment_sealed(GroupId group, VTime /*now*/) {
+  if (group == kHotUser) shadow_budget_used_ = 0;
+}
+
+void AdaptPolicy::note_segment_reclaimed(GroupId group, VTime create_vtime,
+                                         VTime now) {
+  if (group != kHotUser) return;
+  const auto lifespan = static_cast<double>(now - create_vtime);
+  fallback_threshold_ = 0.875 * fallback_threshold_ + 0.125 * lifespan;
+}
+
+lss::AggregationDecision AdaptPolicy::on_chunk_deadline(
+    GroupId group, const lss::LssEngine& engine) {
+  // Aggregation merges the two user groups' durability obligations into a
+  // single constructed chunk hosted by the colder group (§3.3): shadows of
+  // the hot pendings ride in the cold chunk's would-be padding space, the
+  // hot chunk keeps filling lazily, and one flush serves both deadlines.
+  if (!config_.enable_cross_group_aggregation) {
+    ++pad_decisions_;
+    return {};
+  }
+  // A GC-rewritten group only faces a deadline when a proactively demoted
+  // user block is sitting in its open chunk. Rather than padding a bulk
+  // chunk for one block, shadow it into the cold user group's chunk; the
+  // GC chunk keeps filling with future GC traffic.
+  if (group >= kFirstGcGroup) {
+    ++shadow_decisions_;
+    return {.donor = group, .host = kColdUser};
+  }
+
+  const std::uint32_t hot_pending =
+      engine.pending_unshadowed_valid(kHotUser);
+  const std::uint32_t cold_pending = engine.pending_blocks(kColdUser);
+  // Without overlap there is nothing to merge: a lone donor would pay the
+  // same padding in the host plus the later lazy rewrite. And if the
+  // merged payload overflows one chunk, the spill would force an extra
+  // (padded) host chunk — worse than padding in place.
+  const bool mergeable = hot_pending > 0 && cold_pending > 0 &&
+                         hot_pending + cold_pending <=
+                             engine.config().chunk_blocks;
+  if (!mergeable) {
+    ++pad_decisions_;
+    return {};
+  }
+
+  // Prediction (§3.3 step 1): aggregate while the hot group's chunks keep
+  // missing the coalescing window — access density is continuous, so an
+  // unfilled chunk predicts the next one unfilled. With too little history
+  // we optimistically aggregate.
+  const lss::GroupTraffic& hot = engine.group_traffic(kHotUser);
+  const std::uint64_t flushes = hot.full_flushes + hot.padded_flushes;
+  if (group == kHotUser && flushes >= 16) {
+    const double unfilled_ratio = static_cast<double>(hot.padded_flushes) /
+                                  static_cast<double>(flushes);
+    if (unfilled_ratio < config_.min_unfilled_ratio) {
+      ++pad_decisions_;
+      return {};
+    }
+  }
+
+  // Stop rule (§3.3 step 2): shadow bytes spent on the hot segment being
+  // written must not exceed the group's average padding volume — beyond
+  // that, aggregation costs more than the padding it avoids. The floor
+  // keeps the rule from strangling itself once aggregation has eliminated
+  // most padding.
+  const std::uint64_t floor =
+      static_cast<std::uint64_t>(config_.chunk_blocks) * 4;
+  const std::uint64_t budget =
+      hot.segments_sealed == 0
+          ? floor
+          : std::max<std::uint64_t>(hot.padding_blocks / hot.segments_sealed,
+                                    floor);
+  if (shadow_budget_used_ + hot_pending > budget) {
+    ++pad_decisions_;
+    return {};
+  }
+
+  shadow_budget_used_ += hot_pending;
+  ++shadow_decisions_;
+  // §3.3 group selection: always the colder user group hosts the shadows.
+  return {.donor = kHotUser, .host = kColdUser};
+}
+
+std::size_t AdaptPolicy::memory_usage_bytes() const {
+  std::size_t total = last_write_.capacity() * sizeof(VTime);
+  if (adapter_ != nullptr) total += adapter_->memory_usage_bytes();
+  for (const CascadeDiscriminator& d : discriminators_) {
+    total += d.memory_usage_bytes();
+  }
+  return total;
+}
+
+std::unique_ptr<AdaptPolicy> make_adapt_policy(const AdaptConfig& config) {
+  return std::make_unique<AdaptPolicy>(config);
+}
+
+}  // namespace adapt::core

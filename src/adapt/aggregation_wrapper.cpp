@@ -1,0 +1,80 @@
+#include "adapt/aggregation_wrapper.h"
+
+#include <stdexcept>
+
+namespace adapt::core {
+
+AggregatingPolicy::AggregatingPolicy(
+    std::unique_ptr<lss::PlacementPolicy> inner,
+    const AggregationWrapperConfig& config)
+    : inner_(std::move(inner)), config_(config) {
+  if (inner_ == nullptr) {
+    throw std::invalid_argument("AggregatingPolicy: null inner policy");
+  }
+  name_ = std::string(inner_->name()) + "+agg";
+  // Host = the highest-indexed user group: every scheme here orders its
+  // user groups hot-to-cold (or is indifferent).
+  std::uint32_t user_groups = 0;
+  for (GroupId g = 0; g < inner_->group_count(); ++g) {
+    if (inner_->is_user_group(g)) {
+      host_group_ = g;
+      ++user_groups;
+    }
+  }
+  if (user_groups < 2) {
+    throw std::invalid_argument(
+        "AggregatingPolicy needs >= 2 user-written groups");
+  }
+}
+
+void AggregatingPolicy::note_segment_sealed(GroupId group, VTime now) {
+  inner_->note_segment_sealed(group, now);
+  if (group != host_group_ && inner_->is_user_group(group)) {
+    shadow_budget_used_ = 0;
+  }
+}
+
+lss::AggregationDecision AggregatingPolicy::on_chunk_deadline(
+    GroupId group, const lss::LssEngine& engine) {
+  if (!inner_->is_user_group(group)) return {};
+
+  // Donor: the hottest non-host user group with durable-pending blocks.
+  // When the host's own deadline fires, pull from the first such donor.
+  GroupId donor = kInvalidGroup;
+  if (group != host_group_) {
+    donor = group;
+  } else {
+    for (GroupId g = 0; g < inner_->group_count(); ++g) {
+      if (g == host_group_ || !inner_->is_user_group(g)) continue;
+      if (engine.pending_unshadowed_valid(g) > 0) {
+        donor = g;
+        break;
+      }
+    }
+    if (donor == kInvalidGroup) return {};
+  }
+
+  const std::uint32_t donor_pending = engine.pending_unshadowed_valid(donor);
+  const std::uint32_t host_pending = engine.pending_blocks(host_group_);
+  const bool mergeable =
+      donor_pending > 0 && host_pending > 0 &&
+      donor_pending + host_pending <= engine.config().chunk_blocks;
+  if (!mergeable) return {};
+
+  const std::uint64_t budget =
+      static_cast<std::uint64_t>(config_.budget_floor_chunks) *
+      config_.chunk_blocks;
+  if (shadow_budget_used_ + donor_pending > budget) return {};
+
+  shadow_budget_used_ += donor_pending;
+  ++shadow_decisions_;
+  return {.donor = donor, .host = host_group_};
+}
+
+std::unique_ptr<AggregatingPolicy> wrap_with_aggregation(
+    std::unique_ptr<lss::PlacementPolicy> inner,
+    const AggregationWrapperConfig& config) {
+  return std::make_unique<AggregatingPolicy>(std::move(inner), config);
+}
+
+}  // namespace adapt::core

@@ -1,0 +1,77 @@
+// Cross-group dynamic aggregation as a reusable wrapper (paper §5: ADAPT
+// "can be extended to other placement algorithms").
+//
+// Wraps any placement policy with at least two user-written groups and
+// supplies the engine AggregationHook: when a user group's coalescing
+// deadline fires on a partial chunk, pending blocks are shadow-appended
+// into the wrapped policy's *coldest* user group (by convention its
+// highest-indexed one) instead of being zero-padded — the same
+// merge-two-obligations mechanism AdaptPolicy uses, minus ADAPT's
+// threshold adaptation and demotion.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "lss/engine.h"
+#include "lss/placement_policy.h"
+
+namespace adapt::core {
+
+struct AggregationWrapperConfig {
+  std::uint32_t chunk_blocks = 16;
+  /// Per-open-segment shadow budget floor, in chunks (§3.3 stop rule).
+  std::uint32_t budget_floor_chunks = 4;
+};
+
+class AggregatingPolicy final : public lss::PlacementPolicy,
+                                public lss::AggregationHook {
+ public:
+  AggregatingPolicy(std::unique_ptr<lss::PlacementPolicy> inner,
+                    const AggregationWrapperConfig& config);
+
+  // -- PlacementPolicy (delegates to the wrapped policy) ---------------------
+  std::string_view name() const override { return name_; }
+  GroupId group_count() const override { return inner_->group_count(); }
+  bool is_user_group(GroupId g) const override {
+    return inner_->is_user_group(g);
+  }
+  GroupId place_user_write(Lba lba, VTime now) override {
+    return inner_->place_user_write(lba, now);
+  }
+  GroupId place_gc_rewrite(Lba lba, GroupId victim_group,
+                           VTime now) override {
+    return inner_->place_gc_rewrite(lba, victim_group, now);
+  }
+  void note_segment_sealed(GroupId group, VTime now) override;
+  void note_segment_reclaimed(GroupId group, VTime create_vtime,
+                              VTime now) override {
+    inner_->note_segment_reclaimed(group, create_vtime, now);
+  }
+  std::size_t memory_usage_bytes() const override {
+    return inner_->memory_usage_bytes();
+  }
+
+  // -- AggregationHook --------------------------------------------------------
+  lss::AggregationDecision on_chunk_deadline(
+      GroupId group, const lss::LssEngine& engine) override;
+
+  GroupId host_group() const noexcept { return host_group_; }
+  std::uint64_t shadow_decisions() const noexcept {
+    return shadow_decisions_;
+  }
+
+ private:
+  std::unique_ptr<lss::PlacementPolicy> inner_;
+  AggregationWrapperConfig config_;
+  std::string name_;
+  GroupId host_group_ = kInvalidGroup;  ///< coldest user group
+  std::uint64_t shadow_budget_used_ = 0;
+  std::uint64_t shadow_decisions_ = 0;
+};
+
+std::unique_ptr<AggregatingPolicy> wrap_with_aggregation(
+    std::unique_ptr<lss::PlacementPolicy> inner,
+    const AggregationWrapperConfig& config);
+
+}  // namespace adapt::core

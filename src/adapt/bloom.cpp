@@ -1,0 +1,66 @@
+#include "adapt/bloom.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adapt::core {
+
+BloomFilter::BloomFilter(std::uint32_t capacity)
+    : capacity_(std::max<std::uint32_t>(capacity, 1)) {
+  // ~9.6 bits/element and 7 hashes give ~1% FPR.
+  const std::uint64_t bits = static_cast<std::uint64_t>(capacity_) * 10;
+  bits_.assign((bits + 63) / 64, 0);
+  num_hashes_ = 7;
+}
+
+void BloomFilter::insert(Lba lba) noexcept {
+  const std::uint64_t h1 = mix64(lba);
+  const std::uint64_t h2 = mix64(lba ^ 0x9e3779b97f4a7c15ULL) | 1;
+  for (std::uint32_t i = 0; i < num_hashes_; ++i) {
+    const std::uint64_t bit = (h1 + i * h2) % bit_count();
+    bits_[bit >> 6] |= std::uint64_t{1} << (bit & 63);
+  }
+  ++inserted_;
+}
+
+bool BloomFilter::maybe_contains(Lba lba) const noexcept {
+  const std::uint64_t h1 = mix64(lba);
+  const std::uint64_t h2 = mix64(lba ^ 0x9e3779b97f4a7c15ULL) | 1;
+  for (std::uint32_t i = 0; i < num_hashes_; ++i) {
+    const std::uint64_t bit = (h1 + i * h2) % bit_count();
+    if ((bits_[bit >> 6] & (std::uint64_t{1} << (bit & 63))) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+CascadeDiscriminator::CascadeDiscriminator(std::uint32_t max_filters,
+                                           std::uint32_t filter_capacity)
+    : max_filters_(std::max<std::uint32_t>(max_filters, 1)),
+      filter_capacity_(std::max<std::uint32_t>(filter_capacity, 1)) {}
+
+void CascadeDiscriminator::insert(Lba lba) {
+  if (filters_.empty() || filters_.back().full()) {
+    filters_.emplace_back(filter_capacity_);
+    if (filters_.size() > max_filters_) filters_.pop_front();
+  }
+  filters_.back().insert(lba);
+  ++total_inserted_;
+}
+
+std::uint32_t CascadeDiscriminator::score(Lba lba) const noexcept {
+  std::uint32_t s = 0;
+  for (const BloomFilter& f : filters_) {
+    if (f.maybe_contains(lba)) ++s;
+  }
+  return s;
+}
+
+std::size_t CascadeDiscriminator::memory_usage_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const BloomFilter& f : filters_) total += f.memory_usage_bytes();
+  return total;
+}
+
+}  // namespace adapt::core

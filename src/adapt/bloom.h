@@ -1,0 +1,71 @@
+// Bloom filter and the cascading discriminator used by Proactive Demotion
+// Placement (paper §3.4).
+//
+// Each GC-rewritten group owns one CascadeDiscriminator. During GC, blocks
+// that migrate *back into their own group* are inserted (their observed
+// lifetime matches that group's segment lifetime). At user-write time the
+// score of a group is the number of filters in its cascade that contain the
+// LBA; a high score identifies a long-lived cold block that can skip the
+// user-written groups entirely. Filters rotate FIFO to bound memory and
+// age out stale evidence.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace adapt::core {
+
+class BloomFilter {
+ public:
+  /// `capacity` expected insertions at roughly 1% false-positive rate.
+  explicit BloomFilter(std::uint32_t capacity);
+
+  void insert(Lba lba) noexcept;
+  bool maybe_contains(Lba lba) const noexcept;
+
+  std::uint32_t inserted() const noexcept { return inserted_; }
+  std::uint32_t capacity() const noexcept { return capacity_; }
+  bool full() const noexcept { return inserted_ >= capacity_; }
+
+  std::size_t memory_usage_bytes() const noexcept {
+    return bits_.capacity() * sizeof(std::uint64_t);
+  }
+
+ private:
+  std::uint64_t bit_count() const noexcept { return bits_.size() * 64; }
+
+  std::uint32_t capacity_;
+  std::uint32_t num_hashes_;
+  std::uint32_t inserted_ = 0;
+  std::vector<std::uint64_t> bits_;
+};
+
+class CascadeDiscriminator {
+ public:
+  /// Keeps at most `max_filters` filters of `filter_capacity` LBAs each,
+  /// evicting the oldest filter FIFO-style.
+  CascadeDiscriminator(std::uint32_t max_filters,
+                       std::uint32_t filter_capacity);
+
+  void insert(Lba lba);
+
+  /// Number of filters that (probably) contain lba — in [0, max_filters].
+  std::uint32_t score(Lba lba) const noexcept;
+
+  std::size_t filter_count() const noexcept { return filters_.size(); }
+  std::uint64_t total_inserted() const noexcept { return total_inserted_; }
+  std::size_t memory_usage_bytes() const noexcept;
+
+ private:
+  std::uint32_t max_filters_;
+  std::uint32_t filter_capacity_;
+  std::uint64_t total_inserted_ = 0;
+  std::deque<BloomFilter> filters_;  // back = newest
+};
+
+}  // namespace adapt::core

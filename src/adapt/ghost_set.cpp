@@ -1,0 +1,86 @@
+#include "adapt/ghost_set.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace adapt::core {
+
+GhostSet::GhostSet(const GhostConfig& config, std::uint64_t threshold)
+    : config_(config), threshold_(threshold) {
+  if (config_.segment_blocks == 0 || config_.capacity_segments < 4) {
+    throw std::invalid_argument("GhostSet: geometry too small");
+  }
+}
+
+void GhostSet::write(Lba lba, std::uint64_t interval) {
+  ++written_;
+  // Invalidate the previous ghost copy, if tracked.
+  const auto it = map_.find(lba);
+  if (it != map_.end()) {
+    const auto seg_it = segments_.find(it->second.segment_key);
+    if (seg_it != segments_.end() &&
+        seg_it->second.valid[it->second.slot]) {
+      seg_it->second.valid[it->second.slot] = false;
+      --seg_it->second.valid_count;
+    }
+    map_.erase(it);
+  }
+  append(lba, /*hot=*/interval < threshold_);
+  maybe_gc();
+}
+
+void GhostSet::append(Lba lba, bool hot) {
+  std::uint64_t& open = open_key_[hot ? 0 : 1];
+  auto seg_it = segments_.find(open);
+  if (seg_it == segments_.end()) {
+    open = next_segment_key_++;
+    GhostSegment seg;
+    seg.lbas.reserve(config_.segment_blocks);
+    seg_it = segments_.emplace(open, std::move(seg)).first;
+  }
+  GhostSegment& seg = seg_it->second;
+  const auto slot = static_cast<std::uint32_t>(seg.lbas.size());
+  seg.lbas.push_back(lba);
+  seg.valid.push_back(true);
+  ++seg.valid_count;
+  map_[lba] = Location{open, slot};
+  if (seg.lbas.size() == config_.segment_blocks) {
+    seg.sealed = true;
+    open = ~0ull;  // force a new open segment next time
+  }
+}
+
+void GhostSet::maybe_gc() {
+  while (segments_.size() > config_.capacity_segments) {
+    // Greedy: discard the sealed segment with the fewest valid blocks.
+    std::uint64_t victim_key = ~0ull;
+    std::uint32_t best_valid = std::numeric_limits<std::uint32_t>::max();
+    for (const auto& [key, seg] : segments_) {
+      if (!seg.sealed) continue;
+      if (seg.valid_count < best_valid) {
+        best_valid = seg.valid_count;
+        victim_key = key;
+      }
+    }
+    if (victim_key == ~0ull) return;  // nothing sealed yet
+    GhostSegment& victim = segments_[victim_key];
+    // Valid blocks leave the (simulated) user groups: in the real system GC
+    // would move them to GC-rewritten groups. Discard and count.
+    discarded_ += victim.valid_count;
+    for (std::uint32_t slot = 0; slot < victim.lbas.size(); ++slot) {
+      if (victim.valid[slot]) map_.erase(victim.lbas[slot]);
+    }
+    segments_.erase(victim_key);
+    ++gc_runs_;
+  }
+}
+
+std::size_t GhostSet::memory_usage_bytes() const noexcept {
+  // ~20 bytes per simulated block (paper §4.4): LBA record + index share.
+  std::size_t blocks = 0;
+  for (const auto& [key, seg] : segments_) blocks += seg.lbas.size();
+  return blocks * sizeof(Lba) + map_.size() * 24;
+}
+
+}  // namespace adapt::core

@@ -1,0 +1,154 @@
+#include "adapt/threshold_adapter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace adapt::core {
+namespace {
+
+GhostConfig ghost_geometry(const AdapterConfig& cfg) {
+  GhostConfig g;
+  g.segment_blocks = std::max<std::uint32_t>(
+      4, static_cast<std::uint32_t>(
+             static_cast<double>(cfg.segment_blocks) * cfg.sample_rate));
+  const double scaled_capacity = static_cast<double>(cfg.logical_blocks) *
+                                 cfg.sample_rate *
+                                 (1.0 + cfg.over_provision) *
+                                 cfg.user_capacity_fraction;
+  g.capacity_segments = std::max<std::uint32_t>(
+      8, static_cast<std::uint32_t>(scaled_capacity / g.segment_blocks));
+  return g;
+}
+
+}  // namespace
+
+ThresholdAdapter::ThresholdAdapter(const AdapterConfig& config)
+    : config_(config),
+      sampler_((config.sample_rate > 0.0
+                    ? config.sample_rate
+                    : std::min(1.0, 4096.0 / static_cast<double>(std::max<
+                                                std::uint64_t>(
+                                        config.logical_blocks, 1))))) {
+  config_.sample_rate = sampler_.rate();
+  if (config_.num_ghosts < 3) {
+    throw std::invalid_argument("ThresholdAdapter needs >= 3 ghosts");
+  }
+  // Cold-start threshold: a few segments' worth of writes (refined by the
+  // first adoption).
+  current_threshold_ = static_cast<std::uint64_t>(config_.segment_blocks) * 4;
+  const GhostConfig geom = ghost_geometry(config_);
+  ghost_capacity_blocks_ = static_cast<std::uint64_t>(geom.segment_blocks) *
+                           geom.capacity_segments;
+  ghosts_.reserve(config_.num_ghosts);
+  for (std::uint32_t i = 0; i < config_.num_ghosts; ++i) {
+    ghosts_.emplace_back(geom, 0);
+  }
+  configure_exponential(config_.segment_blocks);
+}
+
+void ThresholdAdapter::configure_exponential(std::uint64_t center) {
+  // Thresholds center * 2^i, i = 0 .. K-1 (center = smallest candidate).
+  std::uint64_t t = std::max<std::uint64_t>(center, 1);
+  for (GhostSet& g : ghosts_) {
+    g.set_threshold(t);
+    t *= 2;
+  }
+  phase_ = Phase::kExponential;
+  sampled_since_reconfigure_ = 0;
+}
+
+void ThresholdAdapter::configure_linear(std::uint64_t lo, std::uint64_t hi) {
+  // Linear steps across [lo, hi]; granularity no finer than one segment.
+  lo = std::max<std::uint64_t>(lo, 1);
+  hi = std::max(hi, lo + 1);
+  const auto k = static_cast<std::uint64_t>(ghosts_.size());
+  const std::uint64_t step = std::max<std::uint64_t>(
+      (hi - lo) / (k - 1), config_.segment_blocks);
+  std::uint64_t t = lo;
+  for (GhostSet& g : ghosts_) {
+    g.set_threshold(t);
+    t += step;
+  }
+  phase_ = Phase::kLinear;
+  sampled_since_reconfigure_ = 0;
+}
+
+bool ThresholdAdapter::on_user_write(Lba lba, VTime now) {
+  ++writes_since_adoption_;
+  if (sampler_.sampled(lba)) {
+    ++sampled_writes_;
+    const auto measured = tracker_.access(lba, now);
+    std::uint64_t interval = ReuseDistanceTracker::kFirstAccess;
+    if (config_.use_unique_distance) {
+      if (measured.unique_distance != ReuseDistanceTracker::kFirstAccess) {
+        interval = static_cast<std::uint64_t>(
+            static_cast<double>(measured.unique_distance) /
+            config_.sample_rate);
+      }
+    } else {
+      interval = measured.raw_interval;
+    }
+    for (GhostSet& g : ghosts_) g.write(lba, interval);
+    ++sampled_since_reconfigure_;
+  }
+
+  const auto update_volume = static_cast<std::uint64_t>(
+      config_.update_fraction * static_cast<double>(config_.logical_blocks));
+  if (writes_since_adoption_ < std::max<std::uint64_t>(update_volume, 1)) {
+    return false;
+  }
+  const std::uint64_t before = current_threshold_;
+  maybe_adopt();
+  return current_threshold_ != before;
+}
+
+void ThresholdAdapter::maybe_adopt() {
+  // All ghosts must have an authentic simulation (enough GC churn since the
+  // last reconfiguration, and at least a full turnover of the simulated
+  // capacity in sampled writes).
+  if (sampled_since_reconfigure_ < ghost_capacity_blocks_) return;
+  for (const GhostSet& g : ghosts_) {
+    if (!g.stable()) return;
+  }
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < ghosts_.size(); ++i) {
+    if (ghosts_[i].discard_ratio() < ghosts_[best].discard_ratio()) {
+      best = i;
+    }
+  }
+  // Smooth adoptions: the ghost statistics are sampled and therefore noisy;
+  // moving halfway to the winner each time keeps the threshold from
+  // thrashing between adjacent candidates.
+  current_threshold_ =
+      (current_threshold_ + ghosts_[best].threshold() + 1) / 2;
+  ++adoptions_;
+  writes_since_adoption_ = 0;
+
+  if (best == 0 || best + 1 == ghosts_.size()) {
+    // Winner on the window edge: WA is monotone across the window; re-probe
+    // with the exponential window anchored below the winner.
+    const std::uint64_t anchor = std::max<std::uint64_t>(
+        ghosts_[best].threshold() / (best == 0 ? 4 : 1),
+        config_.segment_blocks);
+    configure_exponential(anchor);
+  } else {
+    configure_linear(ghosts_[best - 1].threshold(),
+                     ghosts_[best + 1].threshold());
+  }
+}
+
+std::vector<std::uint64_t> ThresholdAdapter::ghost_thresholds() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(ghosts_.size());
+  for (const GhostSet& g : ghosts_) out.push_back(g.threshold());
+  return out;
+}
+
+std::size_t ThresholdAdapter::memory_usage_bytes() const noexcept {
+  std::size_t total = tracker_.memory_usage_bytes();
+  for (const GhostSet& g : ghosts_) total += g.memory_usage_bytes();
+  return total;
+}
+
+}  // namespace adapt::core

@@ -1,0 +1,136 @@
+#include "array/addressed_array.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace adapt::array {
+
+AddressedArray::AddressedArray(const AddressedArrayConfig& config)
+    : config_(config) {
+  if (config_.num_devices < 2) {
+    throw std::invalid_argument("AddressedArray needs >= 2 devices");
+  }
+  if (config_.chunk_bytes == 0 || config_.page_bytes == 0 ||
+      config_.chunk_bytes % config_.page_bytes != 0) {
+    throw std::invalid_argument(
+        "AddressedArray: chunk size must be a positive multiple of the "
+        "page size");
+  }
+  // Stripes needed to host all data chunks; each device stores one chunk
+  // per stripe (data or parity).
+  const std::uint64_t stripes =
+      (config_.data_chunks + data_columns() - 1) / data_columns();
+  const std::uint64_t pages_per_device = stripes * chunk_pages();
+
+  flash::FtlConfig ftl_config;
+  ftl_config.page_bytes = config_.page_bytes;
+  ftl_config.logical_pages = std::max<std::uint64_t>(pages_per_device, 1);
+  ftl_config.over_provision = config_.device_over_provision;
+  ftl_config.num_streams =
+      config_.multi_stream ? std::max(config_.num_streams, 2u) : 1;
+  // Size flash blocks so a device holds a reasonable number of them:
+  // several chunks per erase block, but never so large that the device
+  // cannot host two open blocks per stream plus GC headroom.
+  const std::uint32_t desired =
+      std::max<std::uint32_t>(chunk_pages() * 4, 64);
+  const double logical = static_cast<double>(ftl_config.logical_pages);
+  const std::uint32_t parked_blocks =
+      2 * ftl_config.num_streams + ftl_config.free_block_reserve + 2;
+  // Blocks parked as open/reserve must not eat into the logical capacity:
+  // parked * ppb <= logical * over_provision (with a safety factor of 2).
+  const auto cap = static_cast<std::uint32_t>(
+      logical * ftl_config.over_provision /
+      (2.0 * static_cast<double>(parked_blocks)));
+  ftl_config.pages_per_block =
+      std::max<std::uint32_t>(1, std::min(desired, cap));
+  devices_.reserve(config_.num_devices);
+  for (std::uint32_t i = 0; i < config_.num_devices; ++i) {
+    devices_.emplace_back(ftl_config);
+  }
+  // `num_streams - 1` is reserved as the parity stream when multi-stream.
+}
+
+AddressedArray::Placement AddressedArray::locate(
+    std::uint64_t chunk_index) const {
+  if (chunk_index >= config_.data_chunks) {
+    throw std::out_of_range("AddressedArray: chunk beyond data space");
+  }
+  const std::uint32_t n = config_.num_devices;
+  const std::uint64_t stripe = chunk_index / data_columns();
+  const auto column = static_cast<std::uint32_t>(chunk_index % data_columns());
+  // Left-symmetric rotation: parity walks backwards across devices.
+  const auto parity_device =
+      static_cast<std::uint32_t>((n - 1 - stripe % n) % n);
+  std::uint32_t data_device = column;
+  if (data_device >= parity_device) ++data_device;
+  return Placement{data_device, parity_device, stripe * chunk_pages()};
+}
+
+std::uint32_t AddressedArray::device_stream(
+    std::uint32_t host_stream) const {
+  if (!config_.multi_stream) return 0;
+  // Reserve the top device stream for parity traffic.
+  const std::uint32_t data_streams =
+      std::max(config_.num_streams, 2u) - 1;
+  return std::min(host_stream, data_streams - 1);
+}
+
+void AddressedArray::write_chunk(std::uint64_t chunk_index,
+                                 std::uint32_t stream) {
+  const Placement p = locate(chunk_index);
+  devices_[p.data_device].host_write(p.device_page, chunk_pages(),
+                                     device_stream(stream));
+  ++stats_.data_chunk_writes;
+  // Small-write parity update: the stripe's parity chunk is rewritten in
+  // place on the parity device. Parity gets its own device stream so its
+  // in-place churn does not pollute data blocks.
+  const std::uint32_t parity_stream =
+      config_.multi_stream ? std::max(config_.num_streams, 2u) - 1 : 0;
+  devices_[p.parity_device].host_write(p.device_page, chunk_pages(),
+                                       parity_stream);
+  ++stats_.parity_chunk_writes;
+}
+
+void AddressedArray::write_partial(std::uint64_t chunk_index,
+                                   std::uint32_t offset_pages,
+                                   std::uint32_t pages,
+                                   std::uint32_t stream) {
+  if (offset_pages + pages > chunk_pages()) {
+    throw std::invalid_argument(
+        "AddressedArray: partial write beyond chunk");
+  }
+  const Placement p = locate(chunk_index);
+  devices_[p.data_device].host_write(p.device_page + offset_pages, pages,
+                                     device_stream(stream));
+  ++stats_.data_chunk_writes;
+  const std::uint32_t parity_stream =
+      config_.multi_stream ? std::max(config_.num_streams, 2u) - 1 : 0;
+  devices_[p.parity_device].host_write(p.device_page, chunk_pages(),
+                                       parity_stream);
+  ++stats_.parity_chunk_writes;
+}
+
+void AddressedArray::trim_chunks(std::uint64_t first_chunk,
+                                 std::uint64_t count) {
+  if (!config_.trim_enabled) return;
+  for (std::uint64_t c = first_chunk; c < first_chunk + count; ++c) {
+    const Placement p = locate(c);
+    devices_[p.data_device].trim(p.device_page, chunk_pages());
+    ++stats_.trims;
+    // Parity stays live: other chunks of the stripe may still hold data.
+  }
+}
+
+double AddressedArray::device_internal_wa() const {
+  std::uint64_t host = 0;
+  std::uint64_t gc = 0;
+  for (const flash::Ftl& d : devices_) {
+    host += d.stats().host_pages;
+    gc += d.stats().gc_pages;
+  }
+  return host == 0 ? 0.0
+                   : static_cast<double>(host + gc) /
+                         static_cast<double>(host);
+}
+
+}  // namespace adapt::array

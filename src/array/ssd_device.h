@@ -1,0 +1,47 @@
+// Per-SSD device model. The simulator only needs accounting (bytes per
+// stream, wear); the prototype additionally uses the bandwidth model to
+// obtain per-write service latencies so that GC traffic competes with user
+// traffic for device bandwidth, which is the effect behind the paper's
+// Figure 12a throughput results.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace adapt::array {
+
+struct SsdDeviceConfig {
+  std::uint32_t num_streams = 8;
+  double bandwidth_mb_per_s = 2000.0;  ///< sustained sequential write BW
+};
+
+class SsdDevice {
+ public:
+  explicit SsdDevice(const SsdDeviceConfig& config);
+
+  const SsdDeviceConfig& config() const noexcept { return config_; }
+
+  /// Records a write of `bytes` on `stream` and returns the service time in
+  /// microseconds under the bandwidth model.
+  TimeUs write(std::uint32_t stream, std::uint64_t bytes);
+
+  std::uint64_t bytes_written() const noexcept {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t stream_bytes(std::uint32_t stream) const;
+
+  /// Simulated busy-time bookkeeping for the prototype: reserves the device
+  /// starting no earlier than `now_us`, returns the completion time.
+  TimeUs reserve(TimeUs now_us, std::uint64_t bytes);
+
+ private:
+  SsdDeviceConfig config_;
+  std::atomic<std::uint64_t> bytes_written_{0};
+  std::vector<std::atomic<std::uint64_t>> stream_bytes_;
+  std::atomic<std::uint64_t> busy_until_us_{0};
+};
+
+}  // namespace adapt::array

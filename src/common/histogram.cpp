@@ -1,0 +1,97 @@
+#include "common/histogram.h"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace adapt {
+
+void Histogram::ensure_sorted() const {
+  if (!sorted_) {
+    sorted_values_ = values_;
+    std::sort(sorted_values_.begin(), sorted_values_.end());
+    sorted_ = true;
+  }
+}
+
+double Histogram::sum() const noexcept {
+  return std::accumulate(values_.begin(), values_.end(), 0.0);
+}
+
+double Histogram::mean() const noexcept {
+  return values_.empty() ? 0.0 : sum() / static_cast<double>(values_.size());
+}
+
+double Histogram::min() const {
+  if (values_.empty()) throw std::out_of_range("Histogram::min on empty");
+  ensure_sorted();
+  return sorted_values_.front();
+}
+
+double Histogram::max() const {
+  if (values_.empty()) throw std::out_of_range("Histogram::max on empty");
+  ensure_sorted();
+  return sorted_values_.back();
+}
+
+double Histogram::percentile(double p) const {
+  if (values_.empty()) {
+    throw std::out_of_range("Histogram::percentile on empty");
+  }
+  ensure_sorted();
+  if (p <= 0) return sorted_values_.front();
+  if (p >= 100) return sorted_values_.back();
+  // Linear interpolation between closest ranks.
+  const double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted_values_.size()) return sorted_values_.back();
+  return sorted_values_[lo] * (1.0 - frac) + sorted_values_[lo + 1] * frac;
+}
+
+double Histogram::cdf_at(double x) const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it =
+      std::upper_bound(sorted_values_.begin(), sorted_values_.end(), x);
+  return static_cast<double>(it - sorted_values_.begin()) /
+         static_cast<double>(sorted_values_.size());
+}
+
+BoxStats box_stats(const Histogram& h) {
+  BoxStats b;
+  if (h.empty()) return b;
+  b.min = h.min();
+  b.max = h.max();
+  b.q1 = h.percentile(25);
+  b.median = h.percentile(50);
+  b.q3 = h.percentile(75);
+  const double iqr = b.q3 - b.q1;
+  const double lo_fence = b.q1 - 1.5 * iqr;
+  const double hi_fence = b.q3 + 1.5 * iqr;
+  b.whisker_lo = b.max;
+  b.whisker_hi = b.min;
+  for (double v : h.values()) {
+    if (v < lo_fence || v > hi_fence) {
+      ++b.outliers;
+    } else {
+      b.whisker_lo = std::min(b.whisker_lo, v);
+      b.whisker_hi = std::max(b.whisker_hi, v);
+    }
+  }
+  return b;
+}
+
+std::string format_cdf(const Histogram& h, double x_lo, double x_hi,
+                       int steps) {
+  std::ostringstream out;
+  for (int i = 0; i <= steps; ++i) {
+    const double x =
+        x_lo + (x_hi - x_lo) * static_cast<double>(i) / steps;
+    out << x << '\t' << h.cdf_at(x) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace adapt

@@ -1,0 +1,64 @@
+// Simple value-accumulating histogram with exact percentile queries, plus a
+// CDF builder used by the figure-reproduction benches.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adapt {
+
+/// Stores every sample; suitable for per-volume metric distributions (tens
+/// of thousands of points), not per-I/O hot paths.
+class Histogram {
+ public:
+  void add(double v) {
+    values_.push_back(v);
+    sorted_ = false;
+  }
+
+  std::size_t count() const noexcept { return values_.size(); }
+  bool empty() const noexcept { return values_.empty(); }
+
+  double sum() const noexcept;
+  double mean() const noexcept;
+  double min() const;
+  double max() const;
+
+  /// Exact percentile via nearest-rank; p in [0, 100].
+  double percentile(double p) const;
+
+  /// Fraction of samples <= x (empirical CDF).
+  double cdf_at(double x) const;
+
+  const std::vector<double>& values() const noexcept { return values_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_values_;
+  mutable bool sorted_ = false;
+};
+
+/// Boxplot summary matching the paper's per-volume WA plots.
+struct BoxStats {
+  double min = 0;
+  double q1 = 0;
+  double median = 0;
+  double q3 = 0;
+  double max = 0;
+  double whisker_lo = 0;   ///< lowest sample >= q1 - 1.5*IQR
+  double whisker_hi = 0;   ///< highest sample <= q3 + 1.5*IQR
+  std::size_t outliers = 0;
+};
+
+BoxStats box_stats(const Histogram& h);
+
+/// Renders "x<TAB>cdf" rows over evenly spaced x for textual figure output.
+std::string format_cdf(const Histogram& h, double x_lo, double x_hi,
+                       int steps);
+
+}  // namespace adapt

@@ -1,0 +1,44 @@
+// Minimal fixed-size thread pool used to parallelise per-volume simulation
+// runs in the experiment runner. Tasks are type-erased; `wait_idle` provides
+// a completion barrier so callers can collect results without joining.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace adapt {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution on some worker thread.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void wait_idle();
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace adapt

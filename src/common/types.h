@@ -1,0 +1,48 @@
+// Core value types shared across the ADAPT reproduction.
+//
+// The simulator measures time on two axes:
+//   * wall time in microseconds (`TimeUs`) — drives the SLA coalescing
+//     window (100 us in Alibaba's Pangu, the paper's reference setting);
+//   * virtual time in user-written blocks (`VTime`) — drives every
+//     lifespan/age computation, following SepBIT's convention of measuring
+//     block lifetimes in logical write volume rather than wall time.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace adapt {
+
+/// Logical block address, in units of one block (default 4 KiB).
+using Lba = std::uint64_t;
+
+/// Wall-clock time in microseconds (trace timestamps use this unit).
+using TimeUs = std::uint64_t;
+
+/// Virtual time measured in user-written blocks since volume start.
+using VTime = std::uint64_t;
+
+/// Index of a placement group (stream). Groups are dense, starting at 0.
+using GroupId = std::uint32_t;
+
+/// Index of a segment within the LSS segment pool.
+using SegmentId = std::uint32_t;
+
+inline constexpr Lba kInvalidLba = std::numeric_limits<Lba>::max();
+inline constexpr SegmentId kInvalidSegment =
+    std::numeric_limits<SegmentId>::max();
+inline constexpr GroupId kInvalidGroup =
+    std::numeric_limits<GroupId>::max();
+
+/// Default logical block size (bytes). All placement schemes in the paper
+/// operate at 4 KiB granularity.
+inline constexpr std::uint32_t kDefaultBlockSize = 4096;
+
+/// Default array chunk size (bytes) — the Linux mdraid default used in the
+/// paper's evaluation.
+inline constexpr std::uint32_t kDefaultChunkSize = 64 * 1024;
+
+/// Pangu-style SLA coalescing window (microseconds).
+inline constexpr TimeUs kDefaultCoalesceWindowUs = 100;
+
+}  // namespace adapt

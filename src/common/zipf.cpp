@@ -1,0 +1,43 @@
+#include "common/zipf.h"
+
+#include <cmath>
+
+namespace adapt {
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double alpha)
+    : n_(n), alpha_(alpha) {
+  // alpha == 0 degenerates to uniform; the YCSB formulas below handle it,
+  // but guard the zeta sums against theta == 1 singularities.
+  theta_ = alpha;
+  // theta == 1 makes the YCSB closed form singular; nudge off the pole.
+  if (std::abs(1.0 - theta_) < 1e-9) theta_ += 1e-6;
+  zetan_ = zeta(n_, theta_);
+  zeta2theta_ = zeta(2, theta_);
+  alpha_param_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+double ZipfianGenerator::zeta(std::uint64_t n, double theta) noexcept {
+  double sum = 0.0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+  }
+  return sum;
+}
+
+std::uint64_t ZipfianGenerator::next(Rng& rng) noexcept {
+  if (theta_ == 0.0) return rng.below(n_);  // uniform fast path
+
+  const double u = rng.uniform();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const double frac =
+      std::pow(eta_ * u - eta_ + 1.0, alpha_param_);
+  auto rank = static_cast<std::uint64_t>(static_cast<double>(n_) * frac);
+  if (rank >= n_) rank = n_ - 1;
+  return rank;
+}
+
+}  // namespace adapt

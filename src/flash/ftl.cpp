@@ -1,0 +1,234 @@
+#include "flash/ftl.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace adapt::flash {
+
+namespace {
+constexpr std::uint32_t kNoBlock = std::numeric_limits<std::uint32_t>::max();
+}  // namespace
+
+Ftl::Ftl(const FtlConfig& config) : config_(config) {
+  if (config_.pages_per_block == 0 || config_.logical_pages == 0) {
+    throw std::invalid_argument("Ftl: zero-sized geometry");
+  }
+  if (config_.num_streams == 0) {
+    throw std::invalid_argument("Ftl: need at least one stream");
+  }
+  const std::uint32_t total = config_.total_blocks();
+  // Two open blocks per stream (host + GC destination) plus GC headroom —
+  // and after parking those, the remaining blocks must still hold the
+  // whole logical space or GC can never make progress.
+  const std::uint64_t parked = 2ull * config_.num_streams +
+                               config_.free_block_reserve + 2;
+  if (total < parked ||
+      (total - parked) * static_cast<std::uint64_t>(
+                             config_.pages_per_block) <
+          config_.logical_pages) {
+    throw std::invalid_argument(
+        "Ftl: over-provision too small for stream count");
+  }
+  blocks_.resize(total);
+  for (auto& b : blocks_) {
+    b.page_lpn.assign(config_.pages_per_block, kUnmapped);
+    b.page_valid.assign(config_.pages_per_block, false);
+  }
+  free_list_.reserve(total);
+  for (std::uint32_t i = 0; i < total; ++i) {
+    free_list_.push_back(total - 1 - i);
+  }
+  free_count_ = total;
+  open_block_.assign(config_.num_streams, kNoBlock);
+  gc_open_block_.assign(config_.num_streams, kNoBlock);
+  l2p_.assign(config_.logical_pages, kUnmapped);
+}
+
+void Ftl::host_write(std::uint64_t lpn, std::uint32_t pages,
+                     std::uint32_t stream) {
+  if (lpn + pages > config_.logical_pages) {
+    throw std::out_of_range("Ftl: host write beyond logical space");
+  }
+  stream = std::min(stream, config_.num_streams - 1);
+  for (std::uint32_t i = 0; i < pages; ++i) {
+    write_page(lpn + i, stream, /*from_gc=*/false);
+    ++stats_.host_pages;
+    maybe_gc();
+  }
+}
+
+void Ftl::trim(std::uint64_t lpn, std::uint32_t pages) {
+  if (lpn + pages > config_.logical_pages) {
+    throw std::out_of_range("Ftl: trim beyond logical space");
+  }
+  for (std::uint32_t i = 0; i < pages; ++i) {
+    if (l2p_[lpn + i] != kUnmapped) {
+      invalidate(lpn + i);
+      ++stats_.trimmed_pages;
+    }
+  }
+}
+
+bool Ftl::is_mapped(std::uint64_t lpn) const {
+  if (lpn >= config_.logical_pages) {
+    throw std::out_of_range("Ftl: lpn beyond logical space");
+  }
+  return l2p_[lpn] != kUnmapped;
+}
+
+void Ftl::write_page(std::uint64_t lpn, std::uint32_t stream, bool from_gc) {
+  if (l2p_[lpn] != kUnmapped) invalidate(lpn);
+
+  std::uint32_t& open =
+      from_gc ? gc_open_block_[stream] : open_block_[stream];
+  if (open == kNoBlock) open = allocate_block(stream);
+  FlashBlock& block = blocks_[open];
+  const std::uint32_t offset = block.write_ptr++;
+  block.page_lpn[offset] = lpn;
+  block.page_valid[offset] = true;
+  ++block.valid_count;
+  l2p_[lpn] =
+      static_cast<std::uint64_t>(open) * config_.pages_per_block + offset;
+  if (block.write_ptr == config_.pages_per_block) {
+    block.open = false;  // sealed
+    open = kNoBlock;
+  }
+}
+
+void Ftl::invalidate(std::uint64_t lpn) {
+  const std::uint64_t ppn = l2p_[lpn];
+  FlashBlock& block = blocks_[ppn / config_.pages_per_block];
+  const auto offset =
+      static_cast<std::uint32_t>(ppn % config_.pages_per_block);
+  if (!block.page_valid[offset]) {
+    throw std::logic_error("Ftl: double invalidation");
+  }
+  block.page_valid[offset] = false;
+  --block.valid_count;
+  l2p_[lpn] = kUnmapped;
+}
+
+std::uint32_t Ftl::allocate_block(std::uint32_t stream) {
+  if (free_list_.empty()) {
+    throw std::runtime_error("Ftl: out of flash blocks (GC starved)");
+  }
+  const std::uint32_t id = free_list_.back();
+  free_list_.pop_back();
+  --free_count_;
+  FlashBlock& block = blocks_[id];
+  block.free = false;
+  block.open = true;
+  block.stream = stream;
+  block.write_ptr = 0;
+  block.valid_count = 0;
+  std::fill(block.page_lpn.begin(), block.page_lpn.end(), kUnmapped);
+  std::fill(block.page_valid.begin(), block.page_valid.end(), false);
+  return id;
+}
+
+void Ftl::maybe_gc() {
+  // GC runs after every host page, so the free pool only needs to cover
+  // one in-flight allocation plus the reserve.
+  const std::uint32_t watermark = config_.free_block_reserve;
+  std::uint32_t spins = 0;
+  while (free_count_ < watermark) {
+    gc_once();
+    if (++spins > blocks_.size() * 4) {
+      throw std::runtime_error("Ftl: internal GC made no progress");
+    }
+  }
+}
+
+void Ftl::gc_once() {
+  // Greedy victim among sealed (closed, non-free) blocks.
+  std::uint32_t victim = kNoBlock;
+  std::uint32_t best_valid = std::numeric_limits<std::uint32_t>::max();
+  for (std::uint32_t i = 0; i < blocks_.size(); ++i) {
+    const FlashBlock& b = blocks_[i];
+    if (b.free || b.open) continue;
+    if (b.write_ptr < config_.pages_per_block) continue;  // open by stream
+    if (b.valid_count < best_valid) {
+      best_valid = b.valid_count;
+      victim = i;
+    }
+  }
+  if (victim == kNoBlock) {
+    throw std::runtime_error("Ftl: no GC victim available");
+  }
+  ++stats_.gc_runs;
+  FlashBlock& v = blocks_[victim];
+  const std::uint32_t stream = v.stream;
+  for (std::uint32_t offset = 0; offset < v.write_ptr; ++offset) {
+    if (!v.page_valid[offset]) continue;
+    const std::uint64_t lpn = v.page_lpn[offset];
+    // Migrating page: rewrite into the stream's GC destination block.
+    write_page(lpn, stream, /*from_gc=*/true);
+    ++stats_.gc_pages;
+  }
+  if (v.valid_count != 0) {
+    throw std::logic_error("Ftl: victim still valid after GC");
+  }
+  v.free = true;
+  ++v.erase_count;
+  ++stats_.erases;
+  free_list_.push_back(victim);
+  ++free_count_;
+}
+
+Ftl::WearStats Ftl::wear() const {
+  WearStats w;
+  w.min_erases = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t total = 0;
+  for (const FlashBlock& b : blocks_) {
+    w.min_erases = std::min(w.min_erases, b.erase_count);
+    w.max_erases = std::max(w.max_erases, b.erase_count);
+    total += b.erase_count;
+  }
+  if (blocks_.empty()) {
+    w.min_erases = 0;
+  } else {
+    w.mean_erases =
+        static_cast<double>(total) / static_cast<double>(blocks_.size());
+  }
+  return w;
+}
+
+void Ftl::check_invariants() const {
+  std::uint64_t mapped = 0;
+  for (std::uint64_t lpn = 0; lpn < config_.logical_pages; ++lpn) {
+    const std::uint64_t ppn = l2p_[lpn];
+    if (ppn == kUnmapped) continue;
+    ++mapped;
+    const FlashBlock& b = blocks_.at(ppn / config_.pages_per_block);
+    const auto offset =
+        static_cast<std::uint32_t>(ppn % config_.pages_per_block);
+    if (b.free || offset >= b.write_ptr || b.page_lpn[offset] != lpn ||
+        !b.page_valid[offset]) {
+      throw std::logic_error("Ftl: L2P points at inconsistent page");
+    }
+  }
+  std::uint64_t valid_total = 0;
+  std::uint32_t free_seen = 0;
+  for (const FlashBlock& b : blocks_) {
+    if (b.free) {
+      ++free_seen;
+      continue;
+    }
+    std::uint32_t valid_here = 0;
+    for (std::uint32_t o = 0; o < b.write_ptr; ++o) {
+      if (b.page_valid[o]) ++valid_here;
+    }
+    if (valid_here != b.valid_count) {
+      throw std::logic_error("Ftl: block valid_count out of sync");
+    }
+    valid_total += valid_here;
+  }
+  if (free_seen != free_count_) {
+    throw std::logic_error("Ftl: free count out of sync");
+  }
+  if (valid_total != mapped) {
+    throw std::logic_error("Ftl: valid pages != mapped LPNs");
+  }
+}
+
+}  // namespace adapt::flash

@@ -1,0 +1,70 @@
+// Log-structured store configuration.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "common/types.h"
+
+namespace adapt::lss {
+
+/// How a partial chunk is persisted when the SLA window expires.
+/// Zero-padding (the paper's default) writes a full chunk of data + zeros;
+/// read-modify-write persists only the real blocks but pays the
+/// small-write parity penalty (old data + old parity reads) on every
+/// sub-chunk flush, and the chunk stays open for further appends.
+enum class PartialWriteMode { kZeroPad, kReadModifyWrite };
+
+struct LssConfig {
+  std::uint32_t block_bytes = kDefaultBlockSize;
+  std::uint32_t chunk_blocks = 16;    ///< 64 KiB chunk / 4 KiB block
+  std::uint32_t segment_chunks = 16;  ///< 1 MiB segment
+  std::uint64_t logical_blocks = 1u << 16;
+  double over_provision = 0.25;       ///< physical = logical * (1 + op)
+  TimeUs coalesce_window_us = kDefaultCoalesceWindowUs;
+  /// GC starts when the free-segment count drops to
+  /// group_count + free_segment_reserve.
+  std::uint32_t free_segment_reserve = 4;
+  PartialWriteMode partial_write_mode = PartialWriteMode::kZeroPad;
+
+  std::uint32_t segment_blocks() const noexcept {
+    return chunk_blocks * segment_chunks;
+  }
+
+  std::uint64_t physical_blocks() const noexcept {
+    return static_cast<std::uint64_t>(
+        static_cast<double>(logical_blocks) * (1.0 + over_provision));
+  }
+
+  std::uint32_t total_segments() const noexcept {
+    return static_cast<std::uint32_t>(
+        (physical_blocks() + segment_blocks() - 1) / segment_blocks());
+  }
+
+  void validate(std::uint32_t group_count) const {
+    if (chunk_blocks == 0 || segment_chunks == 0 || logical_blocks == 0) {
+      throw std::invalid_argument("LssConfig: zero-sized geometry");
+    }
+    if (over_provision <= 0.0) {
+      throw std::invalid_argument("LssConfig: over-provision must be > 0");
+    }
+    // Steady-state feasibility: even with the logical space fully live, the
+    // over-provisioned segments must cover the GC watermark
+    // (reserve + groups), the open segments, and headroom for GC to make
+    // progress.
+    const std::uint64_t logical_segments =
+        (logical_blocks + segment_blocks() - 1) / segment_blocks();
+    const std::uint64_t op_segments =
+        total_segments() > logical_segments
+            ? total_segments() - logical_segments
+            : 0;
+    if (op_segments < free_segment_reserve + 2ull * group_count + 2) {
+      throw std::invalid_argument(
+          "LssConfig: over-provisioned segments cannot cover the GC "
+          "watermark; increase capacity or over-provision, or shrink "
+          "segments");
+    }
+  }
+};
+
+}  // namespace adapt::lss

@@ -1,0 +1,615 @@
+#include "lss/engine.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace adapt::lss {
+namespace {
+constexpr std::uint64_t kUnmapped = std::numeric_limits<std::uint64_t>::max();
+}  // namespace
+
+LssEngine::LssEngine(const LssConfig& config, PlacementPolicy& policy,
+                     VictimPolicy& victim, array::SsdArray* array,
+                     std::uint64_t seed)
+    : config_(config),
+      policy_(policy),
+      victim_(victim),
+      array_(array),
+      rng_(seed) {
+  config_.validate(policy.group_count());
+  if (array_ != nullptr &&
+      array_->config().num_streams < policy.group_count()) {
+    throw std::invalid_argument("array has fewer streams than groups");
+  }
+  if (array_ != nullptr &&
+      array_->config().chunk_bytes !=
+          config_.chunk_blocks * config_.block_bytes) {
+    throw std::invalid_argument("array chunk size mismatch");
+  }
+
+  const std::uint32_t total = config_.total_segments();
+  segments_.resize(total);
+  free_list_.reserve(total);
+  for (std::uint32_t i = 0; i < total; ++i) {
+    segments_[i].reset(config_.segment_blocks());
+    // Push in reverse so allocation order is 0, 1, 2, ...
+    free_list_.push_back(total - 1 - i);
+  }
+  free_count_ = total;
+
+  groups_.resize(policy.group_count());
+  metrics_.groups.resize(policy.group_count());
+  primary_.assign(config_.logical_blocks, kUnmapped);
+}
+
+void LssEngine::attach_addressed_array(array::AddressedArray* addressed) {
+  if (addressed != nullptr) {
+    const auto& ac = addressed->config();
+    if (ac.chunk_bytes != config_.chunk_blocks * config_.block_bytes ||
+        ac.page_bytes != config_.block_bytes) {
+      throw std::invalid_argument(
+          "addressed array geometry does not match the LSS");
+    }
+    const std::uint64_t needed_chunks =
+        static_cast<std::uint64_t>(config_.total_segments()) *
+        config_.segment_chunks;
+    if (ac.data_chunks < needed_chunks) {
+      throw std::invalid_argument(
+          "addressed array smaller than the LSS physical space");
+    }
+  }
+  addressed_array_ = addressed;
+}
+
+std::uint64_t LssEngine::global_chunk_index(
+    SegmentId seg, std::uint32_t slot) const noexcept {
+  return static_cast<std::uint64_t>(seg) * config_.segment_chunks +
+         slot / config_.chunk_blocks;
+}
+
+std::uint64_t LssEngine::pack(BlockLocation loc) noexcept {
+  return (static_cast<std::uint64_t>(loc.segment) << 32) | loc.slot;
+}
+
+BlockLocation LssEngine::unpack(std::uint64_t packed) const noexcept {
+  return BlockLocation{static_cast<SegmentId>(packed >> 32),
+                       static_cast<std::uint32_t>(packed & 0xffffffffu)};
+}
+
+void LssEngine::write(Lba lba, std::uint32_t blocks, TimeUs now_us) {
+  if (lba + blocks > config_.logical_blocks) {
+    throw std::out_of_range("write beyond logical capacity");
+  }
+  for (std::uint32_t i = 0; i < blocks; ++i) {
+    write_block(lba + i, now_us);
+  }
+}
+
+void LssEngine::write_block(Lba lba, TimeUs now_us) {
+  if (lba >= config_.logical_blocks) {
+    throw std::out_of_range("write beyond logical capacity");
+  }
+  advance_time(now_us);
+  const GroupId g = policy_.place_user_write(lba, vtime_);
+  if (g >= group_count()) {
+    throw std::logic_error("placement policy returned bad group");
+  }
+  invalidate(lba);
+  append(g, lba, Source::kUser, now_us);
+  ++vtime_;
+  maybe_gc(now_us);
+}
+
+void LssEngine::read(Lba lba, std::uint32_t blocks, TimeUs now_us) {
+  if (lba + blocks > config_.logical_blocks) {
+    throw std::out_of_range("read beyond logical capacity");
+  }
+  advance_time(now_us);
+  // Distinct chunks fetched by this request (chunk = segment id + chunk
+  // index within it); consecutive blocks usually share a chunk.
+  std::uint64_t last_chunk = std::numeric_limits<std::uint64_t>::max();
+  for (std::uint32_t i = 0; i < blocks; ++i) {
+    ++metrics_.read_blocks;
+    const std::uint64_t packed = primary_[lba + i];
+    if (packed == kUnmapped) {
+      ++metrics_.read_unmapped;
+      continue;
+    }
+    const BlockLocation loc = unpack(packed);
+    const GroupId group = segments_[loc.segment].group;
+    const GroupState& gs = groups_[group];
+    if (gs.open_seg == loc.segment && loc.slot >= gs.flushed_slots) {
+      ++metrics_.read_buffer_hits;  // still pending in the open chunk
+      continue;
+    }
+    const std::uint64_t chunk = global_chunk_index(loc.segment, loc.slot);
+    if (chunk != last_chunk) {
+      ++metrics_.read_chunk_fetches;
+      last_chunk = chunk;
+    }
+  }
+}
+
+void LssEngine::advance_time(TimeUs now_us) {
+  wall_us_ = std::max(wall_us_, now_us);
+  // Fire expired deadlines earliest-first so multi-group interleavings are
+  // deterministic.
+  for (;;) {
+    GroupId next = kInvalidGroup;
+    TimeUs earliest = std::numeric_limits<TimeUs>::max();
+    for (GroupId g = 0; g < group_count(); ++g) {
+      const GroupState& gs = groups_[g];
+      if (gs.deadline_armed && gs.chunk_deadline <= wall_us_ &&
+          gs.chunk_deadline < earliest) {
+        earliest = gs.chunk_deadline;
+        next = g;
+      }
+    }
+    if (next == kInvalidGroup) return;
+    fire_deadline(next, earliest);
+  }
+}
+
+void LssEngine::flush_all() {
+  for (GroupId g = 0; g < group_count(); ++g) {
+    if (pending_blocks(g) > 0) {
+      if (config_.partial_write_mode == PartialWriteMode::kZeroPad) {
+        pad_flush(g);
+      } else {
+        rmw_flush(g);
+      }
+    }
+    groups_[g].deadline_armed = false;
+  }
+}
+
+std::uint32_t LssEngine::pending_blocks(GroupId g) const {
+  const GroupState& gs = groups_.at(g);
+  if (gs.open_seg == kInvalidSegment) return 0;
+  return segments_[gs.open_seg].write_ptr - gs.flushed_slots;
+}
+
+std::uint32_t LssEngine::pending_unshadowed_valid(GroupId g) const {
+  const GroupState& gs = groups_.at(g);
+  if (gs.open_seg == kInvalidSegment) return 0;
+  const Segment& seg = segments_[gs.open_seg];
+  std::uint32_t n = 0;
+  for (std::uint32_t slot = gs.flushed_slots; slot < seg.write_ptr; ++slot) {
+    if (!seg.slot_valid[slot]) continue;
+    const Lba lba = seg.slot_lba[slot];
+    // Skip shadow copies hosted here and already-shadowed primaries.
+    if (primary_[lba] != pack(BlockLocation{gs.open_seg, slot})) continue;
+    if (shadow_.contains(lba)) continue;
+    ++n;
+  }
+  return n;
+}
+
+std::vector<std::uint32_t> LssEngine::segments_per_group() const {
+  std::vector<std::uint32_t> counts(group_count(), 0);
+  for (const Segment& seg : segments_) {
+    if (!seg.free && seg.group < counts.size()) ++counts[seg.group];
+  }
+  return counts;
+}
+
+BlockLocation LssEngine::locate(Lba lba) const {
+  if (lba >= primary_.size() || primary_[lba] == kUnmapped) return kNowhere;
+  return unpack(primary_[lba]);
+}
+
+void LssEngine::append(GroupId g, Lba lba, Source source, TimeUs now_us) {
+  GroupState& gs = groups_[g];
+  if (gs.open_seg == kInvalidSegment) open_new_segment(g);
+  const SegmentId seg_id = gs.open_seg;
+  Segment& seg = segments_[seg_id];
+
+  const std::uint32_t slot = seg.write_ptr++;
+  seg.slot_lba[slot] = lba;
+  seg.slot_valid[slot] = true;
+  ++seg.valid_count;
+
+  const BlockLocation loc{seg_id, slot};
+  GroupTraffic& gt = metrics_.groups[g];
+  switch (source) {
+    case Source::kUser:
+      primary_[lba] = pack(loc);
+      ++gt.user_blocks;
+      ++metrics_.user_blocks;
+      break;
+    case Source::kGc:
+      primary_[lba] = pack(loc);
+      ++gt.gc_blocks;
+      ++metrics_.gc_blocks;
+      break;
+    case Source::kShadow:
+      shadow_[lba] = loc;
+      ++gt.shadow_blocks;
+      ++metrics_.shadow_blocks;
+      break;
+  }
+
+  if (seg.write_ptr % config_.chunk_blocks == 0) {
+    flush_boundary(g);
+  } else if (source == Source::kUser && !gs.deadline_armed) {
+    gs.deadline_armed = true;
+    gs.chunk_deadline = now_us + config_.coalesce_window_us;
+  }
+}
+
+void LssEngine::flush_boundary(GroupId g) {
+  GroupState& gs = groups_[g];
+  const Segment& seg = segments_[gs.open_seg];
+  const std::uint32_t pending = seg.write_ptr - gs.flushed_slots;
+  if (pending == config_.chunk_blocks) {
+    flush_chunk(g, /*fill_blocks=*/config_.chunk_blocks, /*padded=*/false);
+  } else {
+    // Earlier sub-chunk RMW flushes persisted part of this chunk; the
+    // completing tail is another RMW write.
+    rmw_flush(g);
+  }
+}
+
+void LssEngine::open_new_segment(GroupId g) {
+  if (free_list_.empty()) {
+    throw std::runtime_error(
+        "LssEngine: segment pool exhausted (GC could not keep up)");
+  }
+  const SegmentId id = free_list_.back();
+  free_list_.pop_back();
+  --free_count_;
+  Segment& seg = segments_[id];
+  seg.reset(config_.segment_blocks());
+  seg.free = false;
+  seg.group = g;
+  seg.create_vtime = vtime_;
+  groups_[g].open_seg = id;
+  groups_[g].flushed_slots = 0;
+}
+
+void LssEngine::seal_segment(GroupId g) {
+  GroupState& gs = groups_[g];
+  Segment& seg = segments_[gs.open_seg];
+  seg.sealed = true;
+  seg.seal_vtime = vtime_;
+  ++metrics_.groups[g].segments_sealed;
+  policy_.note_segment_sealed(g, vtime_);
+  gs.open_seg = kInvalidSegment;
+  gs.flushed_slots = 0;
+  gs.deadline_armed = false;
+}
+
+void LssEngine::free_segment(SegmentId id) {
+  Segment& seg = segments_[id];
+  ++metrics_.groups[seg.group].segments_reclaimed;
+  if (addressed_array_ != nullptr) {
+    addressed_array_->trim_chunks(global_chunk_index(id, 0),
+                                  config_.segment_chunks);
+  }
+  seg.reset(config_.segment_blocks());
+  free_list_.push_back(id);
+  ++free_count_;
+}
+
+void LssEngine::expire_shadows_in_range(GroupId g, std::uint32_t begin,
+                                        std::uint32_t end) {
+  const GroupState& gs = groups_[g];
+  const Segment& seg = segments_[gs.open_seg];
+  for (std::uint32_t slot = begin; slot < end; ++slot) {
+    if (!seg.slot_valid[slot]) continue;
+    const Lba lba = seg.slot_lba[slot];
+    if (lba == kInvalidLba) continue;
+    if (primary_[lba] == pack(BlockLocation{gs.open_seg, slot}) &&
+        shadow_.contains(lba)) {
+      expire_shadow(lba);
+    }
+  }
+}
+
+void LssEngine::flush_chunk(GroupId g, std::uint32_t fill_blocks,
+                            bool padded) {
+  GroupState& gs = groups_[g];
+  Segment& seg = segments_[gs.open_seg];
+  const SegmentId seg_id = gs.open_seg;
+  const std::uint32_t chunk_begin = gs.flushed_slots;
+  const std::uint32_t chunk_end = chunk_begin + config_.chunk_blocks;
+
+  // Lazy-append originals in this chunk are now durable: expire shadows.
+  expire_shadows_in_range(g, chunk_begin, chunk_end);
+
+  gs.flushed_slots = chunk_end;
+  GroupTraffic& gt = metrics_.groups[g];
+  if (padded) {
+    ++gt.padded_flushes;
+    gt.padded_fill_blocks += fill_blocks;
+    const std::uint32_t pad = config_.chunk_blocks - fill_blocks;
+    gt.padding_blocks += pad;
+    metrics_.padding_blocks += pad;
+  } else {
+    ++gt.full_flushes;
+  }
+  if (array_ != nullptr) {
+    array_->write_chunk(g, static_cast<std::uint64_t>(fill_blocks) *
+                               config_.block_bytes);
+  }
+  if (addressed_array_ != nullptr) {
+    addressed_array_->write_chunk(global_chunk_index(seg_id, chunk_begin),
+                                  g);
+  }
+  if (seg.write_ptr == config_.segment_blocks()) {
+    seal_segment(g);
+  } else {
+    gs.deadline_armed = false;
+  }
+}
+
+void LssEngine::rmw_flush(GroupId g) {
+  GroupState& gs = groups_[g];
+  Segment& seg = segments_[gs.open_seg];
+  const std::uint32_t pending = seg.write_ptr - gs.flushed_slots;
+  if (pending == 0) return;
+  if (pending >= config_.chunk_blocks) {
+    throw std::logic_error("rmw_flush with a full chunk pending");
+  }
+  expire_shadows_in_range(g, gs.flushed_slots, seg.write_ptr);
+
+  const std::uint32_t chunk_begin_slot = gs.flushed_slots;
+  const std::uint32_t offset_in_chunk =
+      chunk_begin_slot % config_.chunk_blocks;
+  GroupTraffic& gt = metrics_.groups[g];
+  ++gt.rmw_flushes;
+  ++metrics_.rmw_flushes;
+  // Small-write parity update reads the old data chunk and old parity.
+  metrics_.rmw_read_blocks += 2ull * config_.chunk_blocks;
+  if (array_ != nullptr) {
+    array_->write_partial(g, static_cast<std::uint64_t>(pending) *
+                                 config_.block_bytes);
+  }
+  if (addressed_array_ != nullptr) {
+    addressed_array_->write_partial(
+        global_chunk_index(gs.open_seg, chunk_begin_slot), offset_in_chunk,
+        pending, g);
+  }
+  gs.flushed_slots = seg.write_ptr;
+  if (seg.write_ptr == config_.segment_blocks()) {
+    seal_segment(g);
+  } else {
+    gs.deadline_armed = false;
+  }
+}
+
+void LssEngine::pad_flush(GroupId g) {
+  GroupState& gs = groups_[g];
+  Segment& seg = segments_[gs.open_seg];
+  const std::uint32_t pending = seg.write_ptr - gs.flushed_slots;
+  if (pending == 0 || pending >= config_.chunk_blocks) {
+    throw std::logic_error("pad_flush with no partial chunk");
+  }
+  const std::uint32_t chunk_end = gs.flushed_slots + config_.chunk_blocks;
+  // Dead padding slots: allocated, never valid.
+  for (std::uint32_t slot = seg.write_ptr; slot < chunk_end; ++slot) {
+    seg.slot_lba[slot] = kInvalidLba;
+    seg.slot_valid[slot] = false;
+  }
+  seg.write_ptr = chunk_end;
+  flush_chunk(g, /*fill_blocks=*/pending, /*padded=*/true);
+}
+
+void LssEngine::fire_deadline(GroupId g, TimeUs now_us) {
+  GroupState& gs = groups_[g];
+  gs.deadline_armed = false;
+  const std::uint32_t pending = pending_blocks(g);
+  if (pending == 0) return;
+  // Only live, not-yet-shadowed blocks carry a durability obligation:
+  // overwritten pending blocks are stale and shadowed ones are already on
+  // disk, so a chunk with none of either can keep waiting for more data.
+  if (pending_unshadowed_valid(g) == 0) return;
+
+  if (config_.partial_write_mode == PartialWriteMode::kReadModifyWrite) {
+    // RMW persists sub-chunks directly; aggregation targets padding and
+    // does not apply.
+    rmw_flush(g);
+    return;
+  }
+
+  AggregationDecision decision;
+  if (hook_ != nullptr) {
+    decision = hook_->on_chunk_deadline(g, *this);
+  }
+  if (decision.aggregate() && decision.donor != decision.host &&
+      decision.donor < group_count() && decision.host < group_count() &&
+      (g == decision.donor || g == decision.host)) {
+    shadow_append(decision.donor, decision.host, now_us);
+    // The constructed chunk must persist now: it carries either the shadow
+    // copies (g == donor) or g's own pending blocks (g == host).
+    if (pending_blocks(decision.host) > 0) pad_flush(decision.host);
+  } else {
+    pad_flush(g);
+  }
+}
+
+void LssEngine::shadow_append(GroupId g, GroupId host, TimeUs now_us) {
+  GroupState& gs = groups_[g];
+  if (gs.open_seg == kInvalidSegment) return;  // donor has nothing pending
+  const Segment& seg = segments_[gs.open_seg];
+
+  // Collect pending primaries of g that are valid and not yet shadowed.
+  std::vector<Lba> to_shadow;
+  to_shadow.reserve(seg.write_ptr - gs.flushed_slots);
+  for (std::uint32_t slot = gs.flushed_slots; slot < seg.write_ptr; ++slot) {
+    if (!seg.slot_valid[slot]) continue;
+    const Lba lba = seg.slot_lba[slot];
+    if (primary_[lba] != pack(BlockLocation{gs.open_seg, slot})) continue;
+    if (shadow_.contains(lba)) continue;
+    to_shadow.push_back(lba);
+  }
+
+  for (const Lba lba : to_shadow) {
+    append(host, lba, Source::kShadow, now_us);
+  }
+  // Originals stay pending without a deadline (they are durable via their
+  // shadows); a future user append re-arms the timer.
+  gs.deadline_armed = false;
+}
+
+void LssEngine::invalidate(Lba lba) {
+  if (primary_[lba] != kUnmapped) {
+    invalidate_slot(unpack(primary_[lba]));
+    primary_[lba] = kUnmapped;
+  }
+  const auto it = shadow_.find(lba);
+  if (it != shadow_.end()) {
+    invalidate_slot(it->second);
+    shadow_.erase(it);
+  }
+}
+
+void LssEngine::invalidate_slot(BlockLocation loc) {
+  Segment& seg = segments_[loc.segment];
+  if (!seg.slot_valid[loc.slot]) {
+    throw std::logic_error("double invalidation of a slot");
+  }
+  seg.slot_valid[loc.slot] = false;
+  --seg.valid_count;
+}
+
+void LssEngine::expire_shadow(Lba lba) {
+  const auto it = shadow_.find(lba);
+  if (it == shadow_.end()) return;
+  invalidate_slot(it->second);
+  shadow_.erase(it);
+}
+
+bool LssEngine::gc_step(TimeUs now_us, std::uint32_t watermark) {
+  if (free_count_ >= watermark) return false;
+  run_gc_once(now_us);
+  return true;
+}
+
+std::uint64_t LssEngine::chunks_flushed() const noexcept {
+  std::uint64_t n = 0;
+  for (const GroupTraffic& g : metrics_.groups) {
+    n += g.full_flushes + g.padded_flushes;
+  }
+  return n;
+}
+
+void LssEngine::maybe_gc(TimeUs now_us) {
+  const std::uint32_t watermark = config_.free_segment_reserve + group_count();
+  std::uint32_t spins = 0;
+  while (free_count_ < watermark) {
+    run_gc_once(now_us);
+    if (++spins > segments_.size() * 4) {
+      throw std::runtime_error("LssEngine: GC made no progress");
+    }
+  }
+}
+
+void LssEngine::run_gc_once(TimeUs now_us) {
+  gc_candidates_.clear();
+  for (SegmentId id = 0; id < segments_.size(); ++id) {
+    const Segment& seg = segments_[id];
+    if (!seg.free && seg.sealed) gc_candidates_.push_back(id);
+  }
+  const SegmentId victim =
+      victim_.select(gc_candidates_, segments_, vtime_, rng_);
+  if (victim == kInvalidSegment) {
+    throw std::runtime_error("LssEngine: no GC victim available");
+  }
+  ++metrics_.gc_runs;
+  Segment& v = segments_[victim];
+
+  for (std::uint32_t slot = 0; slot < v.write_ptr; ++slot) {
+    if (!v.slot_valid[slot]) continue;
+    const Lba lba = v.slot_lba[slot];
+    const BlockLocation here{victim, slot};
+    const auto sh = shadow_.find(lba);
+    if (sh != shadow_.end() && sh->second == here) {
+      // A live shadow inside a sealed victim: the lazy original is still
+      // pending in some open chunk. Force that chunk out (padded), which
+      // expires this shadow, then skip the now-dead slot.
+      const BlockLocation prim = unpack(primary_[lba]);
+      const GroupId prim_group = segments_[prim.segment].group;
+      ++metrics_.forced_lazy_flushes;
+      pad_flush(prim_group);
+      if (v.slot_valid[slot]) {
+        throw std::logic_error("forced flush did not expire shadow");
+      }
+      continue;
+    }
+    if (primary_[lba] != pack(here)) {
+      throw std::logic_error("valid slot not referenced by block map");
+    }
+    const GroupId target = policy_.place_gc_rewrite(lba, v.group, vtime_);
+    if (target >= group_count()) {
+      throw std::logic_error("placement policy returned bad GC group");
+    }
+    // Invalidate the victim copy, then append the migrated one.
+    v.slot_valid[slot] = false;
+    --v.valid_count;
+    primary_[lba] = kUnmapped;
+    append(target, lba, Source::kGc, now_us);
+    ++metrics_.gc_migrated_blocks;
+  }
+
+  if (v.valid_count != 0) {
+    throw std::logic_error("victim still has valid blocks after GC");
+  }
+  policy_.note_segment_reclaimed(v.group, v.create_vtime, vtime_);
+  free_segment(victim);
+}
+
+void LssEngine::check_invariants() const {
+  std::uint64_t live_primaries = 0;
+  for (Lba lba = 0; lba < primary_.size(); ++lba) {
+    if (primary_[lba] == kUnmapped) continue;
+    ++live_primaries;
+    const BlockLocation loc = unpack(primary_[lba]);
+    const Segment& seg = segments_.at(loc.segment);
+    if (seg.free) throw std::logic_error("primary maps into a free segment");
+    if (loc.slot >= seg.write_ptr) {
+      throw std::logic_error("primary maps past the write pointer");
+    }
+    if (seg.slot_lba[loc.slot] != lba) {
+      throw std::logic_error("slot lba does not match block map");
+    }
+    if (!seg.slot_valid[loc.slot]) {
+      throw std::logic_error("primary maps to an invalid slot");
+    }
+  }
+  for (const auto& [lba, loc] : shadow_) {
+    const Segment& seg = segments_.at(loc.segment);
+    if (seg.free) throw std::logic_error("shadow maps into a free segment");
+    if (seg.slot_lba[loc.slot] != lba || !seg.slot_valid[loc.slot]) {
+      throw std::logic_error("shadow slot inconsistent");
+    }
+    if (primary_[lba] == kUnmapped) {
+      throw std::logic_error("shadow without a live primary");
+    }
+  }
+  std::uint64_t valid_total = 0;
+  std::uint32_t free_seen = 0;
+  for (const Segment& seg : segments_) {
+    if (seg.free) {
+      ++free_seen;
+      continue;
+    }
+    std::uint32_t valid_here = 0;
+    for (std::uint32_t slot = 0; slot < seg.write_ptr; ++slot) {
+      if (seg.slot_valid[slot]) ++valid_here;
+    }
+    if (valid_here != seg.valid_count) {
+      throw std::logic_error("segment valid_count out of sync");
+    }
+    valid_total += valid_here;
+  }
+  if (free_seen != free_count_) {
+    throw std::logic_error("free segment count out of sync");
+  }
+  if (valid_total != live_primaries + shadow_.size()) {
+    throw std::logic_error("valid slots != primaries + shadows");
+  }
+}
+
+}  // namespace adapt::lss

@@ -1,0 +1,203 @@
+// LssEngine: the log-structured store running on top of the SSD array.
+//
+// Responsibilities:
+//   * segment pool management (open/seal/reclaim, per-group open segments);
+//   * chunk-granularity persistence with the SLA coalescing window —
+//     a group's partial chunk is zero-padded and flushed when the window
+//     since its first pending *user* block expires (GC appends are bulk and
+//     carry no deadline, matching the paper's Observation 2);
+//   * garbage collection driven by a pluggable victim policy, with valid
+//     blocks re-placed through the placement policy;
+//   * ADAPT's cross-group aggregation: an optional hook may redirect a
+//     deadline-expired partial chunk into *shadow appends* hosted by a
+//     colder group instead of padding (§3.3). Original blocks stay pending
+//     ("lazy append") and their shadow copies expire when the original
+//     chunk persists.
+//
+// Lifespan/age bookkeeping uses virtual time (user blocks written).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "array/addressed_array.h"
+#include "array/ssd_array.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "lss/config.h"
+#include "lss/metrics.h"
+#include "lss/placement_policy.h"
+#include "lss/segment.h"
+#include "lss/victim_policy.h"
+
+#include <unordered_map>
+
+namespace adapt::lss {
+
+class LssEngine;
+
+/// Outcome of a cross-group aggregation decision: shadow copies of
+/// `donor`'s pending blocks are appended into `host`'s open chunk, and the
+/// host chunk is then flushed (padded if still partial). The group whose
+/// deadline fired must be either donor or host; donor == kInvalidGroup
+/// means "no aggregation, zero-pad in place".
+struct AggregationDecision {
+  GroupId donor = kInvalidGroup;
+  GroupId host = kInvalidGroup;
+
+  bool aggregate() const noexcept { return donor != kInvalidGroup; }
+};
+
+/// Cross-group aggregation decision point (implemented by AdaptPolicy).
+class AggregationHook {
+ public:
+  virtual ~AggregationHook() = default;
+
+  /// Called when group `group`'s coalescing deadline fires on a partial
+  /// chunk holding at least one block that still needs durability.
+  virtual AggregationDecision on_chunk_deadline(GroupId group,
+                                                const LssEngine& engine) = 0;
+};
+
+class LssEngine {
+ public:
+  /// `policy` and `victim` must outlive the engine. `array` is optional;
+  /// when given, every flushed chunk is mirrored to it (stream = group).
+  LssEngine(const LssConfig& config, PlacementPolicy& policy,
+            VictimPolicy& victim, array::SsdArray* array = nullptr,
+            std::uint64_t seed = 1);
+
+  LssEngine(const LssEngine&) = delete;
+  LssEngine& operator=(const LssEngine&) = delete;
+
+  void set_aggregation_hook(AggregationHook* hook) noexcept { hook_ = hook; }
+
+  /// Attaches an address-mapped array with flash-backed devices: every
+  /// chunk flush writes through at its real array address, segment
+  /// reclamation TRIMs the range, and device-internal WA becomes
+  /// measurable. The array must cover total_segments * segment_chunks
+  /// chunks of matching geometry.
+  void attach_addressed_array(array::AddressedArray* addressed);
+
+  /// Applies a user write of `blocks` consecutive blocks at `lba`,
+  /// arriving at wall time `now_us`.
+  void write(Lba lba, std::uint32_t blocks, TimeUs now_us);
+
+  /// Single-block user write.
+  void write_block(Lba lba, TimeUs now_us);
+
+  /// Applies a user read of `blocks` consecutive blocks at `lba`. The
+  /// array serves reads at chunk granularity (paper §2.2), so one fetch
+  /// covers every requested block residing in the same chunk; blocks still
+  /// pending in an open chunk are served from the buffer.
+  void read(Lba lba, std::uint32_t blocks, TimeUs now_us);
+
+  /// Advances wall time, firing any expired coalescing deadlines.
+  void advance_time(TimeUs now_us);
+
+  /// Force-pads every partial chunk (end-of-trace drain).
+  void flush_all();
+
+  /// One proactive GC pass for background GC threads: reclaims a victim if
+  /// the free pool has fallen below `watermark` segments. Returns true if
+  /// work was done. Not thread-safe — callers serialize externally.
+  bool gc_step(TimeUs now_us, std::uint32_t watermark);
+
+  /// Total chunks flushed so far (full + padded), for bandwidth accounting.
+  std::uint64_t chunks_flushed() const noexcept;
+
+  // -- observers -----------------------------------------------------------
+
+  const LssConfig& config() const noexcept { return config_; }
+  VTime vtime() const noexcept { return vtime_; }
+  GroupId group_count() const noexcept { return static_cast<GroupId>(groups_.size()); }
+  const LssMetrics& metrics() const noexcept { return metrics_; }
+  const GroupTraffic& group_traffic(GroupId g) const {
+    return metrics_.groups.at(g);
+  }
+
+  /// Blocks appended to `g`'s open segment but not yet flushed to a chunk.
+  std::uint32_t pending_blocks(GroupId g) const;
+
+  /// Of the pending blocks, how many are still valid and not yet shadowed.
+  std::uint32_t pending_unshadowed_valid(GroupId g) const;
+
+  /// Number of in-use (non-free) segments currently owned by each group.
+  std::vector<std::uint32_t> segments_per_group() const;
+
+  std::uint32_t free_segments() const noexcept { return free_count_; }
+
+  /// Where lba currently lives (primary copy), or kNowhere.
+  BlockLocation locate(Lba lba) const;
+  bool has_live_shadow(Lba lba) const { return shadow_.contains(lba); }
+
+  std::span<const Segment> segments() const noexcept { return segments_; }
+
+  /// Consistency checks for tests; throws std::logic_error on violation.
+  void check_invariants() const;
+
+ private:
+  enum class Source { kUser, kGc, kShadow };
+
+  struct GroupState {
+    SegmentId open_seg = kInvalidSegment;
+    std::uint32_t flushed_slots = 0;  ///< slots of open seg already on disk
+    bool deadline_armed = false;
+    TimeUs chunk_deadline = 0;
+  };
+
+  static std::uint64_t pack(BlockLocation loc) noexcept;
+  BlockLocation unpack(std::uint64_t packed) const noexcept;
+
+  void append(GroupId g, Lba lba, Source source, TimeUs now_us);
+  void open_new_segment(GroupId g);
+  void seal_segment(GroupId g);
+  void free_segment(SegmentId id);
+  /// Flushes the open chunk of `g`; `fill_blocks` real payload, rest pad.
+  void flush_chunk(GroupId g, std::uint32_t fill_blocks, bool padded);
+  void pad_flush(GroupId g);
+  /// RMW mode: persists the pending sub-chunk without padding; the chunk
+  /// stays open for further appends.
+  void rmw_flush(GroupId g);
+  /// Called when write_ptr reaches a chunk boundary: full flush, or the
+  /// completing RMW partial if earlier sub-chunk flushes happened.
+  void flush_boundary(GroupId g);
+  /// Expires shadows of primaries in slots [begin, end) of g's open seg.
+  void expire_shadows_in_range(GroupId g, std::uint32_t begin,
+                               std::uint32_t end);
+  std::uint64_t global_chunk_index(SegmentId seg,
+                                   std::uint32_t slot) const noexcept;
+  void fire_deadline(GroupId g, TimeUs now_us);
+  void shadow_append(GroupId g, GroupId host, TimeUs now_us);
+  void invalidate(Lba lba);
+  void invalidate_slot(BlockLocation loc);
+  void maybe_gc(TimeUs now_us);
+  void run_gc_once(TimeUs now_us);
+  void expire_shadow(Lba lba);
+
+  LssConfig config_;
+  PlacementPolicy& policy_;
+  VictimPolicy& victim_;
+  array::SsdArray* array_;
+  array::AddressedArray* addressed_array_ = nullptr;
+  AggregationHook* hook_ = nullptr;
+  Rng rng_;
+
+  std::vector<Segment> segments_;
+  std::vector<SegmentId> free_list_;
+  std::uint32_t free_count_ = 0;
+  std::vector<GroupState> groups_;
+  /// primary_[lba] = packed BlockLocation or kUnmapped.
+  std::vector<std::uint64_t> primary_;
+  /// Live shadow copies (lazy-append originals still pending).
+  std::unordered_map<Lba, BlockLocation> shadow_;
+
+  VTime vtime_ = 0;
+  TimeUs wall_us_ = 0;
+  LssMetrics metrics_;
+  std::vector<SegmentId> gc_candidates_;  // scratch
+};
+
+}  // namespace adapt::lss

@@ -1,0 +1,79 @@
+// Traffic accounting for the LSS engine. All counts are in blocks.
+//
+// WA follows the paper's "actual write amplification ratio": every block
+// physically written to the array (user payload, GC rewrites, shadow-append
+// copies, zero padding) divided by user payload. Padding-traffic ratio is
+// padding over total physical writes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace adapt::lss {
+
+struct GroupTraffic {
+  std::uint64_t user_blocks = 0;
+  std::uint64_t gc_blocks = 0;
+  std::uint64_t shadow_blocks = 0;
+  std::uint64_t padding_blocks = 0;
+  std::uint64_t full_flushes = 0;
+  std::uint64_t padded_flushes = 0;
+  /// Real payload blocks inside padded chunks; avg fill of a padded chunk
+  /// is padded_fill_blocks / padded_flushes (the paper's C_i, Eq. 1).
+  std::uint64_t padded_fill_blocks = 0;
+  /// Sub-chunk flushes in read-modify-write mode.
+  std::uint64_t rmw_flushes = 0;
+  std::uint64_t segments_sealed = 0;
+  std::uint64_t segments_reclaimed = 0;
+
+  std::uint64_t total_blocks() const noexcept {
+    return user_blocks + gc_blocks + shadow_blocks + padding_blocks;
+  }
+};
+
+struct LssMetrics {
+  std::uint64_t user_blocks = 0;
+  std::uint64_t gc_blocks = 0;
+  std::uint64_t shadow_blocks = 0;
+  std::uint64_t padding_blocks = 0;
+  std::uint64_t gc_runs = 0;
+  std::uint64_t gc_migrated_blocks = 0;
+  std::uint64_t forced_lazy_flushes = 0;  ///< shadow-in-victim force flushes
+  std::uint64_t rmw_flushes = 0;          ///< sub-chunk RMW persist events
+  /// Blocks read for parity updates in RMW mode (old data + old parity).
+  std::uint64_t rmw_read_blocks = 0;
+  // Read path (paper §2.2: "for reads, systems fetch entire chunks").
+  std::uint64_t read_blocks = 0;         ///< blocks requested by reads
+  std::uint64_t read_chunk_fetches = 0;  ///< whole-chunk array fetches
+  std::uint64_t read_buffer_hits = 0;    ///< served from pending chunks
+  std::uint64_t read_unmapped = 0;       ///< reads of never-written blocks
+  std::vector<GroupTraffic> groups;
+
+  std::uint64_t total_blocks() const noexcept {
+    return user_blocks + gc_blocks + shadow_blocks + padding_blocks;
+  }
+
+  /// Write amplification including padding (>= 1 once anything is written).
+  double wa() const noexcept {
+    return user_blocks == 0 ? 0.0
+                            : static_cast<double>(total_blocks()) /
+                                  static_cast<double>(user_blocks);
+  }
+
+  /// GC-only write amplification (excludes padding/shadow), for ablations.
+  double gc_wa() const noexcept {
+    return user_blocks == 0
+               ? 0.0
+               : static_cast<double>(user_blocks + gc_blocks) /
+                     static_cast<double>(user_blocks);
+  }
+
+  double padding_ratio() const noexcept {
+    const std::uint64_t total = total_blocks();
+    return total == 0 ? 0.0
+                      : static_cast<double>(padding_blocks) /
+                            static_cast<double>(total);
+  }
+};
+
+}  // namespace adapt::lss

@@ -1,0 +1,54 @@
+// Segment: the LSS allocation/reclamation unit. A segment belongs to one
+// group while in use; slots are filled append-only; padding and dead blocks
+// occupy slots with lba == kInvalidLba or slot_valid == false.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace adapt::lss {
+
+struct Segment {
+  GroupId group = kInvalidGroup;
+  bool sealed = false;
+  bool free = true;
+  std::uint32_t write_ptr = 0;    ///< slots allocated so far
+  std::uint32_t valid_count = 0;  ///< live slots (primary or shadow)
+  VTime create_vtime = 0;
+  VTime seal_vtime = 0;
+  std::vector<Lba> slot_lba;      ///< kInvalidLba for padding slots
+  std::vector<bool> slot_valid;
+
+  void reset(std::uint32_t segment_blocks) {
+    group = kInvalidGroup;
+    sealed = false;
+    free = true;
+    write_ptr = 0;
+    valid_count = 0;
+    create_vtime = 0;
+    seal_vtime = 0;
+    slot_lba.assign(segment_blocks, kInvalidLba);
+    slot_valid.assign(segment_blocks, false);
+  }
+
+  double utilization() const noexcept {
+    return slot_lba.empty()
+               ? 0.0
+               : static_cast<double>(valid_count) /
+                     static_cast<double>(slot_lba.size());
+  }
+};
+
+/// Compact location of a block: segment id + slot index.
+struct BlockLocation {
+  SegmentId segment = kInvalidSegment;
+  std::uint32_t slot = 0;
+
+  friend bool operator==(const BlockLocation&, const BlockLocation&) = default;
+};
+
+inline constexpr BlockLocation kNowhere{kInvalidSegment, 0};
+
+}  // namespace adapt::lss

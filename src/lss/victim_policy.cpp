@@ -1,0 +1,155 @@
+#include "lss/victim_policy.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace adapt::lss {
+namespace {
+
+class GreedyPolicy final : public VictimPolicy {
+ public:
+  std::string_view name() const override { return "greedy"; }
+
+  SegmentId select(std::span<const SegmentId> candidates,
+                   std::span<const Segment> segments, VTime /*now*/,
+                   Rng& /*rng*/) override {
+    SegmentId best = kInvalidSegment;
+    std::uint32_t best_valid = std::numeric_limits<std::uint32_t>::max();
+    for (SegmentId id : candidates) {
+      const std::uint32_t v = segments[id].valid_count;
+      if (v < best_valid) {
+        best_valid = v;
+        best = id;
+      }
+    }
+    return best;
+  }
+};
+
+class CostBenefitPolicy final : public VictimPolicy {
+ public:
+  std::string_view name() const override { return "cost-benefit"; }
+
+  SegmentId select(std::span<const SegmentId> candidates,
+                   std::span<const Segment> segments, VTime now,
+                   Rng& /*rng*/) override {
+    SegmentId best = kInvalidSegment;
+    double best_score = -1.0;
+    for (SegmentId id : candidates) {
+      const Segment& seg = segments[id];
+      const double u = seg.utilization();
+      const double age =
+          static_cast<double>(now >= seg.seal_vtime ? now - seg.seal_vtime : 0) +
+          1.0;
+      // Benefit / cost = free-space gain * age / (read + write cost).
+      const double score = (1.0 - u) * age / (1.0 + u);
+      if (score > best_score) {
+        best_score = score;
+        best = id;
+      }
+    }
+    return best;
+  }
+};
+
+class DChoicePolicy final : public VictimPolicy {
+ public:
+  explicit DChoicePolicy(std::uint32_t d) : d_(d == 0 ? 1 : d) {}
+  std::string_view name() const override { return "d-choice"; }
+
+  SegmentId select(std::span<const SegmentId> candidates,
+                   std::span<const Segment> segments, VTime /*now*/,
+                   Rng& rng) override {
+    if (candidates.empty()) return kInvalidSegment;
+    SegmentId best = kInvalidSegment;
+    std::uint32_t best_valid = std::numeric_limits<std::uint32_t>::max();
+    for (std::uint32_t i = 0; i < d_; ++i) {
+      const SegmentId id = candidates[rng.below(candidates.size())];
+      if (segments[id].valid_count < best_valid) {
+        best_valid = segments[id].valid_count;
+        best = id;
+      }
+    }
+    return best;
+  }
+
+ private:
+  std::uint32_t d_;
+};
+
+class WindowedGreedyPolicy final : public VictimPolicy {
+ public:
+  explicit WindowedGreedyPolicy(std::uint32_t window)
+      : window_(window == 0 ? 1 : window) {}
+  std::string_view name() const override { return "windowed-greedy"; }
+
+  SegmentId select(std::span<const SegmentId> candidates,
+                   std::span<const Segment> segments, VTime /*now*/,
+                   Rng& /*rng*/) override {
+    if (candidates.empty()) return kInvalidSegment;
+    // Window = the `window_` segments sealed earliest.
+    scratch_.assign(candidates.begin(), candidates.end());
+    const std::size_t w =
+        std::min<std::size_t>(window_, scratch_.size());
+    std::partial_sort(scratch_.begin(), scratch_.begin() + w, scratch_.end(),
+                      [&](SegmentId a, SegmentId b) {
+                        return segments[a].seal_vtime < segments[b].seal_vtime;
+                      });
+    SegmentId best = kInvalidSegment;
+    std::uint32_t best_valid = std::numeric_limits<std::uint32_t>::max();
+    for (std::size_t i = 0; i < w; ++i) {
+      const SegmentId id = scratch_[i];
+      if (segments[id].valid_count < best_valid) {
+        best_valid = segments[id].valid_count;
+        best = id;
+      }
+    }
+    return best;
+  }
+
+ private:
+  std::uint32_t window_;
+  std::vector<SegmentId> scratch_;
+};
+
+class RandomPolicy final : public VictimPolicy {
+ public:
+  std::string_view name() const override { return "random"; }
+
+  SegmentId select(std::span<const SegmentId> candidates,
+                   std::span<const Segment> /*segments*/, VTime /*now*/,
+                   Rng& rng) override {
+    if (candidates.empty()) return kInvalidSegment;
+    return candidates[rng.below(candidates.size())];
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<VictimPolicy> make_greedy() {
+  return std::make_unique<GreedyPolicy>();
+}
+std::unique_ptr<VictimPolicy> make_cost_benefit() {
+  return std::make_unique<CostBenefitPolicy>();
+}
+std::unique_ptr<VictimPolicy> make_d_choice(std::uint32_t d) {
+  return std::make_unique<DChoicePolicy>(d);
+}
+std::unique_ptr<VictimPolicy> make_windowed_greedy(std::uint32_t window) {
+  return std::make_unique<WindowedGreedyPolicy>(window);
+}
+std::unique_ptr<VictimPolicy> make_random() {
+  return std::make_unique<RandomPolicy>();
+}
+
+std::unique_ptr<VictimPolicy> make_victim_policy(std::string_view name) {
+  if (name == "greedy") return make_greedy();
+  if (name == "cost-benefit") return make_cost_benefit();
+  if (name == "d-choice") return make_d_choice(8);
+  if (name == "windowed") return make_windowed_greedy(32);
+  if (name == "random") return make_random();
+  throw std::invalid_argument("unknown victim policy: " + std::string(name));
+}
+
+}  // namespace adapt::lss

@@ -1,0 +1,50 @@
+// Victim-selection policies for GC. All schemes share these so that
+// Greedy vs Cost-Benefit comparisons isolate placement effects (paper §4.2),
+// with d-choice / Windowed Greedy / Random Greedy as ablation variants
+// (related work §5).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "lss/segment.h"
+
+namespace adapt::lss {
+
+class VictimPolicy {
+ public:
+  virtual ~VictimPolicy() = default;
+  virtual std::string_view name() const = 0;
+
+  /// Picks a victim among `candidates` (sealed, non-free segment ids).
+  /// `segments` is the whole pool for metric lookups; `now` is virtual time.
+  virtual SegmentId select(std::span<const SegmentId> candidates,
+                           std::span<const Segment> segments, VTime now,
+                           Rng& rng) = 0;
+};
+
+/// Least-valid-blocks-first.
+std::unique_ptr<VictimPolicy> make_greedy();
+
+/// Rosenblum's cost-benefit: maximize (1 - u) * age / (1 + u).
+std::unique_ptr<VictimPolicy> make_cost_benefit();
+
+/// d-choice: sample d candidates uniformly, greedy among them.
+std::unique_ptr<VictimPolicy> make_d_choice(std::uint32_t d);
+
+/// Windowed greedy: greedy among the w oldest sealed segments.
+std::unique_ptr<VictimPolicy> make_windowed_greedy(std::uint32_t window);
+
+/// Uniformly random victim (stress baseline).
+std::unique_ptr<VictimPolicy> make_random();
+
+/// Factory by name: "greedy", "cost-benefit", "d-choice", "windowed",
+/// "random". Throws std::invalid_argument for unknown names.
+std::unique_ptr<VictimPolicy> make_victim_policy(std::string_view name);
+
+}  // namespace adapt::lss

@@ -1,0 +1,53 @@
+// DAC — Dynamic dAta Clustering [Chiang, Lee, Chang; SP&E'99].
+//
+// Temperature ladder of N regions. A block promotes one region hotter each
+// time the user updates it and demotes one region colder each time GC has
+// to migrate it (a migration means it survived a whole segment lifetime
+// without being overwritten). User and GC writes share the groups; the
+// paper configures five.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lss/placement_policy.h"
+
+namespace adapt::placement {
+
+class DacPolicy final : public lss::PlacementPolicy {
+ public:
+  DacPolicy(std::uint64_t logical_blocks, GroupId num_groups = 5)
+      : num_groups_(num_groups), level_(logical_blocks, kNever) {}
+
+  std::string_view name() const override { return "dac"; }
+  GroupId group_count() const override { return num_groups_; }
+  bool is_user_group(GroupId) const override { return true; }
+
+  GroupId place_user_write(Lba lba, VTime /*now*/) override {
+    std::uint8_t& level = level_[lba];
+    if (level == kNever) {
+      level = 0;  // first write: coldest region
+    } else if (static_cast<GroupId>(level) + 1 < num_groups_) {
+      ++level;  // update: promote one region hotter
+    }
+    return level;
+  }
+
+  GroupId place_gc_rewrite(Lba lba, GroupId /*victim_group*/,
+                           VTime /*now*/) override {
+    std::uint8_t& level = level_[lba];
+    if (level != kNever && level > 0) --level;  // survivor: demote
+    return level == kNever ? 0 : level;
+  }
+
+  std::size_t memory_usage_bytes() const override {
+    return level_.capacity() * sizeof(std::uint8_t);
+  }
+
+ private:
+  static constexpr std::uint8_t kNever = 0xff;
+  GroupId num_groups_;
+  std::vector<std::uint8_t> level_;
+};
+
+}  // namespace adapt::placement

@@ -1,0 +1,38 @@
+#include "placement/factory.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "placement/dac.h"
+#include "placement/mida.h"
+#include "placement/sep_gc.h"
+#include "placement/sepbit.h"
+#include "placement/warcip.h"
+
+namespace adapt::placement {
+
+std::unique_ptr<lss::PlacementPolicy> make_baseline_policy(
+    std::string_view name, const PolicyConfig& config) {
+  if (name == "sepgc") return std::make_unique<SepGcPolicy>();
+  if (name == "dac") return std::make_unique<DacPolicy>(config.logical_blocks);
+  if (name == "warcip") {
+    return std::make_unique<WarcipPolicy>(config.logical_blocks,
+                                          config.segment_blocks);
+  }
+  if (name == "mida") {
+    return std::make_unique<MidaPolicy>(config.logical_blocks);
+  }
+  if (name == "sepbit") {
+    return std::make_unique<SepBitPolicy>(config.logical_blocks,
+                                          config.segment_blocks);
+  }
+  throw std::invalid_argument("unknown baseline policy: " + std::string(name));
+}
+
+const std::vector<std::string_view>& baseline_names() {
+  static const std::vector<std::string_view> names = {
+      "sepgc", "mida", "dac", "warcip", "sepbit"};
+  return names;
+}
+
+}  // namespace adapt::placement

@@ -1,0 +1,28 @@
+// SepGC [Van Houdt, PEVA'14]: the minimal hot/cold split — all user writes
+// in one group, all GC rewrites in another. Widely used in KV stores
+// (e.g. HashKV); the paper's baseline.
+#pragma once
+
+#include "lss/placement_policy.h"
+
+namespace adapt::placement {
+
+class SepGcPolicy final : public lss::PlacementPolicy {
+ public:
+  static constexpr GroupId kUserGroup = 0;
+  static constexpr GroupId kGcGroup = 1;
+
+  std::string_view name() const override { return "sepgc"; }
+  GroupId group_count() const override { return 2; }
+  bool is_user_group(GroupId g) const override { return g == kUserGroup; }
+
+  GroupId place_user_write(Lba /*lba*/, VTime /*now*/) override {
+    return kUserGroup;
+  }
+  GroupId place_gc_rewrite(Lba /*lba*/, GroupId /*victim_group*/,
+                           VTime /*now*/) override {
+    return kGcGroup;
+  }
+};
+
+}  // namespace adapt::placement

@@ -1,0 +1,76 @@
+// SepBIT [Wang et al.; FAST'22]: separates blocks by inferred Block
+// Invalidation Time.
+//
+// User writes: when a write overwrites a previous version, the previous
+// version's lifespan v = now - last_write is an inferred BIT sample; the
+// new version is predicted short-lived (Class 1, hot) if v < l, where l is
+// the running average lifespan of Class-1 segments, else Class 2 (cold).
+// GC rewrites: residual lifespan is estimated from the block age
+// (now - version birth); classes 3-6 hold progressively older blocks with
+// geometric boundaries in multiples of l.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lss/placement_policy.h"
+
+namespace adapt::placement {
+
+class SepBitPolicy final : public lss::PlacementPolicy {
+ public:
+  static constexpr GroupId kHotUser = 0;   // Class 1
+  static constexpr GroupId kColdUser = 1;  // Class 2
+  // Classes 3-6 -> groups 2-5.
+
+  SepBitPolicy(std::uint64_t logical_blocks, std::uint32_t segment_blocks)
+      : last_write_(logical_blocks, kNeverWritten),
+        threshold_(static_cast<double>(segment_blocks) * 4.0) {}
+
+  std::string_view name() const override { return "sepbit"; }
+  GroupId group_count() const override { return 6; }
+  bool is_user_group(GroupId g) const override { return g <= kColdUser; }
+
+  GroupId place_user_write(Lba lba, VTime now) override {
+    const VTime last = last_write_[lba];
+    last_write_[lba] = now;
+    if (last == kNeverWritten) return kColdUser;
+    const auto lifespan = static_cast<double>(now - last);
+    return lifespan < threshold_ ? kHotUser : kColdUser;
+  }
+
+  GroupId place_gc_rewrite(Lba lba, GroupId /*victim_group*/,
+                           VTime now) override {
+    // Age of the *current version*: time since its user write.
+    const VTime birth = last_write_[lba];
+    const auto age = static_cast<double>(
+        birth == kNeverWritten ? now : now - birth);
+    if (age < 4.0 * threshold_) return 2;
+    if (age < 16.0 * threshold_) return 3;
+    if (age < 64.0 * threshold_) return 4;
+    return 5;
+  }
+
+  void note_segment_reclaimed(GroupId group, VTime create_vtime,
+                              VTime now) override {
+    if (group != kHotUser) return;
+    // l <- running average lifespan of Class-1 segments.
+    const auto lifespan = static_cast<double>(now - create_vtime);
+    threshold_ = (1.0 - kEwma) * threshold_ + kEwma * lifespan;
+  }
+
+  double threshold() const noexcept { return threshold_; }
+
+  std::size_t memory_usage_bytes() const override {
+    return last_write_.capacity() * sizeof(VTime);
+  }
+
+ private:
+  static constexpr VTime kNeverWritten = ~VTime{0};
+  static constexpr double kEwma = 0.125;
+
+  std::vector<VTime> last_write_;
+  double threshold_;
+};
+
+}  // namespace adapt::placement

@@ -1,0 +1,200 @@
+#include "proto/prototype.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "adapt/adapt_policy.h"
+#include "common/histogram.h"
+#include "lss/engine.h"
+#include "placement/factory.h"
+
+namespace adapt::proto {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+TimeUs wall_now_us(Clock::time_point start) {
+  return static_cast<TimeUs>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            start)
+          .count());
+}
+
+}  // namespace
+
+PrototypeResult run_prototype(const PrototypeConfig& config) {
+  lss::LssConfig lss_config = config.lss;
+  lss_config.logical_blocks = config.workload.working_set_blocks;
+
+  std::unique_ptr<lss::PlacementPolicy> policy;
+  core::AdaptPolicy* adapt_policy = nullptr;
+  if (config.policy == "adapt") {
+    core::AdaptConfig ac;
+    ac.logical_blocks = lss_config.logical_blocks;
+    ac.segment_blocks = lss_config.segment_blocks();
+    ac.chunk_blocks = lss_config.chunk_blocks;
+    ac.over_provision = lss_config.over_provision;
+    ac.sample_rate = config.adapt_sample_rate;
+    auto p = core::make_adapt_policy(ac);
+    adapt_policy = p.get();
+    policy = std::move(p);
+  } else {
+    placement::PolicyConfig pc;
+    pc.logical_blocks = lss_config.logical_blocks;
+    pc.segment_blocks = lss_config.segment_blocks();
+    pc.seed = config.seed;
+    policy = placement::make_baseline_policy(config.policy, pc);
+  }
+  auto victim = lss::make_victim_policy(config.victim_policy);
+
+  lss::LssEngine engine(lss_config, *policy, *victim, nullptr, config.seed);
+  if (adapt_policy != nullptr) engine.set_aggregation_hook(adapt_policy);
+
+  std::mutex engine_mu;
+  std::atomic<bool> done{false};
+
+  // Shared-bandwidth device model: every flushed chunk reserves its service
+  // time on a single busy-until timeline, so aggregate write throughput is
+  // capped at the configured array bandwidth no matter how many threads
+  // submit. The submitting thread sleeps until its reservation completes
+  // (blocking at chunk granularity; the I/O depth is amortised into the
+  // aggregate bandwidth figure).
+  const double chunk_bytes = static_cast<double>(lss_config.chunk_blocks) *
+                             lss_config.block_bytes;
+  const double chunk_service_us =
+      chunk_bytes / (config.array_bandwidth_mb_per_s * 1e6) * 1e6;
+  std::atomic<std::uint64_t> device_busy_until_us{0};
+
+  const auto start = Clock::now();
+
+  auto reserve_device = [&](std::uint64_t chunks) -> TimeUs {
+    const auto service = static_cast<std::uint64_t>(
+        static_cast<double>(chunks) * chunk_service_us + 0.5);
+    const TimeUs now = wall_now_us(start);
+    std::uint64_t prev = device_busy_until_us.load(std::memory_order_relaxed);
+    for (;;) {
+      const TimeUs begin = std::max<TimeUs>(now, prev);
+      const TimeUs complete = begin + service;
+      if (device_busy_until_us.compare_exchange_weak(
+              prev, complete, std::memory_order_relaxed)) {
+        return complete;
+      }
+    }
+  };
+
+  auto wait_until = [&](TimeUs deadline) {
+    const TimeUs now = wall_now_us(start);
+    if (deadline > now) {
+      std::this_thread::sleep_for(std::chrono::microseconds(deadline - now));
+    }
+  };
+
+  std::vector<std::vector<double>> client_latencies(config.num_clients);
+
+  auto client_fn = [&](std::uint32_t client_id) {
+    trace::YcsbConfig wc = config.workload;
+    wc.seed = config.seed * 7919 + client_id;
+    trace::YcsbGenerator gen(wc);
+    auto& latencies = client_latencies[client_id];
+    latencies.reserve(config.writes_per_client);
+    std::uint64_t written = 0;
+    // Think-time debt is paid in coarse slices: OS sleeps have ~50 us
+    // granularity, so per-request 20 us sleeps would crater throughput for
+    // the wrong reason.
+    double think_debt_us = 0.0;
+    while (written < config.writes_per_client) {
+      const trace::Record r = gen.next();
+      if (r.op != trace::OpType::kWrite) continue;
+      const TimeUs submit_us = wall_now_us(start);
+      std::uint64_t delta = 0;
+      {
+        std::lock_guard<std::mutex> lock(engine_mu);
+        const std::uint64_t chunks_before = engine.chunks_flushed();
+        engine.write(r.lba, r.blocks, submit_us);
+        delta = engine.chunks_flushed() - chunks_before;
+      }
+      if (delta > 0) wait_until(reserve_device(delta));
+      latencies.push_back(
+          static_cast<double>(wall_now_us(start) - submit_us));
+      think_debt_us += config.client_think_us;
+      if (think_debt_us >= 1000.0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            static_cast<std::int64_t>(think_debt_us)));
+        think_debt_us = 0.0;
+      }
+      written += r.blocks;
+    }
+  };
+
+  auto gc_fn = [&] {
+    const std::uint32_t watermark =
+        lss_config.free_segment_reserve + policy->group_count() + 4;
+    while (!done.load(std::memory_order_relaxed)) {
+      std::uint64_t delta = 0;
+      bool worked = false;
+      {
+        std::lock_guard<std::mutex> lock(engine_mu);
+        const std::uint64_t chunks_before = engine.chunks_flushed();
+        worked = engine.gc_step(wall_now_us(start), watermark);
+        delta = engine.chunks_flushed() - chunks_before;
+      }
+      if (worked && delta > 0) {
+        wait_until(reserve_device(delta));
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+  };
+
+  std::vector<std::thread> clients;
+  std::vector<std::thread> gc_threads;
+  clients.reserve(config.num_clients);
+  for (std::uint32_t i = 0; i < config.num_clients; ++i) {
+    clients.emplace_back(client_fn, i);
+  }
+  if (config.background_gc) {
+    gc_threads.reserve(config.num_clients);
+    for (std::uint32_t i = 0; i < config.num_clients; ++i) {
+      gc_threads.emplace_back(gc_fn);
+    }
+  }
+  for (auto& t : clients) t.join();
+  done.store(true, std::memory_order_relaxed);
+  for (auto& t : gc_threads) t.join();
+
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  PrototypeResult result;
+  result.policy = config.policy;
+  result.num_clients = config.num_clients;
+  result.elapsed_seconds = elapsed;
+  result.metrics = engine.metrics();
+  result.user_blocks = result.metrics.user_blocks;
+  const double user_bytes = static_cast<double>(result.user_blocks) *
+                            lss_config.block_bytes;
+  result.throughput_mib_per_s = user_bytes / (1024.0 * 1024.0) / elapsed;
+  result.throughput_kops =
+      static_cast<double>(result.user_blocks) / 1e3 / elapsed;
+  Histogram latency;
+  for (const auto& per_client : client_latencies) {
+    for (double l : per_client) latency.add(l);
+  }
+  if (!latency.empty()) {
+    result.latency_p50_us = latency.percentile(50);
+    result.latency_p99_us = latency.percentile(99);
+  }
+  result.policy_memory_bytes = policy->memory_usage_bytes();
+  // Engine metadata: block map (8 B/LBA) + per-slot lba array + valid bits.
+  result.engine_memory_bytes =
+      lss_config.logical_blocks * sizeof(std::uint64_t) +
+      static_cast<std::size_t>(lss_config.total_segments()) *
+          lss_config.segment_blocks() * (sizeof(Lba) + 1);
+  return result;
+}
+
+}  // namespace adapt::proto

@@ -1,0 +1,85 @@
+#include "sim/experiment.h"
+
+#include <mutex>
+#include <thread>
+
+#include "common/thread_pool.h"
+
+namespace adapt::sim {
+
+double CellResult::overall_wa() const {
+  std::uint64_t total = 0;
+  std::uint64_t user = 0;
+  for (const VolumeResult& v : volumes) {
+    total += v.metrics.total_blocks();
+    user += v.metrics.user_blocks;
+  }
+  return user == 0 ? 0.0
+                   : static_cast<double>(total) / static_cast<double>(user);
+}
+
+double CellResult::overall_padding_ratio() const {
+  std::uint64_t total = 0;
+  std::uint64_t padding = 0;
+  for (const VolumeResult& v : volumes) {
+    total += v.metrics.total_blocks();
+    padding += v.metrics.padding_blocks;
+  }
+  return total == 0
+             ? 0.0
+             : static_cast<double>(padding) / static_cast<double>(total);
+}
+
+Histogram CellResult::per_volume_wa() const {
+  Histogram h;
+  for (const VolumeResult& v : volumes) h.add(v.wa());
+  return h;
+}
+
+Histogram CellResult::per_volume_padding_ratio() const {
+  Histogram h;
+  for (const VolumeResult& v : volumes) h.add(v.padding_ratio());
+  return h;
+}
+
+std::map<CellKey, CellResult> run_experiment(
+    const ExperimentSpec& spec, const std::vector<trace::Volume>& volumes) {
+  std::map<CellKey, CellResult> results;
+  for (const auto& policy : spec.policies) {
+    for (const auto& victim : spec.victims) {
+      const CellKey key{policy, victim};
+      results[key].key = key;
+      results[key].volumes.resize(volumes.size());
+    }
+  }
+
+  const std::size_t threads =
+      spec.threads != 0 ? spec.threads
+                        : std::max(1u, std::thread::hardware_concurrency());
+  ThreadPool pool(threads);
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  for (const auto& policy : spec.policies) {
+    for (const auto& victim : spec.victims) {
+      CellResult& cell = results[CellKey{policy, victim}];
+      for (std::size_t i = 0; i < volumes.size(); ++i) {
+        pool.submit([&, i] {
+          try {
+            SimConfig config = spec.base;
+            config.victim_policy = victim;
+            cell.volumes[i] = run_volume(volumes[i], policy, config);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (!first_error) first_error = std::current_exception();
+          }
+        });
+      }
+    }
+  }
+  pool.wait_idle();
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+}  // namespace adapt::sim

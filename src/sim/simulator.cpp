@@ -1,0 +1,113 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "adapt/adapt_policy.h"
+#include "adapt/aggregation_wrapper.h"
+#include "common/types.h"
+#include "placement/factory.h"
+
+namespace adapt::sim {
+
+const std::vector<std::string_view>& all_policy_names() {
+  static const std::vector<std::string_view> names = {
+      "sepgc", "mida", "dac", "warcip", "sepbit", "adapt"};
+  return names;
+}
+
+VolumeResult run_volume(const trace::Volume& volume,
+                        std::string_view policy_name,
+                        const SimConfig& config) {
+  lss::LssConfig lss_config = config.lss;
+  // Floor the logical space so that even an 8-group policy has enough
+  // over-provisioned segments for its GC watermark (see LssConfig::validate).
+  lss_config.logical_blocks =
+      std::max<std::uint64_t>(volume.capacity_blocks, 1u << 15);
+
+  // Build the policy. A "+agg" suffix wraps a baseline with the
+  // cross-group aggregation extension (see adapt/aggregation_wrapper.h).
+  std::unique_ptr<lss::PlacementPolicy> policy;
+  core::AdaptPolicy* adapt_policy = nullptr;
+  core::AggregatingPolicy* wrapper = nullptr;
+  constexpr std::string_view kAggSuffix = "+agg";
+  if (policy_name.size() > kAggSuffix.size() &&
+      policy_name.ends_with(kAggSuffix)) {
+    placement::PolicyConfig pc;
+    pc.logical_blocks = lss_config.logical_blocks;
+    pc.segment_blocks = lss_config.segment_blocks();
+    pc.seed = config.seed;
+    auto inner = placement::make_baseline_policy(
+        policy_name.substr(0, policy_name.size() - kAggSuffix.size()), pc);
+    core::AggregationWrapperConfig wc;
+    wc.chunk_blocks = lss_config.chunk_blocks;
+    auto wrapped = core::wrap_with_aggregation(std::move(inner), wc);
+    wrapper = wrapped.get();
+    policy = std::move(wrapped);
+  } else if (policy_name == "adapt") {
+    core::AdaptConfig ac;
+    ac.logical_blocks = lss_config.logical_blocks;
+    ac.segment_blocks = lss_config.segment_blocks();
+    ac.chunk_blocks = lss_config.chunk_blocks;
+    ac.over_provision = lss_config.over_provision;
+    ac.enable_threshold_adaptation = config.adapt_threshold_adaptation;
+    ac.enable_cross_group_aggregation =
+        config.adapt_cross_group_aggregation;
+    ac.enable_proactive_demotion = config.adapt_proactive_demotion;
+    auto p = core::make_adapt_policy(ac);
+    adapt_policy = p.get();
+    policy = std::move(p);
+  } else {
+    placement::PolicyConfig pc;
+    pc.logical_blocks = lss_config.logical_blocks;
+    pc.segment_blocks = lss_config.segment_blocks();
+    pc.seed = config.seed;
+    policy = placement::make_baseline_policy(policy_name, pc);
+  }
+
+  auto victim = lss::make_victim_policy(config.victim_policy);
+
+  std::unique_ptr<array::SsdArray> ssd_array;
+  if (config.with_array) {
+    array::SsdArrayConfig arr;
+    arr.chunk_bytes = lss_config.chunk_blocks * lss_config.block_bytes;
+    arr.num_streams = policy->group_count();
+    ssd_array = std::make_unique<array::SsdArray>(arr);
+  }
+
+  lss::LssEngine engine(lss_config, *policy, *victim, ssd_array.get(),
+                        config.seed);
+  if (adapt_policy != nullptr) {
+    engine.set_aggregation_hook(adapt_policy);
+  } else if (wrapper != nullptr) {
+    engine.set_aggregation_hook(wrapper);
+  }
+
+  // Requests past the volume's declared capacity are trace noise: clamp.
+  const Lba addressable =
+      std::min<Lba>(std::max<Lba>(volume.capacity_blocks, 1),
+                    lss_config.logical_blocks);
+  for (const trace::Record& r : volume.records) {
+    const Lba end = std::min<Lba>(r.lba + r.blocks, addressable);
+    if (r.lba >= end) continue;
+    const auto span = static_cast<std::uint32_t>(end - r.lba);
+    if (r.op == trace::OpType::kWrite) {
+      engine.write(r.lba, span, r.ts_us);
+    } else {
+      engine.read(r.lba, span, r.ts_us);
+    }
+  }
+  engine.flush_all();
+
+  VolumeResult result;
+  result.volume_id = volume.id;
+  result.policy = std::string(policy_name);
+  result.victim = config.victim_policy;
+  result.metrics = engine.metrics();
+  result.segments_per_group = engine.segments_per_group();
+  result.policy_memory_bytes = policy->memory_usage_bytes();
+  if (ssd_array != nullptr) result.array_totals = ssd_array->totals();
+  return result;
+}
+
+}  // namespace adapt::sim

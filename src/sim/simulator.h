@@ -1,0 +1,53 @@
+// Trace-driven simulator: replays one volume's record stream through a
+// placement policy + LSS engine + SSD-array model and reports the metrics
+// the paper's evaluation is built on (WA, padding-traffic ratio, per-group
+// traffic, policy memory).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "array/ssd_array.h"
+#include "lss/config.h"
+#include "lss/engine.h"
+#include "lss/metrics.h"
+#include "trace/record.h"
+
+namespace adapt::sim {
+
+struct SimConfig {
+  lss::LssConfig lss;  ///< logical_blocks is overridden per volume
+  std::string victim_policy = "greedy";
+  bool with_array = true;
+  std::uint64_t seed = 1;
+  /// ADAPT ablation switches (ignored by baselines).
+  bool adapt_threshold_adaptation = true;
+  bool adapt_cross_group_aggregation = true;
+  bool adapt_proactive_demotion = true;
+};
+
+struct VolumeResult {
+  std::uint64_t volume_id = 0;
+  std::string policy;
+  std::string victim;
+  lss::LssMetrics metrics;
+  array::StreamStats array_totals;
+  std::vector<std::uint32_t> segments_per_group;
+  std::size_t policy_memory_bytes = 0;
+
+  double wa() const noexcept { return metrics.wa(); }
+  double padding_ratio() const noexcept { return metrics.padding_ratio(); }
+};
+
+/// Known policy names: the baselines plus "adapt".
+const std::vector<std::string_view>& all_policy_names();
+
+/// Replays `volume` under `policy_name` and returns the metrics.
+/// Throws std::invalid_argument for unknown policies.
+VolumeResult run_volume(const trace::Volume& volume,
+                        std::string_view policy_name, const SimConfig& config);
+
+}  // namespace adapt::sim

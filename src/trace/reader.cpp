@@ -1,0 +1,180 @@
+#include "trace/reader.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdlib>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace adapt::trace {
+namespace {
+
+std::vector<std::string_view> split_csv(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (start <= line.size()) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return fields;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
+                        s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::uint64_t parse_u64(std::string_view s, const char* what) {
+  s = trim(s);
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw std::invalid_argument(std::string("bad ") + what + " field: '" +
+                                std::string(s) + "'");
+  }
+  return value;
+}
+
+double parse_f64(std::string_view s, const char* what) {
+  s = trim(s);
+  // std::from_chars<double> is not universally available; use strtod on a
+  // bounded copy.
+  std::string buf(s);
+  char* end = nullptr;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || buf.empty()) {
+    throw std::invalid_argument(std::string("bad ") + what + " field: '" +
+                                buf + "'");
+  }
+  return value;
+}
+
+OpType parse_op_letter(std::string_view s) {
+  s = trim(s);
+  if (s == "R" || s == "r" || s == "Read" || s == "read") {
+    return OpType::kRead;
+  }
+  if (s == "W" || s == "w" || s == "Write" || s == "write") {
+    return OpType::kWrite;
+  }
+  throw std::invalid_argument("bad op field: '" + std::string(s) + "'");
+}
+
+void require_fields(const std::vector<std::string_view>& f, std::size_t n,
+                    const char* format) {
+  if (f.size() < n) {
+    throw std::invalid_argument(std::string("too few fields for ") + format);
+  }
+}
+
+std::uint32_t bytes_to_blocks(std::uint64_t bytes, std::uint32_t block_size) {
+  // Round the request up to whole blocks; a zero-length request still
+  // touches the block at its offset.
+  const std::uint64_t blocks = (bytes + block_size - 1) / block_size;
+  return static_cast<std::uint32_t>(std::max<std::uint64_t>(blocks, 1));
+}
+
+}  // namespace
+
+std::optional<Record> parse_line(std::string_view line, TraceFormat format,
+                                 std::uint32_t block_size) {
+  line = trim(line);
+  if (line.empty() || line.front() == '#') return std::nullopt;
+  const auto f = split_csv(line);
+  Record r;
+  switch (format) {
+    case TraceFormat::kCanonical: {
+      require_fields(f, 4, "canonical");
+      r.ts_us = parse_u64(f[0], "ts_us");
+      r.op = parse_op_letter(f[1]);
+      r.lba = parse_u64(f[2], "lba");
+      r.blocks = static_cast<std::uint32_t>(parse_u64(f[3], "blocks"));
+      break;
+    }
+    case TraceFormat::kAlibaba: {
+      require_fields(f, 5, "alibaba");
+      r.op = parse_op_letter(f[1]);
+      const std::uint64_t offset = parse_u64(f[2], "offset");
+      const std::uint64_t length = parse_u64(f[3], "length");
+      r.ts_us = parse_u64(f[4], "ts");
+      r.lba = offset / block_size;
+      r.blocks = bytes_to_blocks(length + offset % block_size, block_size);
+      break;
+    }
+    case TraceFormat::kTencent: {
+      require_fields(f, 5, "tencent");
+      const double ts_sec = parse_f64(f[0], "ts_sec");
+      const std::uint64_t offset_sectors = parse_u64(f[1], "offset");
+      const std::uint64_t size_sectors = parse_u64(f[2], "size");
+      const std::uint64_t io_type = parse_u64(f[3], "io_type");
+      r.ts_us = static_cast<TimeUs>(ts_sec * 1e6);
+      r.op = io_type == 0 ? OpType::kRead : OpType::kWrite;
+      const std::uint64_t offset_bytes = offset_sectors * 512;
+      const std::uint64_t size_bytes = size_sectors * 512;
+      r.lba = offset_bytes / block_size;
+      r.blocks =
+          bytes_to_blocks(size_bytes + offset_bytes % block_size, block_size);
+      break;
+    }
+    case TraceFormat::kMsrc: {
+      require_fields(f, 6, "msrc");
+      const std::uint64_t ts_100ns = parse_u64(f[0], "ts");
+      r.ts_us = ts_100ns / 10;
+      r.op = parse_op_letter(f[3]);
+      const std::uint64_t offset = parse_u64(f[4], "offset");
+      const std::uint64_t size = parse_u64(f[5], "size");
+      r.lba = offset / block_size;
+      r.blocks = bytes_to_blocks(size + offset % block_size, block_size);
+      break;
+    }
+  }
+  if (r.blocks == 0) r.blocks = 1;
+  return r;
+}
+
+Volume read_trace(std::istream& in, TraceFormat format,
+                  std::uint32_t block_size, std::uint64_t capacity_blocks) {
+  Volume volume;
+  std::string line;
+  std::uint64_t max_block = 0;
+  bool have_base = false;
+  TimeUs base_ts = 0;
+  while (std::getline(in, line)) {
+    const auto rec = parse_line(line, format, block_size);
+    if (!rec) continue;
+    Record r = *rec;
+    if (!have_base) {
+      base_ts = r.ts_us;
+      have_base = true;
+    }
+    r.ts_us = r.ts_us >= base_ts ? r.ts_us - base_ts : 0;
+    max_block = std::max(max_block, r.lba + r.blocks);
+    volume.records.push_back(r);
+  }
+  volume.capacity_blocks =
+      capacity_blocks != 0 ? capacity_blocks : max_block;
+  return volume;
+}
+
+void write_canonical(std::ostream& out, const Volume& volume) {
+  for (const Record& r : volume.records) {
+    out << r.ts_us << ',' << (r.op == OpType::kRead ? 'R' : 'W') << ','
+        << r.lba << ',' << r.blocks << '\n';
+  }
+}
+
+}  // namespace adapt::trace

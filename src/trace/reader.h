@@ -1,0 +1,40 @@
+// CSV block-trace readers for the three production formats the paper
+// evaluates (Alibaba cloud block storage, Tencent CBS, MSR Cambridge), plus
+// a canonical format for traces produced by this repo's generators.
+//
+// Formats (one record per line):
+//   Canonical : ts_us,op(R|W),lba_block,blocks
+//   Alibaba   : device_id,opcode(R|W),offset_bytes,length_bytes,ts_us
+//   Tencent   : ts_sec,offset_sectors,size_sectors,io_type(0=R,1=W),volume_id
+//   MSRC      : ts_100ns,hostname,disk,type(Read|Write),offset_bytes,
+//               size_bytes,response_us
+#pragma once
+
+#include <istream>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "trace/record.h"
+
+namespace adapt::trace {
+
+enum class TraceFormat { kCanonical, kAlibaba, kTencent, kMsrc };
+
+/// Parses one CSV line in the given format. Returns nullopt for blank lines
+/// and comment lines (leading '#'); throws std::invalid_argument on
+/// malformed input. `block_size` converts byte/sector offsets to blocks.
+std::optional<Record> parse_line(std::string_view line, TraceFormat format,
+                                 std::uint32_t block_size = kDefaultBlockSize);
+
+/// Reads a whole stream into a Volume. Records keep file order; capacity is
+/// sized to the maximum addressed block + 1 unless `capacity_blocks` is
+/// given. Timestamps are rebased so the first record is at t = 0.
+Volume read_trace(std::istream& in, TraceFormat format,
+                  std::uint32_t block_size = kDefaultBlockSize,
+                  std::uint64_t capacity_blocks = 0);
+
+/// Writes a volume in canonical format (inverse of kCanonical parsing).
+void write_canonical(std::ostream& out, const Volume& volume);
+
+}  // namespace adapt::trace

@@ -1,0 +1,32 @@
+// Canonical block-trace record. Every reader / generator produces these and
+// the simulator consumes nothing else, so placement algorithms are agnostic
+// to where a workload came from.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace adapt::trace {
+
+enum class OpType : std::uint8_t { kRead, kWrite };
+
+struct Record {
+  TimeUs ts_us = 0;       ///< arrival time, microseconds since trace start
+  OpType op = OpType::kWrite;
+  Lba lba = 0;            ///< starting block address (block units)
+  std::uint32_t blocks = 1;  ///< request length in blocks
+
+  friend bool operator==(const Record&, const Record&) = default;
+};
+
+/// A volume is one replayable unit: an ordered record stream plus the
+/// logical capacity the records address.
+struct Volume {
+  std::uint64_t id = 0;
+  std::uint64_t capacity_blocks = 0;
+  std::vector<Record> records;
+};
+
+}  // namespace adapt::trace

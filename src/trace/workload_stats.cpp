@@ -1,0 +1,45 @@
+#include "trace/workload_stats.h"
+
+namespace adapt::trace {
+
+VolumeStats compute_volume_stats(const Volume& volume,
+                                 std::uint32_t block_size) {
+  VolumeStats s;
+  s.volume_id = volume.id;
+  s.requests = volume.records.size();
+  for (const Record& r : volume.records) {
+    if (r.op == OpType::kWrite) {
+      ++s.write_requests;
+      s.write_blocks += r.blocks;
+    }
+    s.duration_us = r.ts_us;  // records are time-ordered
+  }
+  if (s.duration_us > 0) {
+    s.avg_request_rate_per_sec =
+        static_cast<double>(s.requests) /
+        (static_cast<double>(s.duration_us) / 1e6);
+  }
+  if (s.write_requests > 0) {
+    s.avg_write_size_bytes =
+        static_cast<double>(s.write_blocks) * block_size /
+        static_cast<double>(s.write_requests);
+  }
+  return s;
+}
+
+WorkloadDistributions compute_distributions(std::span<const Volume> volumes,
+                                            std::uint32_t block_size) {
+  WorkloadDistributions d;
+  for (const Volume& v : volumes) {
+    const VolumeStats s = compute_volume_stats(v, block_size);
+    d.request_rate_per_volume.add(s.avg_request_rate_per_sec);
+    for (const Record& r : v.records) {
+      if (r.op == OpType::kWrite) {
+        d.write_size_bytes.add(static_cast<double>(r.blocks) * block_size);
+      }
+    }
+  }
+  return d;
+}
+
+}  // namespace adapt::trace

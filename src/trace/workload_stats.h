@@ -1,0 +1,38 @@
+// Workload statistics used to reproduce Figure 2: per-volume average
+// request rate and the write-size distribution.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/histogram.h"
+#include "trace/record.h"
+
+namespace adapt::trace {
+
+struct VolumeStats {
+  std::uint64_t volume_id = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t write_requests = 0;
+  std::uint64_t write_blocks = 0;
+  TimeUs duration_us = 0;
+  double avg_request_rate_per_sec = 0.0;
+  double avg_write_size_bytes = 0.0;
+};
+
+/// Per-volume summary (rates, sizes).
+VolumeStats compute_volume_stats(const Volume& volume,
+                                 std::uint32_t block_size = kDefaultBlockSize);
+
+/// Aggregated Figure-2 inputs across a set of volumes: the distribution of
+/// per-volume request rates and the distribution of individual write sizes.
+struct WorkloadDistributions {
+  Histogram request_rate_per_volume;  ///< req/s, one sample per volume
+  Histogram write_size_bytes;         ///< one sample per write request
+};
+
+WorkloadDistributions compute_distributions(
+    std::span<const Volume> volumes,
+    std::uint32_t block_size = kDefaultBlockSize);
+
+}  // namespace adapt::trace

@@ -1,0 +1,422 @@
+// Unit and property tests for src/common: PRNG, Zipfian generators,
+// Fenwick tree, histograms, thread pool.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fenwick.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "common/zipf.h"
+
+namespace adapt {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(RngTest, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> counts(8, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(8)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 8, n / 8 * 0.1);
+  }
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(17);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(42.0);
+  EXPECT_NEAR(sum / n, 42.0, 1.5);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(19);
+  double sum = 0;
+  double sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, LognormalIsPositive) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.lognormal(0.3, 0.8), 0.0);
+  }
+}
+
+TEST(RngTest, ChanceProbability) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(Mix64Test, IsDeterministicAndSpreads) {
+  EXPECT_EQ(mix64(42), mix64(42));
+  EXPECT_NE(mix64(42), mix64(43));
+  // Low bits should change even for adjacent inputs.
+  int low_bit_flips = 0;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    if ((mix64(i) & 1) != (mix64(i + 1) & 1)) ++low_bit_flips;
+  }
+  EXPECT_GT(low_bit_flips, 16);
+}
+
+// ---------------------------------------------------------------------------
+// Zipf
+// ---------------------------------------------------------------------------
+
+class ZipfAlphaTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfAlphaTest, RanksInRange) {
+  const double alpha = GetParam();
+  ZipfianGenerator zipf(1000, alpha);
+  Rng rng(31);
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_LT(zipf.next(rng), 1000u);
+  }
+}
+
+TEST_P(ZipfAlphaTest, SkewIncreasesWithAlpha) {
+  const double alpha = GetParam();
+  ZipfianGenerator zipf(1000, alpha);
+  Rng rng(37);
+  int rank0 = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.next(rng) == 0) ++rank0;
+  }
+  const double p0 = static_cast<double>(rank0) / n;
+  if (alpha == 0.0) {
+    EXPECT_NEAR(p0, 1.0 / 1000, 0.002);
+  } else {
+    // P(rank 0) = 1 / zeta(n, alpha); just check monotone bounds.
+    EXPECT_GT(p0, 1.0 / 1000);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfAlphaTest,
+                         ::testing::Values(0.0, 0.3, 0.6, 0.9, 0.99, 1.1));
+
+TEST(ZipfTest, AlphaOneDoesNotBlowUp) {
+  ZipfianGenerator zipf(100, 1.0);
+  Rng rng(41);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(zipf.next(rng), 100u);
+  }
+}
+
+TEST(ZipfTest, HotSetConcentration) {
+  // At alpha ~1, ~top 20% of ranks should carry well over half the draws.
+  ZipfianGenerator zipf(10000, 0.99);
+  Rng rng(43);
+  int top = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.next(rng) < 2000) ++top;
+  }
+  EXPECT_GT(static_cast<double>(top) / n, 0.6);
+}
+
+TEST(ScrambledZipfTest, SpreadsHotKeys) {
+  ScrambledZipfianGenerator zipf(10000, 0.99);
+  Rng rng(47);
+  // The most frequent key should not be key 0 systematically; draws still
+  // hit a small set of hot keys.
+  std::map<std::uint64_t, int> freq;
+  for (int i = 0; i < 50000; ++i) ++freq[zipf.next(rng)];
+  auto hottest = std::max_element(
+      freq.begin(), freq.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  EXPECT_GT(hottest->second, 50000 / 10000 * 10);
+}
+
+// ---------------------------------------------------------------------------
+// Fenwick tree
+// ---------------------------------------------------------------------------
+
+TEST(FenwickTest, EmptyTreeSumsZero) {
+  FenwickTree t;
+  EXPECT_EQ(t.total(), 0);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(FenwickTest, SingleElement) {
+  FenwickTree t;
+  t.add(0, 5);
+  EXPECT_EQ(t.prefix_sum(0), 5);
+  EXPECT_EQ(t.total(), 5);
+  EXPECT_EQ(t.suffix_sum_after(0), 0);
+}
+
+TEST(FenwickTest, PrefixSumsMatchNaive) {
+  FenwickTree t;
+  std::vector<std::int64_t> naive(200, 0);
+  Rng rng(53);
+  for (int op = 0; op < 2000; ++op) {
+    const std::size_t i = rng.below(200);
+    const auto delta = static_cast<std::int64_t>(rng.below(11)) - 5;
+    t.add(i, delta);
+    naive[i] += delta;
+    const std::size_t q = rng.below(200);
+    const std::int64_t expect =
+        std::accumulate(naive.begin(), naive.begin() + q + 1,
+                        std::int64_t{0});
+    ASSERT_EQ(t.prefix_sum(q), expect) << "query at " << q;
+  }
+}
+
+TEST(FenwickTest, SuffixSumAfter) {
+  FenwickTree t;
+  for (std::size_t i = 0; i < 10; ++i) t.add(i, 1);
+  EXPECT_EQ(t.suffix_sum_after(4), 5);  // positions 5..9
+  EXPECT_EQ(t.suffix_sum_after(9), 0);
+  EXPECT_EQ(t.suffix_sum_after(0), 9);
+}
+
+TEST(FenwickTest, AppendGrowthPreservesEarlierCounts) {
+  // Regression: a node appended at position j spans [j - lowbit(j) + 1, j]
+  // and must absorb values added before the tree grew past j.
+  FenwickTree t;
+  for (std::size_t i = 0; i < 64; ++i) {
+    t.add(i, 1);  // grow one position at a time, like the reuse tracker
+    ASSERT_EQ(t.prefix_sum(i), static_cast<std::int64_t>(i + 1));
+    ASSERT_EQ(t.total(), static_cast<std::int64_t>(i + 1));
+  }
+  EXPECT_EQ(t.suffix_sum_after(31), 32);
+}
+
+TEST(FenwickTest, InterleavedGrowthAndRemoval) {
+  FenwickTree t;
+  // Mark, grow, unmark in the access pattern the distance tree uses.
+  t.add(0, 1);
+  t.add(1, 1);
+  t.add(0, -1);
+  t.add(2, 1);
+  t.add(3, 1);
+  EXPECT_EQ(t.total(), 3);
+  EXPECT_EQ(t.suffix_sum_after(0), 3);
+  EXPECT_EQ(t.suffix_sum_after(1), 2);
+}
+
+TEST(FenwickTest, GrowsOnDemand) {
+  FenwickTree t;
+  t.add(1000, 3);
+  EXPECT_GE(t.size(), 1001u);
+  EXPECT_EQ(t.total(), 3);
+  EXPECT_EQ(t.prefix_sum(999), 0);
+}
+
+TEST(FenwickTest, PrefixClampsBeyondSize) {
+  FenwickTree t(4);
+  t.add(2, 7);
+  EXPECT_EQ(t.prefix_sum(1000), 7);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) h.add(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 3.0);
+}
+
+TEST(HistogramTest, PercentileInterpolates) {
+  Histogram h;
+  h.add(0.0);
+  h.add(10.0);
+  EXPECT_NEAR(h.percentile(50), 5.0, 1e-9);
+  EXPECT_NEAR(h.percentile(25), 2.5, 1e-9);
+}
+
+TEST(HistogramTest, PercentileEdgeCases) {
+  Histogram h;
+  h.add(7.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 7.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 7.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 7.0);
+}
+
+TEST(HistogramTest, EmptyThrows) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_THROW(h.percentile(50), std::out_of_range);
+  EXPECT_THROW(h.min(), std::out_of_range);
+  EXPECT_THROW(h.max(), std::out_of_range);
+}
+
+TEST(HistogramTest, CdfMonotone) {
+  Histogram h;
+  Rng rng(59);
+  for (int i = 0; i < 1000; ++i) h.add(rng.uniform(0, 100));
+  double prev = -1;
+  for (double x = 0; x <= 100; x += 5) {
+    const double c = h.cdf_at(x);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(h.cdf_at(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.cdf_at(-1.0), 0.0);
+}
+
+TEST(HistogramTest, CdfCountsInclusive) {
+  Histogram h;
+  h.add(1.0);
+  h.add(2.0);
+  h.add(2.0);
+  h.add(3.0);
+  EXPECT_DOUBLE_EQ(h.cdf_at(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(h.cdf_at(1.9), 0.25);
+}
+
+TEST(BoxStatsTest, QuartilesAndOutliers) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(static_cast<double>(i));
+  h.add(1000.0);  // a clear outlier
+  const BoxStats b = box_stats(h);
+  EXPECT_NEAR(b.median, 51.0, 1.0);
+  EXPECT_LT(b.q1, b.median);
+  EXPECT_GT(b.q3, b.median);
+  EXPECT_EQ(b.outliers, 1u);
+  EXPECT_LE(b.whisker_hi, 1000.0 - 1.0);
+}
+
+TEST(BoxStatsTest, EmptyIsZeroed) {
+  Histogram h;
+  const BoxStats b = box_stats(h);
+  EXPECT_EQ(b.outliers, 0u);
+  EXPECT_DOUBLE_EQ(b.median, 0.0);
+}
+
+TEST(FormatCdfTest, ProducesRequestedSteps) {
+  Histogram h;
+  h.add(1.0);
+  h.add(2.0);
+  const std::string out = format_cdf(h, 0, 4, 4);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 5);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPool) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::atomic<int> counter{0};
+  pool.submit([&] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently) {
+  ThreadPool pool(4);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&] {
+      const int now = concurrent.fetch_add(1) + 1;
+      int expected = peak.load();
+      while (now > expected &&
+             !peak.compare_exchange_weak(expected, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      concurrent.fetch_sub(1);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_GT(peak.load(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitFromWorker) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&] {
+    pool.submit([&] { counter.fetch_add(1); });
+    counter.fetch_add(1);
+  });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+}  // namespace
+}  // namespace adapt

@@ -1,0 +1,136 @@
+// Cross-module integration tests: the full stack (trace -> placement ->
+// engine -> array) exercised together, plus qualitative shape checks that
+// mirror the paper's headline observations on small workloads.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "sim/simulator.h"
+#include "trace/reader.h"
+#include "trace/synthetic.h"
+
+#include <sstream>
+
+namespace adapt {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Full pipeline from a CSV trace
+// ---------------------------------------------------------------------------
+
+TEST(PipelineTest, CsvTraceThroughSimulator) {
+  std::ostringstream csv;
+  for (int i = 0; i < 2000; ++i) {
+    csv << i * 50 << ",W," << (i * 7) % 4096 << ",2\n";
+  }
+  std::istringstream in(csv.str());
+  const trace::Volume volume =
+      trace::read_trace(in, trace::TraceFormat::kCanonical, 4096, 8192);
+  sim::SimConfig config;
+  const sim::VolumeResult r = sim::run_volume(volume, "adapt", config);
+  EXPECT_EQ(r.metrics.user_blocks, 4000u);
+  EXPECT_GE(r.wa(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Paper-shape checks (Observations 1-4, qualitative)
+// ---------------------------------------------------------------------------
+
+struct ShapeFixture : public ::testing::Test {
+  static trace::Volume volume() {
+    trace::CloudVolumeModel model(trace::alibaba_profile(), 77);
+    return model.make_volume(0, 5.0);
+  }
+};
+
+TEST_F(ShapeFixture, Observation2PaddingLivesInUserGroups) {
+  // SepGC: padding concentrates in the user-written group, with minimal
+  // presence in the GC-rewritten group.
+  sim::SimConfig config;
+  const sim::VolumeResult r = sim::run_volume(volume(), "sepgc", config);
+  const auto& user = r.metrics.groups[0];
+  const auto& gc = r.metrics.groups[1];
+  EXPECT_GT(user.padding_blocks, 0u);
+  EXPECT_LT(gc.padding_blocks, user.padding_blocks / 10 + 1);
+}
+
+TEST_F(ShapeFixture, Observation3MoreUserGroupsMorePadding) {
+  // Splitting user writes across many groups (WARCIP: 5) pads more than
+  // keeping them together (SepGC: 1).
+  sim::SimConfig config;
+  const auto sepgc = sim::run_volume(volume(), "sepgc", config);
+  const auto warcip = sim::run_volume(volume(), "warcip", config);
+  EXPECT_GT(warcip.metrics.padding_blocks, sepgc.metrics.padding_blocks);
+}
+
+TEST_F(ShapeFixture, Observation4GcGroupsHoldMostCapacity) {
+  // For the user/GC-separating schemes, GC groups end up owning most of
+  // the occupied segments.
+  sim::SimConfig config;
+  const auto r = sim::run_volume(volume(), "sepbit", config);
+  std::uint64_t user_segs = 0;
+  std::uint64_t gc_segs = 0;
+  for (std::size_t g = 0; g < r.segments_per_group.size(); ++g) {
+    if (g <= 1) {
+      user_segs += r.segments_per_group[g];
+    } else {
+      gc_segs += r.segments_per_group[g];
+    }
+  }
+  EXPECT_GT(gc_segs, user_segs);
+}
+
+TEST_F(ShapeFixture, AdaptBeatsTemperatureBaselinesOnWa) {
+  sim::SimConfig config;
+  const double adapt_wa = sim::run_volume(volume(), "adapt", config).wa();
+  for (const char* baseline : {"mida", "dac", "warcip", "sepbit"}) {
+    EXPECT_LT(adapt_wa, sim::run_volume(volume(), baseline, config).wa())
+        << baseline;
+  }
+}
+
+TEST_F(ShapeFixture, AdaptPadsLessThanSepBit) {
+  sim::SimConfig config;
+  const auto adapt = sim::run_volume(volume(), "adapt", config);
+  const auto sepbit = sim::run_volume(volume(), "sepbit", config);
+  EXPECT_LT(adapt.padding_ratio(), sepbit.padding_ratio());
+}
+
+TEST(ShapeDensityTest, DenseTrafficErasesPaddingForSepGc) {
+  trace::YcsbConfig wc;
+  wc.working_set_blocks = 1u << 14;
+  wc.mean_interarrival_us = 1.0;  // far below the 100 us window
+  wc.seed = 3;
+  const trace::Volume volume = trace::make_ycsb_volume(wc, 3u << 14);
+  sim::SimConfig config;
+  const auto r = sim::run_volume(volume, "sepgc", config);
+  EXPECT_LT(r.padding_ratio(), 0.02);
+}
+
+TEST(ShapeDensityTest, SparseTrafficPadsHeavily) {
+  trace::YcsbConfig wc;
+  wc.working_set_blocks = 1u << 14;
+  wc.mean_interarrival_us = 2000.0;  // every chunk misses the window
+  wc.seed = 3;
+  const trace::Volume volume = trace::make_ycsb_volume(wc, 2u << 14);
+  sim::SimConfig config;
+  const auto r = sim::run_volume(volume, "sepgc", config);
+  EXPECT_GT(r.padding_ratio(), 0.5);
+}
+
+TEST(ShapeSkewTest, UniformWorkloadEqualizesSchemes) {
+  // At alpha = 0 every block looks alike; hot/cold separation cannot win
+  // more than a small margin over SepGC.
+  trace::YcsbConfig wc;
+  wc.working_set_blocks = 1u << 14;
+  wc.zipf_alpha = 0.0;
+  wc.mean_interarrival_us = 1.0;  // dense: no padding anywhere
+  wc.seed = 9;
+  const trace::Volume volume = trace::make_ycsb_volume(wc, 4u << 14);
+  sim::SimConfig config;
+  const double sepgc = sim::run_volume(volume, "sepgc", config).wa();
+  const double adapt = sim::run_volume(volume, "adapt", config).wa();
+  EXPECT_NEAR(adapt / sepgc, 1.0, 0.25);
+}
+
+}  // namespace
+}  // namespace adapt

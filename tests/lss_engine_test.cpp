@@ -1,0 +1,662 @@
+// Engine-level tests: append/flush mechanics, the SLA coalescing window,
+// padding accounting, segment lifecycle, GC correctness, shadow-append
+// semantics, and randomized invariant checks.
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lss/engine.h"
+#include "lss/victim_policy.h"
+#include "test_support.h"
+
+namespace adapt::lss {
+namespace {
+
+using testing::ParityPolicy;
+using testing::TwoGroupPolicy;
+using testing::small_config;
+
+struct EngineFixture {
+  explicit EngineFixture(LssConfig config = small_config())
+      : victim(make_greedy()),
+        engine(config, policy, *victim, nullptr, /*seed=*/1) {}
+
+  TwoGroupPolicy policy;
+  std::unique_ptr<VictimPolicy> victim;
+  LssEngine engine;
+};
+
+// ---------------------------------------------------------------------------
+// Config validation
+// ---------------------------------------------------------------------------
+
+TEST(LssConfigTest, GeometryHelpers) {
+  const LssConfig c = small_config();
+  EXPECT_EQ(c.segment_blocks(), 8u);
+  EXPECT_EQ(c.physical_blocks(), 448u);
+  EXPECT_EQ(c.total_segments(), 56u);
+}
+
+TEST(LssConfigTest, RejectsZeroGeometry) {
+  LssConfig c = small_config();
+  c.chunk_blocks = 0;
+  EXPECT_THROW(c.validate(2), std::invalid_argument);
+}
+
+TEST(LssConfigTest, RejectsInsufficientOverProvision) {
+  LssConfig c = small_config();
+  c.over_provision = 0.01;
+  EXPECT_THROW(c.validate(2), std::invalid_argument);
+}
+
+TEST(LssConfigTest, AcceptsSaneConfig) {
+  const LssConfig c = small_config();
+  EXPECT_NO_THROW(c.validate(2));
+}
+
+// ---------------------------------------------------------------------------
+// Basic write path
+// ---------------------------------------------------------------------------
+
+TEST(LssEngineTest, SingleWriteIsMapped) {
+  EngineFixture f;
+  f.engine.write_block(5, 0);
+  const BlockLocation loc = f.engine.locate(5);
+  EXPECT_NE(loc.segment, kInvalidSegment);
+  EXPECT_EQ(f.engine.metrics().user_blocks, 1u);
+  EXPECT_EQ(f.engine.vtime(), 1u);
+  f.engine.check_invariants();
+}
+
+TEST(LssEngineTest, UnwrittenLbaIsNowhere) {
+  EngineFixture f;
+  EXPECT_EQ(f.engine.locate(9), kNowhere);
+}
+
+TEST(LssEngineTest, OverwriteMovesBlock) {
+  EngineFixture f;
+  f.engine.write_block(5, 0);
+  const BlockLocation first = f.engine.locate(5);
+  f.engine.write_block(5, 0);
+  const BlockLocation second = f.engine.locate(5);
+  EXPECT_NE(first, second);
+  EXPECT_EQ(f.engine.metrics().user_blocks, 2u);
+  f.engine.check_invariants();
+}
+
+TEST(LssEngineTest, MultiBlockWrite) {
+  EngineFixture f;
+  f.engine.write(10, 4, 0);
+  for (Lba lba = 10; lba < 14; ++lba) {
+    EXPECT_NE(f.engine.locate(lba), kNowhere);
+  }
+  EXPECT_EQ(f.engine.metrics().user_blocks, 4u);
+}
+
+TEST(LssEngineTest, OutOfRangeWriteThrows) {
+  EngineFixture f;
+  EXPECT_THROW(f.engine.write_block(256, 0), std::out_of_range);
+  EXPECT_THROW(f.engine.write(255, 2, 0), std::out_of_range);
+}
+
+TEST(LssEngineTest, PendingBlocksTracked) {
+  EngineFixture f;
+  f.engine.write_block(1, 0);
+  f.engine.write_block(2, 0);
+  EXPECT_EQ(f.engine.pending_blocks(0), 2u);
+  EXPECT_EQ(f.engine.pending_blocks(1), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Chunk flush & padding
+// ---------------------------------------------------------------------------
+
+TEST(LssEngineTest, FullChunkFlushesWithoutPadding) {
+  EngineFixture f;
+  for (Lba lba = 0; lba < 4; ++lba) f.engine.write_block(lba, 0);
+  EXPECT_EQ(f.engine.pending_blocks(0), 0u);
+  const GroupTraffic& g = f.engine.group_traffic(0);
+  EXPECT_EQ(g.full_flushes, 1u);
+  EXPECT_EQ(g.padded_flushes, 0u);
+  EXPECT_EQ(f.engine.metrics().padding_blocks, 0u);
+}
+
+TEST(LssEngineTest, DeadlineExpiryPadsPartialChunk) {
+  EngineFixture f;
+  f.engine.write_block(1, 0);     // deadline armed for t=100
+  f.engine.advance_time(99);
+  EXPECT_EQ(f.engine.pending_blocks(0), 1u);  // not yet
+  f.engine.advance_time(100);
+  EXPECT_EQ(f.engine.pending_blocks(0), 0u);
+  const GroupTraffic& g = f.engine.group_traffic(0);
+  EXPECT_EQ(g.padded_flushes, 1u);
+  EXPECT_EQ(g.padding_blocks, 3u);
+  EXPECT_EQ(g.padded_fill_blocks, 1u);
+  f.engine.check_invariants();
+}
+
+TEST(LssEngineTest, DeadlineAnchorsToFirstPendingBlock) {
+  EngineFixture f;
+  f.engine.write_block(1, 0);
+  f.engine.write_block(2, 60);  // same chunk, does not extend the deadline
+  f.engine.advance_time(100);
+  EXPECT_EQ(f.engine.pending_blocks(0), 0u);
+  EXPECT_EQ(f.engine.group_traffic(0).padding_blocks, 2u);
+}
+
+TEST(LssEngineTest, WriteAtLaterTimeFiresExpiredDeadlineFirst) {
+  EngineFixture f;
+  f.engine.write_block(1, 0);
+  f.engine.write_block(2, 500);  // deadline at 100 fires before this append
+  const GroupTraffic& g = f.engine.group_traffic(0);
+  EXPECT_EQ(g.padded_flushes, 1u);
+  EXPECT_EQ(f.engine.pending_blocks(0), 1u);  // block 2 pending fresh
+}
+
+TEST(LssEngineTest, InvalidatedPendingBlockNeedsNoDurability) {
+  EngineFixture f;
+  f.engine.write_block(1, 0);
+  f.engine.write_block(1, 10);  // overwrites the pending copy (same group)
+  // Two pending slots, one stale; the deadline must still fire and pad
+  // because the *new* copy is live.
+  f.engine.advance_time(200);
+  EXPECT_EQ(f.engine.pending_blocks(0), 0u);
+  EXPECT_EQ(f.engine.group_traffic(0).padded_flushes, 1u);
+}
+
+TEST(LssEngineTest, AllStalePendingSkipsPadding) {
+  // Fill a chunk to its last slot, then overwrite those blocks so the
+  // stragglers in the next chunk are stale.
+  ParityPolicy policy;
+  auto victim = make_greedy();
+  LssEngine engine(small_config(), policy, *victim, nullptr, 1);
+  engine.write_block(0, 0);  // group 0 pending
+  engine.write_block(1, 0);  // group 1 pending
+  // Overwrite block 0 -> its old copy is stale; new copy pending too.
+  engine.write_block(0, 10);
+  engine.advance_time(1000);
+  // Group 0 must have flushed once (live copies), not twice.
+  EXPECT_EQ(engine.group_traffic(0).padded_flushes, 1u);
+  engine.check_invariants();
+}
+
+TEST(LssEngineTest, FlushAllDrainsEverything) {
+  EngineFixture f;
+  f.engine.write_block(1, 0);
+  f.engine.write_block(2, 0);
+  f.engine.flush_all();
+  EXPECT_EQ(f.engine.pending_blocks(0), 0u);
+  EXPECT_EQ(f.engine.group_traffic(0).padding_blocks, 2u);
+  f.engine.check_invariants();
+}
+
+TEST(LssEngineTest, PaddingRatioMatchesDefinition) {
+  EngineFixture f;
+  f.engine.write_block(1, 0);
+  f.engine.flush_all();
+  const LssMetrics& m = f.engine.metrics();
+  EXPECT_EQ(m.user_blocks, 1u);
+  EXPECT_EQ(m.padding_blocks, 3u);
+  EXPECT_DOUBLE_EQ(m.wa(), 4.0);
+  EXPECT_DOUBLE_EQ(m.padding_ratio(), 0.75);
+}
+
+// ---------------------------------------------------------------------------
+// Segment lifecycle
+// ---------------------------------------------------------------------------
+
+TEST(LssEngineTest, SegmentSealsWhenFull) {
+  EngineFixture f;
+  for (Lba lba = 0; lba < 8; ++lba) f.engine.write_block(lba, 0);
+  EXPECT_EQ(f.engine.group_traffic(0).segments_sealed, 1u);
+  f.engine.check_invariants();
+}
+
+TEST(LssEngineTest, SegmentsPerGroupCountsOpenSegments) {
+  EngineFixture f;
+  f.engine.write_block(0, 0);
+  const auto counts = f.engine.segments_per_group();
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 0u);
+}
+
+TEST(LssEngineTest, PaddingConsumesSegmentSpace) {
+  EngineFixture f;
+  // Two padded chunks fill one 8-block segment.
+  f.engine.write_block(1, 0);
+  f.engine.advance_time(150);
+  f.engine.write_block(2, 1000);
+  f.engine.advance_time(1150);
+  EXPECT_EQ(f.engine.group_traffic(0).segments_sealed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Garbage collection
+// ---------------------------------------------------------------------------
+
+TEST(LssEngineTest, GcPreservesAllLiveData) {
+  EngineFixture f;
+  Rng rng(71);
+  std::vector<bool> written(256, false);
+  for (int i = 0; i < 8000; ++i) {
+    const Lba lba = rng.below(256);
+    f.engine.write_block(lba, static_cast<TimeUs>(i) * 10);
+    written[lba] = true;
+  }
+  f.engine.flush_all();
+  f.engine.check_invariants();
+  for (Lba lba = 0; lba < 256; ++lba) {
+    EXPECT_EQ(f.engine.locate(lba) != kNowhere, written[lba])
+        << "lba " << lba;
+  }
+  EXPECT_GT(f.engine.metrics().gc_runs, 0u);
+  EXPECT_GT(f.engine.metrics().gc_blocks, 0u);
+}
+
+TEST(LssEngineTest, GcRewritesLandInGcGroup) {
+  EngineFixture f;
+  Rng rng(73);
+  for (int i = 0; i < 5000; ++i) {
+    f.engine.write_block(rng.below(200), static_cast<TimeUs>(i));
+  }
+  EXPECT_GT(f.engine.group_traffic(1).gc_blocks, 0u);
+  EXPECT_EQ(f.engine.group_traffic(1).user_blocks, 0u);
+}
+
+TEST(LssEngineTest, GcKeepsFreePoolAboveWatermark) {
+  EngineFixture f;
+  Rng rng(79);
+  for (int i = 0; i < 20000; ++i) {
+    f.engine.write_block(rng.below(256), static_cast<TimeUs>(i));
+  }
+  // Watermark = reserve (4) + groups (2).
+  EXPECT_GE(f.engine.free_segments(), 6u);
+}
+
+TEST(LssEngineTest, WaIsAtLeastOne) {
+  EngineFixture f;
+  Rng rng(83);
+  for (int i = 0; i < 3000; ++i) {
+    f.engine.write_block(rng.below(256), static_cast<TimeUs>(i) * 50);
+  }
+  f.engine.flush_all();
+  EXPECT_GE(f.engine.metrics().wa(), 1.0);
+  EXPECT_GE(f.engine.metrics().gc_wa(), 1.0);
+}
+
+TEST(LssEngineTest, GcStepHonorsWatermark) {
+  EngineFixture f;
+  // Fresh engine: everything free, gc_step must refuse.
+  EXPECT_FALSE(f.engine.gc_step(0, 1));
+  Rng rng(89);
+  for (int i = 0; i < 3000; ++i) {
+    f.engine.write_block(rng.below(256), 0);
+  }
+  // Force one proactive pass with a watermark above the current free pool.
+  const std::uint32_t free_now = f.engine.free_segments();
+  EXPECT_TRUE(f.engine.gc_step(0, free_now + 1));
+  f.engine.check_invariants();
+}
+
+TEST(LssEngineTest, ChunksFlushedCounter) {
+  EngineFixture f;
+  for (Lba lba = 0; lba < 4; ++lba) f.engine.write_block(lba, 0);
+  EXPECT_EQ(f.engine.chunks_flushed(), 1u);
+  f.engine.write_block(9, 0);
+  f.engine.flush_all();
+  EXPECT_EQ(f.engine.chunks_flushed(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized invariants (property-style, parameterized over seeds)
+// ---------------------------------------------------------------------------
+
+class EngineRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineRandomTest, InvariantsHoldUnderRandomWorkload) {
+  ParityPolicy policy;
+  auto victim = make_greedy();
+  LssEngine engine(small_config(), policy, *victim, nullptr, GetParam());
+  Rng rng(GetParam());
+  TimeUs now = 0;
+  for (int i = 0; i < 4000; ++i) {
+    now += rng.below(200);
+    const Lba lba = rng.below(250);
+    const auto blocks = static_cast<std::uint32_t>(1 + rng.below(4));
+    engine.write(lba, std::min<std::uint32_t>(blocks, 256 - lba), now);
+    if (i % 512 == 0) engine.check_invariants();
+  }
+  engine.flush_all();
+  engine.check_invariants();
+  const LssMetrics& m = engine.metrics();
+  EXPECT_GE(m.wa(), 1.0);
+  EXPECT_EQ(m.user_blocks,
+            m.groups[0].user_blocks + m.groups[1].user_blocks +
+                m.groups[2].user_blocks);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineRandomTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------------------------------------------------------------------------
+// Geometry sweep: the engine must behave at any (chunk, segment) shape
+// ---------------------------------------------------------------------------
+
+struct Geometry {
+  std::uint32_t chunk_blocks;
+  std::uint32_t segment_chunks;
+};
+
+class EngineGeometryTest : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(EngineGeometryTest, InvariantsAndDataSafetyHold) {
+  LssConfig config = small_config();
+  config.chunk_blocks = GetParam().chunk_blocks;
+  config.segment_chunks = GetParam().segment_chunks;
+  config.logical_blocks = 2048;
+  config.over_provision = 0.75;
+  TwoGroupPolicy policy;
+  auto victim = make_greedy();
+  LssEngine engine(config, policy, *victim, nullptr, 3);
+  Rng rng(GetParam().chunk_blocks * 131 + GetParam().segment_chunks);
+  std::vector<bool> written(2048, false);
+  TimeUs now = 0;
+  for (int i = 0; i < 12000; ++i) {
+    now += rng.below(250);
+    const Lba lba = rng.below(2048);
+    engine.write_block(lba, now);
+    written[lba] = true;
+  }
+  engine.flush_all();
+  engine.check_invariants();
+  for (Lba lba = 0; lba < 2048; ++lba) {
+    ASSERT_EQ(engine.locate(lba) != kNowhere, written[lba]);
+  }
+  EXPECT_GE(engine.metrics().wa(), 1.0);
+  // Padding can never exceed (chunk - 1) blocks per flush event.
+  const auto& m = engine.metrics();
+  const std::uint64_t flushes =
+      m.groups[0].padded_flushes + m.groups[1].padded_flushes;
+  EXPECT_LE(m.padding_blocks,
+            flushes * (config.chunk_blocks - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, EngineGeometryTest,
+    ::testing::Values(Geometry{2, 2}, Geometry{2, 16}, Geometry{4, 8},
+                      Geometry{8, 4}, Geometry{16, 2}, Geometry{16, 8}),
+    [](const auto& info) {
+      return "chunk" + std::to_string(info.param.chunk_blocks) + "x" +
+             std::to_string(info.param.segment_chunks);
+    });
+
+// ---------------------------------------------------------------------------
+// Victim policy integration
+// ---------------------------------------------------------------------------
+
+class EngineVictimTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EngineVictimTest, AllVictimPoliciesKeepDataSafe) {
+  TwoGroupPolicy policy;
+  auto victim = make_victim_policy(GetParam());
+  LssEngine engine(small_config(), policy, *victim, nullptr, 7);
+  Rng rng(97);
+  std::vector<bool> written(256, false);
+  for (int i = 0; i < 8000; ++i) {
+    const Lba lba = rng.below(256);
+    engine.write_block(lba, static_cast<TimeUs>(i) * 3);
+    written[lba] = true;
+  }
+  engine.flush_all();
+  engine.check_invariants();
+  for (Lba lba = 0; lba < 256; ++lba) {
+    ASSERT_EQ(engine.locate(lba) != kNowhere, written[lba]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, EngineVictimTest,
+                         ::testing::Values("greedy", "cost-benefit",
+                                           "d-choice", "windowed", "random"));
+
+// ---------------------------------------------------------------------------
+// Array mirroring
+// ---------------------------------------------------------------------------
+
+TEST(LssEngineTest, ArrayMirrorsChunkTraffic) {
+  TwoGroupPolicy policy;
+  auto victim = make_greedy();
+  const LssConfig config = small_config();
+  array::SsdArrayConfig ac;
+  ac.chunk_bytes = config.chunk_blocks * config.block_bytes;
+  ac.num_streams = 2;
+  array::SsdArray ssd_array(ac);
+  LssEngine engine(config, policy, *victim, &ssd_array, 1);
+
+  Rng rng(101);
+  for (int i = 0; i < 3000; ++i) {
+    engine.write_block(rng.below(256), static_cast<TimeUs>(i) * 40);
+  }
+  engine.flush_all();
+
+  const LssMetrics& m = engine.metrics();
+  const array::StreamStats totals = ssd_array.totals();
+  EXPECT_EQ(totals.chunks_written, engine.chunks_flushed());
+  EXPECT_EQ(totals.padding_bytes,
+            m.padding_blocks * config.block_bytes);
+  EXPECT_EQ(totals.data_bytes,
+            (m.user_blocks + m.gc_blocks + m.shadow_blocks) *
+                config.block_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Read path
+// ---------------------------------------------------------------------------
+
+TEST(LssEngineReadTest, PendingBlocksAreBufferHits) {
+  EngineFixture f;
+  f.engine.write_block(1, 0);
+  f.engine.read(1, 1, 10);
+  const LssMetrics& m = f.engine.metrics();
+  EXPECT_EQ(m.read_blocks, 1u);
+  EXPECT_EQ(m.read_buffer_hits, 1u);
+  EXPECT_EQ(m.read_chunk_fetches, 0u);
+}
+
+TEST(LssEngineReadTest, FlushedBlocksFetchChunks) {
+  EngineFixture f;
+  for (Lba lba = 0; lba < 4; ++lba) f.engine.write_block(lba, 0);  // 1 chunk
+  f.engine.read(0, 4, 10);
+  const LssMetrics& m = f.engine.metrics();
+  EXPECT_EQ(m.read_blocks, 4u);
+  // All four blocks share one chunk: a single fetch.
+  EXPECT_EQ(m.read_chunk_fetches, 1u);
+  EXPECT_EQ(m.read_buffer_hits, 0u);
+}
+
+TEST(LssEngineReadTest, UnmappedReadsCounted) {
+  EngineFixture f;
+  f.engine.read(100, 2, 0);
+  EXPECT_EQ(f.engine.metrics().read_unmapped, 2u);
+  EXPECT_EQ(f.engine.metrics().read_chunk_fetches, 0u);
+}
+
+TEST(LssEngineReadTest, SpanningChunksFetchesEach) {
+  EngineFixture f;
+  for (Lba lba = 0; lba < 8; ++lba) f.engine.write_block(lba, 0);  // 2 chunks
+  f.engine.read(0, 8, 10);
+  EXPECT_EQ(f.engine.metrics().read_chunk_fetches, 2u);
+}
+
+TEST(LssEngineReadTest, ReadBeyondCapacityThrows) {
+  EngineFixture f;
+  EXPECT_THROW(f.engine.read(255, 2, 0), std::out_of_range);
+}
+
+TEST(LssEngineReadTest, ReadFiresExpiredDeadlines) {
+  EngineFixture f;
+  f.engine.write_block(1, 0);
+  f.engine.read(1, 1, 500);  // past the 100 us window
+  EXPECT_EQ(f.engine.group_traffic(0).padded_flushes, 1u);
+  // The deadline fired before the read was served, so the block was
+  // already on disk and the read fetched its chunk.
+  EXPECT_EQ(f.engine.metrics().read_chunk_fetches, 1u);
+  EXPECT_EQ(f.engine.metrics().read_buffer_hits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Read-modify-write mode
+// ---------------------------------------------------------------------------
+
+LssConfig rmw_config() {
+  LssConfig c = small_config();
+  c.partial_write_mode = PartialWriteMode::kReadModifyWrite;
+  return c;
+}
+
+TEST(LssEngineRmwTest, DeadlinePersistsWithoutPadding) {
+  TwoGroupPolicy policy;
+  auto victim = make_greedy();
+  LssEngine engine(rmw_config(), policy, *victim, nullptr, 1);
+  engine.write_block(1, 0);
+  engine.advance_time(200);
+  EXPECT_EQ(engine.pending_blocks(0), 0u);
+  EXPECT_EQ(engine.metrics().padding_blocks, 0u);
+  EXPECT_EQ(engine.metrics().rmw_flushes, 1u);
+  EXPECT_GT(engine.metrics().rmw_read_blocks, 0u);
+  engine.check_invariants();
+}
+
+TEST(LssEngineRmwTest, ChunkStaysOpenAcrossSubChunkFlushes) {
+  TwoGroupPolicy policy;
+  auto victim = make_greedy();
+  LssEngine engine(rmw_config(), policy, *victim, nullptr, 1);
+  engine.write_block(1, 0);
+  engine.advance_time(200);  // RMW flush of 1 block
+  engine.write_block(2, 300);
+  engine.write_block(3, 300);
+  engine.write_block(4, 300);  // completes the 4-block chunk -> tail RMW
+  EXPECT_EQ(engine.pending_blocks(0), 0u);
+  EXPECT_EQ(engine.metrics().rmw_flushes, 2u);
+  EXPECT_EQ(engine.group_traffic(0).full_flushes, 0u);
+  engine.check_invariants();
+}
+
+TEST(LssEngineRmwTest, AlignedFullChunksAvoidRmw) {
+  TwoGroupPolicy policy;
+  auto victim = make_greedy();
+  LssEngine engine(rmw_config(), policy, *victim, nullptr, 1);
+  for (Lba lba = 0; lba < 4; ++lba) engine.write_block(lba, 0);
+  EXPECT_EQ(engine.metrics().rmw_flushes, 0u);
+  EXPECT_EQ(engine.group_traffic(0).full_flushes, 1u);
+}
+
+TEST(LssEngineRmwTest, RandomWorkloadNoPaddingEver) {
+  TwoGroupPolicy policy;
+  auto victim = make_greedy();
+  LssEngine engine(rmw_config(), policy, *victim, nullptr, 1);
+  Rng rng(137);
+  TimeUs now = 0;
+  for (int i = 0; i < 6000; ++i) {
+    now += rng.below(300);
+    engine.write_block(rng.below(256), now);
+  }
+  engine.flush_all();
+  engine.check_invariants();
+  EXPECT_EQ(engine.metrics().padding_blocks, 0u);
+  EXPECT_GT(engine.metrics().rmw_flushes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Addressed array integration
+// ---------------------------------------------------------------------------
+
+array::AddressedArrayConfig addressed_for(const LssConfig& c) {
+  array::AddressedArrayConfig ac;
+  ac.chunk_bytes = c.chunk_blocks * c.block_bytes;
+  ac.page_bytes = c.block_bytes;
+  ac.num_streams = 4;
+  ac.data_chunks =
+      static_cast<std::uint64_t>(c.total_segments()) * c.segment_chunks;
+  ac.device_over_provision = 0.3;
+  return ac;
+}
+
+TEST(LssEngineAddressedTest, GeometryMismatchThrows) {
+  TwoGroupPolicy policy;
+  auto victim = make_greedy();
+  LssEngine engine(small_config(), policy, *victim, nullptr, 1);
+  array::AddressedArrayConfig ac = addressed_for(small_config());
+  ac.chunk_bytes *= 2;
+  array::AddressedArray wrong_chunk(ac);
+  EXPECT_THROW(engine.attach_addressed_array(&wrong_chunk),
+               std::invalid_argument);
+  ac = addressed_for(small_config());
+  ac.data_chunks /= 2;
+  array::AddressedArray too_small(ac);
+  EXPECT_THROW(engine.attach_addressed_array(&too_small),
+               std::invalid_argument);
+}
+
+TEST(LssEngineAddressedTest, ChunkWritesReachDevicesAndTrim) {
+  TwoGroupPolicy policy;
+  auto victim = make_greedy();
+  LssEngine engine(small_config(), policy, *victim, nullptr, 1);
+  array::AddressedArray addressed(addressed_for(small_config()));
+  engine.attach_addressed_array(&addressed);
+
+  Rng rng(139);
+  for (int i = 0; i < 6000; ++i) {
+    engine.write_block(rng.below(256), static_cast<TimeUs>(i) * 20);
+  }
+  engine.flush_all();
+  engine.check_invariants();
+  EXPECT_GT(addressed.stats().data_chunk_writes, 0u);
+  EXPECT_EQ(addressed.stats().parity_chunk_writes,
+            addressed.stats().data_chunk_writes);
+  // GC reclaimed segments -> TRIMs flowed to the devices.
+  EXPECT_GT(addressed.stats().trims, 0u);
+  EXPECT_GE(addressed.device_internal_wa(), 1.0);
+}
+
+TEST(LssEngineAddressedTest, DataChunkWritesMatchEngineFlushes) {
+  TwoGroupPolicy policy;
+  auto victim = make_greedy();
+  LssEngine engine(small_config(), policy, *victim, nullptr, 1);
+  array::AddressedArray addressed(addressed_for(small_config()));
+  engine.attach_addressed_array(&addressed);
+  Rng rng(141);
+  for (int i = 0; i < 2000; ++i) {
+    engine.write_block(rng.below(256), static_cast<TimeUs>(i) * 20);
+  }
+  engine.flush_all();
+  EXPECT_EQ(addressed.stats().data_chunk_writes, engine.chunks_flushed());
+}
+
+TEST(LssEngineTest, ArrayStreamMismatchThrows) {
+  TwoGroupPolicy policy;
+  auto victim = make_greedy();
+  array::SsdArrayConfig ac;
+  ac.chunk_bytes = small_config().chunk_blocks * small_config().block_bytes;
+  ac.num_streams = 1;  // fewer streams than groups
+  array::SsdArray ssd_array(ac);
+  EXPECT_THROW(
+      LssEngine(small_config(), policy, *victim, &ssd_array, 1),
+      std::invalid_argument);
+}
+
+TEST(LssEngineTest, ArrayChunkSizeMismatchThrows) {
+  TwoGroupPolicy policy;
+  auto victim = make_greedy();
+  array::SsdArrayConfig ac;
+  ac.chunk_bytes = 1234;
+  ac.num_streams = 4;
+  array::SsdArray ssd_array(ac);
+  EXPECT_THROW(
+      LssEngine(small_config(), policy, *victim, &ssd_array, 1),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adapt::lss

@@ -1,0 +1,90 @@
+// Tests for the multithreaded prototype engine.
+#include <gtest/gtest.h>
+
+#include "proto/prototype.h"
+
+namespace adapt::proto {
+namespace {
+
+PrototypeConfig tiny_proto() {
+  PrototypeConfig c;
+  c.workload.working_set_blocks = 1u << 15;
+  c.workload.mean_interarrival_us = 1;  // effectively open-loop
+  c.writes_per_client = 4000;
+  c.num_clients = 2;
+  c.array_bandwidth_mb_per_s = 5000;  // keep the test fast
+  c.policy = "sepgc";
+  return c;
+}
+
+TEST(PrototypeTest, CompletesAndReportsThroughput) {
+  const PrototypeResult r = run_prototype(tiny_proto());
+  EXPECT_EQ(r.policy, "sepgc");
+  EXPECT_EQ(r.num_clients, 2u);
+  EXPECT_GE(r.user_blocks, 8000u);
+  EXPECT_GT(r.elapsed_seconds, 0.0);
+  EXPECT_GT(r.throughput_mib_per_s, 0.0);
+  EXPECT_GT(r.throughput_kops, 0.0);
+}
+
+TEST(PrototypeTest, SingleClientWorks) {
+  PrototypeConfig c = tiny_proto();
+  c.num_clients = 1;
+  c.writes_per_client = 2000;
+  const PrototypeResult r = run_prototype(c);
+  EXPECT_GE(r.user_blocks, 2000u);
+}
+
+TEST(PrototypeTest, RunsWithAdaptPolicy) {
+  PrototypeConfig c = tiny_proto();
+  c.policy = "adapt";
+  c.writes_per_client = 2000;
+  const PrototypeResult r = run_prototype(c);
+  EXPECT_GE(r.metrics.wa(), 1.0);
+  EXPECT_GT(r.policy_memory_bytes, 0u);
+}
+
+TEST(PrototypeTest, BackgroundGcCanBeDisabled) {
+  PrototypeConfig c = tiny_proto();
+  c.background_gc = false;
+  c.writes_per_client = 2000;
+  const PrototypeResult r = run_prototype(c);
+  EXPECT_GE(r.user_blocks, 4000u);
+}
+
+TEST(PrototypeTest, LatencyPercentilesReported) {
+  PrototypeConfig c = tiny_proto();
+  c.writes_per_client = 2000;
+  const PrototypeResult r = run_prototype(c);
+  EXPECT_GE(r.latency_p99_us, r.latency_p50_us);
+  EXPECT_GT(r.latency_p99_us, 0.0);
+}
+
+TEST(PrototypeTest, MemoryAccountingPopulated) {
+  PrototypeConfig c = tiny_proto();
+  c.writes_per_client = 1000;
+  const PrototypeResult r = run_prototype(c);
+  EXPECT_GT(r.engine_memory_bytes, 0u);
+}
+
+TEST(PrototypeTest, MoreBandwidthMoreThroughput) {
+  PrototypeConfig slow = tiny_proto();
+  slow.array_bandwidth_mb_per_s = 50;
+  slow.writes_per_client = 2000;
+  PrototypeConfig fast = slow;
+  fast.array_bandwidth_mb_per_s = 5000;
+  const PrototypeResult a = run_prototype(slow);
+  const PrototypeResult b = run_prototype(fast);
+  EXPECT_GT(b.throughput_mib_per_s, a.throughput_mib_per_s);
+}
+
+TEST(PrototypeTest, WaConsistentWithSimSemantics) {
+  PrototypeConfig c = tiny_proto();
+  c.writes_per_client = 3000;
+  const PrototypeResult r = run_prototype(c);
+  EXPECT_GE(r.metrics.wa(), 1.0);
+  EXPECT_EQ(r.metrics.user_blocks, r.user_blocks);
+}
+
+}  // namespace
+}  // namespace adapt::proto

@@ -1,0 +1,48 @@
+// Shared helpers for engine-level tests: minimal placement policies and a
+// small, fast LSS geometry.
+#pragma once
+
+#include <cstdint>
+
+#include "lss/config.h"
+#include "lss/placement_policy.h"
+
+namespace adapt::testing {
+
+/// All user writes to group 0, all GC rewrites to group 1 (SepGC shape) —
+/// the simplest valid policy for engine mechanics tests.
+class TwoGroupPolicy final : public lss::PlacementPolicy {
+ public:
+  std::string_view name() const override { return "test-two-group"; }
+  GroupId group_count() const override { return 2; }
+  bool is_user_group(GroupId g) const override { return g == 0; }
+  GroupId place_user_write(Lba, VTime) override { return 0; }
+  GroupId place_gc_rewrite(Lba, GroupId, VTime) override { return 1; }
+};
+
+/// Routes user writes by LBA parity — exercises multi-user-group paths.
+class ParityPolicy final : public lss::PlacementPolicy {
+ public:
+  std::string_view name() const override { return "test-parity"; }
+  GroupId group_count() const override { return 3; }
+  bool is_user_group(GroupId g) const override { return g < 2; }
+  GroupId place_user_write(Lba lba, VTime) override {
+    return static_cast<GroupId>(lba & 1);
+  }
+  GroupId place_gc_rewrite(Lba, GroupId, VTime) override { return 2; }
+};
+
+/// Small geometry: 4-block chunks (16 KiB), 8-block segments, 256 logical
+/// blocks, generous over-provision so every policy fits.
+inline lss::LssConfig small_config() {
+  lss::LssConfig c;
+  c.chunk_blocks = 4;
+  c.segment_chunks = 2;
+  c.logical_blocks = 256;
+  c.over_provision = 0.75;
+  c.coalesce_window_us = 100;
+  c.free_segment_reserve = 4;
+  return c;
+}
+
+}  // namespace adapt::testing

@@ -1,0 +1,360 @@
+// Tests for src/trace: CSV parsing across the four formats, trace reading,
+// synthetic generators, and workload statistics.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "trace/reader.h"
+#include "trace/record.h"
+#include "trace/synthetic.h"
+#include "trace/workload_stats.h"
+
+namespace adapt::trace {
+namespace {
+
+// ---------------------------------------------------------------------------
+// parse_line
+// ---------------------------------------------------------------------------
+
+TEST(ParseLineTest, Canonical) {
+  const auto r = parse_line("100,W,42,3", TraceFormat::kCanonical);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->ts_us, 100u);
+  EXPECT_EQ(r->op, OpType::kWrite);
+  EXPECT_EQ(r->lba, 42u);
+  EXPECT_EQ(r->blocks, 3u);
+}
+
+TEST(ParseLineTest, CanonicalRead) {
+  const auto r = parse_line("0,R,1,1", TraceFormat::kCanonical);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->op, OpType::kRead);
+}
+
+TEST(ParseLineTest, SkipsBlankAndComments) {
+  EXPECT_FALSE(parse_line("", TraceFormat::kCanonical).has_value());
+  EXPECT_FALSE(parse_line("   ", TraceFormat::kCanonical).has_value());
+  EXPECT_FALSE(parse_line("# comment", TraceFormat::kCanonical).has_value());
+}
+
+TEST(ParseLineTest, MalformedThrows) {
+  EXPECT_THROW(parse_line("1,W,x,1", TraceFormat::kCanonical),
+               std::invalid_argument);
+  EXPECT_THROW(parse_line("1,W,2", TraceFormat::kCanonical),
+               std::invalid_argument);
+  EXPECT_THROW(parse_line("1,Q,2,3", TraceFormat::kCanonical),
+               std::invalid_argument);
+}
+
+TEST(ParseLineTest, AlibabaFormat) {
+  // device_id,opcode,offset_bytes,length_bytes,ts_us
+  const auto r = parse_line("3,W,8192,8192,5000000", TraceFormat::kAlibaba);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->ts_us, 5000000u);
+  EXPECT_EQ(r->lba, 2u);      // 8192 / 4096
+  EXPECT_EQ(r->blocks, 2u);   // 8192 bytes
+  EXPECT_EQ(r->op, OpType::kWrite);
+}
+
+TEST(ParseLineTest, AlibabaUnalignedOffsetRoundsUp) {
+  // offset 6144 (1.5 blocks): starts in block 1, 4096 bytes spanning into
+  // block 2 -> 2 blocks.
+  const auto r = parse_line("0,R,6144,4096,0", TraceFormat::kAlibaba);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->lba, 1u);
+  EXPECT_EQ(r->blocks, 2u);
+}
+
+TEST(ParseLineTest, TencentFormat) {
+  // ts_sec,offset_sectors,size_sectors,io_type,volume
+  const auto r = parse_line("1.5,16,8,1,77", TraceFormat::kTencent);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->ts_us, 1500000u);
+  EXPECT_EQ(r->op, OpType::kWrite);
+  EXPECT_EQ(r->lba, 2u);     // 16*512 / 4096
+  EXPECT_EQ(r->blocks, 1u);  // 8*512 = 4096 bytes
+}
+
+TEST(ParseLineTest, TencentReadType) {
+  const auto r = parse_line("0,0,8,0,1", TraceFormat::kTencent);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->op, OpType::kRead);
+}
+
+TEST(ParseLineTest, MsrcFormat) {
+  // ts_100ns,host,disk,type,offset,size[,response]
+  const auto r = parse_line("128166372003061629,usr,0,Write,8192,4096,100",
+                            TraceFormat::kMsrc);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->op, OpType::kWrite);
+  EXPECT_EQ(r->lba, 2u);
+  EXPECT_EQ(r->blocks, 1u);
+  EXPECT_EQ(r->ts_us, 12816637200306162u);
+}
+
+TEST(ParseLineTest, ZeroLengthCountsOneBlock) {
+  const auto r = parse_line("0,W,0,0,0", TraceFormat::kAlibaba);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->blocks, 1u);
+}
+
+TEST(ParseLineTest, CustomBlockSize) {
+  const auto r =
+      parse_line("0,W,16384,16384,0", TraceFormat::kAlibaba, 16384);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->lba, 1u);
+  EXPECT_EQ(r->blocks, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// read_trace / write_canonical
+// ---------------------------------------------------------------------------
+
+TEST(ReadTraceTest, RebasesTimestamps) {
+  std::istringstream in("500,W,0,1\n700,W,4,2\n");
+  const Volume v = read_trace(in, TraceFormat::kCanonical);
+  ASSERT_EQ(v.records.size(), 2u);
+  EXPECT_EQ(v.records[0].ts_us, 0u);
+  EXPECT_EQ(v.records[1].ts_us, 200u);
+}
+
+TEST(ReadTraceTest, CapacityFromMaxBlock) {
+  std::istringstream in("0,W,10,4\n0,W,2,1\n");
+  const Volume v = read_trace(in, TraceFormat::kCanonical);
+  EXPECT_EQ(v.capacity_blocks, 14u);
+}
+
+TEST(ReadTraceTest, ExplicitCapacityWins) {
+  std::istringstream in("0,W,10,4\n");
+  const Volume v = read_trace(in, TraceFormat::kCanonical, 4096, 1000);
+  EXPECT_EQ(v.capacity_blocks, 1000u);
+}
+
+TEST(ReadTraceTest, RoundTripThroughCanonical) {
+  Volume v;
+  v.capacity_blocks = 100;
+  v.records = {{0, OpType::kWrite, 5, 2},
+               {10, OpType::kRead, 7, 1},
+               {25, OpType::kWrite, 0, 16}};
+  std::ostringstream out;
+  write_canonical(out, v);
+  std::istringstream in(out.str());
+  const Volume round = read_trace(in, TraceFormat::kCanonical, 4096, 100);
+  EXPECT_EQ(round.records, v.records);
+}
+
+// ---------------------------------------------------------------------------
+// YCSB generator
+// ---------------------------------------------------------------------------
+
+TEST(YcsbTest, Deterministic) {
+  YcsbConfig c;
+  c.seed = 5;
+  YcsbGenerator a(c);
+  YcsbGenerator b(c);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(YcsbTest, TimestampsMonotone) {
+  YcsbConfig c;
+  YcsbGenerator gen(c);
+  TimeUs prev = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const Record r = gen.next();
+    EXPECT_GE(r.ts_us, prev);
+    prev = r.ts_us;
+  }
+}
+
+TEST(YcsbTest, MeanInterarrivalApproximatelyHolds) {
+  YcsbConfig c;
+  c.mean_interarrival_us = 200;
+  c.seed = 5;
+  YcsbGenerator gen(c);
+  Record last;
+  for (int i = 0; i < 20000; ++i) last = gen.next();
+  EXPECT_NEAR(static_cast<double>(last.ts_us) / 20000, 200.0, 10.0);
+}
+
+TEST(YcsbTest, LbasWithinWorkingSet) {
+  YcsbConfig c;
+  c.working_set_blocks = 1 << 12;
+  c.request_blocks = 4;
+  YcsbGenerator gen(c);
+  for (int i = 0; i < 5000; ++i) {
+    const Record r = gen.next();
+    EXPECT_LE(r.lba + r.blocks, c.working_set_blocks);
+    EXPECT_EQ(r.lba % c.request_blocks, 0u);
+  }
+}
+
+TEST(YcsbTest, ReadRatioHolds) {
+  YcsbConfig c;
+  c.read_ratio = 0.5;
+  c.seed = 9;
+  YcsbGenerator gen(c);
+  int reads = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (gen.next().op == OpType::kRead) ++reads;
+  }
+  EXPECT_NEAR(static_cast<double>(reads) / n, 0.5, 0.02);
+}
+
+TEST(YcsbTest, VolumeHitsWriteTarget) {
+  YcsbConfig c;
+  c.working_set_blocks = 1 << 10;
+  const Volume v = make_ycsb_volume(c, 5000);
+  std::uint64_t written = 0;
+  for (const Record& r : v.records) {
+    if (r.op == OpType::kWrite) written += r.blocks;
+  }
+  EXPECT_GE(written, 5000u);
+  EXPECT_LT(written, 5000u + 64);
+}
+
+// ---------------------------------------------------------------------------
+// Cloud volume model
+// ---------------------------------------------------------------------------
+
+class CloudProfileTest
+    : public ::testing::TestWithParam<CloudProfile> {};
+
+TEST_P(CloudProfileTest, ParamsAreDeterministic) {
+  CloudVolumeModel a(GetParam(), 99);
+  CloudVolumeModel b(GetParam(), 99);
+  for (std::uint64_t vid = 0; vid < 10; ++vid) {
+    const VolumeParams pa = a.draw_params(vid);
+    const VolumeParams pb = b.draw_params(vid);
+    EXPECT_EQ(pa.working_set_blocks, pb.working_set_blocks);
+    EXPECT_DOUBLE_EQ(pa.rate_per_sec, pb.rate_per_sec);
+    EXPECT_DOUBLE_EQ(pa.zipf_alpha, pb.zipf_alpha);
+  }
+}
+
+TEST_P(CloudProfileTest, ParamsWithinProfileRanges) {
+  CloudVolumeModel model(GetParam(), 7);
+  const CloudProfile& prof = GetParam();
+  for (std::uint64_t vid = 0; vid < 50; ++vid) {
+    const VolumeParams p = model.draw_params(vid);
+    EXPECT_GE(p.zipf_alpha, prof.alpha_lo);
+    EXPECT_LE(p.zipf_alpha, prof.alpha_hi);
+    EXPECT_GE(p.working_set_blocks, prof.min_ws_blocks);
+    EXPECT_LE(p.working_set_blocks, prof.max_ws_blocks);
+    EXPECT_GT(p.rate_per_sec, 0.0);
+  }
+}
+
+TEST_P(CloudProfileTest, VolumeAddressesStayInCapacity) {
+  CloudVolumeModel model(GetParam(), 11);
+  const Volume v = model.make_volume(0, 1.0);
+  for (const Record& r : v.records) {
+    EXPECT_LT(r.lba, v.capacity_blocks);
+  }
+}
+
+TEST_P(CloudProfileTest, FillFactorControlsWriteVolume) {
+  CloudVolumeModel model(GetParam(), 13);
+  const Volume v = model.make_volume(3, 2.0);
+  std::uint64_t written = 0;
+  for (const Record& r : v.records) {
+    if (r.op == OpType::kWrite) written += r.blocks;
+  }
+  EXPECT_GE(written, 2 * v.capacity_blocks);
+  EXPECT_LT(written, 2 * v.capacity_blocks + 64);
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, CloudProfileTest,
+                         ::testing::Values(alibaba_profile(),
+                                           tencent_profile(),
+                                           msrc_profile()),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(CloudCalibrationTest, RequestRateCdfMatchesFigure2a) {
+  // Paper: 75-86% of volumes below 10 req/s, ~2-3% above 100 req/s.
+  CloudVolumeModel model(alibaba_profile(), 21);
+  int below10 = 0;
+  int above100 = 0;
+  const int n = 2000;
+  for (int vid = 0; vid < n; ++vid) {
+    const double rate = model.draw_params(vid).rate_per_sec;
+    if (rate < 10) ++below10;
+    if (rate > 100) ++above100;
+  }
+  EXPECT_NEAR(static_cast<double>(below10) / n, 0.80, 0.06);
+  EXPECT_NEAR(static_cast<double>(above100) / n, 0.025, 0.02);
+}
+
+TEST(CloudCalibrationTest, WriteSizeCdfMatchesFigure2b) {
+  // Paper: 69.8-80.9% of writes <= 8 KiB; 10.8-23.4% > 32 KiB.
+  for (const auto& profile :
+       {alibaba_profile(), tencent_profile(), msrc_profile()}) {
+    Rng rng(23);
+    int le8k = 0;
+    int gt32k = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+      const std::uint32_t blocks =
+          draw_request_blocks(profile.size_weights, rng);
+      if (blocks <= 2) ++le8k;
+      if (blocks > 8) ++gt32k;
+    }
+    const double p8 = static_cast<double>(le8k) / n;
+    const double p32 = static_cast<double>(gt32k) / n;
+    EXPECT_GE(p8, 0.65) << profile.name;
+    EXPECT_LE(p8, 0.85) << profile.name;
+    EXPECT_GE(p32, 0.08) << profile.name;
+    EXPECT_LE(p32, 0.27) << profile.name;
+  }
+}
+
+TEST(CloudModelTest, TimestampsMonotone) {
+  CloudVolumeModel model(tencent_profile(), 31);
+  const Volume v = model.make_volume(1, 1.0);
+  TimeUs prev = 0;
+  for (const Record& r : v.records) {
+    EXPECT_GE(r.ts_us, prev);
+    prev = r.ts_us;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Workload stats
+// ---------------------------------------------------------------------------
+
+TEST(WorkloadStatsTest, CountsAndRates) {
+  Volume v;
+  v.id = 9;
+  v.capacity_blocks = 100;
+  v.records = {{0, OpType::kWrite, 0, 2},
+               {500000, OpType::kRead, 4, 1},
+               {1000000, OpType::kWrite, 8, 4}};
+  const VolumeStats s = compute_volume_stats(v);
+  EXPECT_EQ(s.requests, 3u);
+  EXPECT_EQ(s.write_requests, 2u);
+  EXPECT_EQ(s.write_blocks, 6u);
+  EXPECT_EQ(s.duration_us, 1000000u);
+  EXPECT_DOUBLE_EQ(s.avg_request_rate_per_sec, 3.0);
+  EXPECT_DOUBLE_EQ(s.avg_write_size_bytes, 3.0 * 4096);
+}
+
+TEST(WorkloadStatsTest, EmptyVolume) {
+  Volume v;
+  const VolumeStats s = compute_volume_stats(v);
+  EXPECT_EQ(s.requests, 0u);
+  EXPECT_DOUBLE_EQ(s.avg_request_rate_per_sec, 0.0);
+}
+
+TEST(WorkloadStatsTest, DistributionsAcrossVolumes) {
+  std::vector<Volume> volumes(2);
+  volumes[0].records = {{0, OpType::kWrite, 0, 1},
+                        {1000000, OpType::kWrite, 1, 2}};
+  volumes[1].records = {{0, OpType::kWrite, 0, 8},
+                        {2000000, OpType::kRead, 1, 1}};
+  const WorkloadDistributions d = compute_distributions(volumes);
+  EXPECT_EQ(d.request_rate_per_volume.count(), 2u);
+  EXPECT_EQ(d.write_size_bytes.count(), 3u);
+}
+
+}  // namespace
+}  // namespace adapt::trace

@@ -1,0 +1,148 @@
+// Unit tests for the victim-selection policies against hand-crafted
+// segment pools.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lss/victim_policy.h"
+
+namespace adapt::lss {
+namespace {
+
+// Builds a sealed segment with the given valid count and seal time.
+Segment sealed_segment(std::uint32_t blocks, std::uint32_t valid,
+                       VTime seal_vtime) {
+  Segment s;
+  s.reset(blocks);
+  s.free = false;
+  s.sealed = true;
+  s.write_ptr = blocks;
+  s.valid_count = valid;
+  s.seal_vtime = seal_vtime;
+  return s;
+}
+
+struct Pool {
+  std::vector<Segment> segments;
+  std::vector<SegmentId> candidates;
+
+  void add(std::uint32_t valid, VTime seal_vtime, std::uint32_t blocks = 8) {
+    segments.push_back(sealed_segment(blocks, valid, seal_vtime));
+    candidates.push_back(static_cast<SegmentId>(segments.size() - 1));
+  }
+};
+
+TEST(GreedyTest, PicksLeastValid) {
+  Pool pool;
+  pool.add(5, 0);
+  pool.add(2, 0);
+  pool.add(7, 0);
+  Rng rng(1);
+  auto policy = make_greedy();
+  EXPECT_EQ(policy->select(pool.candidates, pool.segments, 100, rng), 1u);
+}
+
+TEST(GreedyTest, EmptyCandidatesReturnsInvalid) {
+  Pool pool;
+  Rng rng(1);
+  auto policy = make_greedy();
+  EXPECT_EQ(policy->select(pool.candidates, pool.segments, 0, rng),
+            kInvalidSegment);
+}
+
+TEST(CostBenefitTest, PrefersOlderAmongEquallyValid) {
+  Pool pool;
+  pool.add(4, /*seal_vtime=*/90);  // young
+  pool.add(4, /*seal_vtime=*/10);  // old
+  Rng rng(1);
+  auto policy = make_cost_benefit();
+  EXPECT_EQ(policy->select(pool.candidates, pool.segments, 100, rng), 1u);
+}
+
+TEST(CostBenefitTest, EmptySegmentBeatsOldFullOne) {
+  Pool pool;
+  pool.add(8, 0);    // fully valid, ancient
+  pool.add(0, 99);   // empty, young
+  Rng rng(1);
+  auto policy = make_cost_benefit();
+  EXPECT_EQ(policy->select(pool.candidates, pool.segments, 100, rng), 1u);
+}
+
+TEST(CostBenefitTest, TradesAgeAgainstUtilization) {
+  Pool pool;
+  pool.add(6, 0);    // 75% valid but very old: (1-.75)*101/1.75 = 14.4
+  pool.add(2, 99);   // 25% valid but brand new: (1-.25)*2/1.25 = 1.2
+  Rng rng(1);
+  auto policy = make_cost_benefit();
+  EXPECT_EQ(policy->select(pool.candidates, pool.segments, 100, rng), 0u);
+}
+
+TEST(DChoiceTest, WithLargeDMatchesGreedy) {
+  Pool pool;
+  for (std::uint32_t v = 8; v > 0; --v) pool.add(v, 0);
+  Rng rng(5);
+  auto policy = make_d_choice(64);
+  // Sampling 64 times from 8 candidates virtually guarantees seeing the min.
+  EXPECT_EQ(policy->select(pool.candidates, pool.segments, 0, rng), 7u);
+}
+
+TEST(DChoiceTest, ReturnsSomeCandidate) {
+  Pool pool;
+  pool.add(1, 0);
+  pool.add(2, 0);
+  Rng rng(7);
+  auto policy = make_d_choice(1);
+  for (int i = 0; i < 20; ++i) {
+    const SegmentId v =
+        policy->select(pool.candidates, pool.segments, 0, rng);
+    EXPECT_LT(v, 2u);
+  }
+}
+
+TEST(WindowedGreedyTest, RestrictsToOldestWindow) {
+  Pool pool;
+  pool.add(8, 0);   // oldest, fully valid
+  pool.add(7, 1);   // second oldest
+  pool.add(0, 50);  // newest, empty — outside window of 2
+  Rng rng(1);
+  auto policy = make_windowed_greedy(2);
+  EXPECT_EQ(policy->select(pool.candidates, pool.segments, 100, rng), 1u);
+}
+
+TEST(WindowedGreedyTest, WindowLargerThanPoolIsGreedy) {
+  Pool pool;
+  pool.add(5, 0);
+  pool.add(1, 99);
+  Rng rng(1);
+  auto policy = make_windowed_greedy(100);
+  EXPECT_EQ(policy->select(pool.candidates, pool.segments, 100, rng), 1u);
+}
+
+TEST(RandomTest, UniformOverCandidates) {
+  Pool pool;
+  pool.add(1, 0);
+  pool.add(2, 0);
+  pool.add(3, 0);
+  Rng rng(11);
+  auto policy = make_random();
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 3000; ++i) {
+    ++counts[policy->select(pool.candidates, pool.segments, 0, rng)];
+  }
+  for (int c : counts) EXPECT_GT(c, 700);
+}
+
+TEST(VictimFactoryTest, KnownNames) {
+  EXPECT_EQ(make_victim_policy("greedy")->name(), "greedy");
+  EXPECT_EQ(make_victim_policy("cost-benefit")->name(), "cost-benefit");
+  EXPECT_EQ(make_victim_policy("d-choice")->name(), "d-choice");
+  EXPECT_EQ(make_victim_policy("windowed")->name(), "windowed-greedy");
+  EXPECT_EQ(make_victim_policy("random")->name(), "random");
+}
+
+TEST(VictimFactoryTest, UnknownNameThrows) {
+  EXPECT_THROW(make_victim_policy("lru"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adapt::lss
