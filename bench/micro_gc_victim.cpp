@@ -1,0 +1,261 @@
+// Micro-benchmark: GC victim selections per second, scan vs index.
+//
+// The "scan" baselines replicate the seed implementation exactly: every
+// selection first rebuilds the candidate list with a full ascending-id
+// sweep of the segment pool (as run_gc_once did) and then runs the seed's
+// per-policy selection loop over it. The "indexed" side drives the
+// incremental VictimPolicy interface (bind_pool + notifications), and its
+// per-selection cost includes a burst of on_valid_delta maintenance so the
+// index pays for its bookkeeping inside the measured region.
+//
+// Emits a table and BENCH_gc_victim.json (in the working directory).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "lss/victim_policy.h"
+
+namespace adapt::lss {
+namespace {
+
+constexpr std::uint32_t kBlocks = 256;
+constexpr std::uint32_t kD = 8;        // seed default for d-choice
+constexpr std::uint32_t kWindow = 32;  // seed default for windowed
+/// Valid-count maintenance notifications charged to each indexed select.
+constexpr std::uint32_t kChurnPerSelect = 4;
+
+std::vector<Segment> make_pool(std::uint32_t total, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Segment> segments(total);
+  VTime vtime = 0;
+  for (Segment& s : segments) {
+    s.reset(kBlocks);
+    s.free = false;
+    s.sealed = true;
+    s.write_ptr = kBlocks;
+    s.valid_count = static_cast<std::uint32_t>(rng.below(kBlocks + 1));
+    s.seal_vtime = vtime;
+    vtime += 1 + rng.below(kBlocks);
+  }
+  return segments;
+}
+
+// -- seed scan baselines ----------------------------------------------------
+
+std::uint64_t rebuild_candidates(const std::vector<Segment>& segments,
+                                 std::vector<SegmentId>& out) {
+  out.clear();
+  for (SegmentId id = 0; id < segments.size(); ++id) {
+    const Segment& seg = segments[id];
+    if (!seg.free && seg.sealed) out.push_back(id);
+  }
+  return out.size();
+}
+
+SegmentId scan_select(const std::string& policy,
+                      const std::vector<SegmentId>& candidates,
+                      const std::vector<Segment>& segments, VTime now,
+                      Rng& rng, std::vector<SegmentId>& scratch) {
+  if (candidates.empty()) return kInvalidSegment;
+  SegmentId best = kInvalidSegment;
+  std::uint32_t best_valid = std::numeric_limits<std::uint32_t>::max();
+  if (policy == "greedy") {
+    for (SegmentId id : candidates) {
+      if (segments[id].valid_count < best_valid) {
+        best_valid = segments[id].valid_count;
+        best = id;
+      }
+    }
+    return best;
+  }
+  if (policy == "cost-benefit") {
+    double best_score = -1.0;
+    for (SegmentId id : candidates) {
+      const Segment& seg = segments[id];
+      const double u = seg.utilization();
+      const double age = static_cast<double>(
+                             now >= seg.seal_vtime ? now - seg.seal_vtime : 0) +
+                         1.0;
+      const double score = (1.0 - u) * age / (1.0 + u);
+      if (score > best_score) {
+        best_score = score;
+        best = id;
+      }
+    }
+    return best;
+  }
+  if (policy == "d-choice") {
+    for (std::uint32_t i = 0; i < kD; ++i) {
+      const SegmentId id = candidates[rng.below(candidates.size())];
+      if (segments[id].valid_count < best_valid) {
+        best_valid = segments[id].valid_count;
+        best = id;
+      }
+    }
+    return best;
+  }
+  if (policy == "windowed") {
+    scratch.assign(candidates.begin(), candidates.end());
+    const std::size_t w = std::min<std::size_t>(kWindow, scratch.size());
+    std::partial_sort(scratch.begin(), scratch.begin() + w, scratch.end(),
+                      [&](SegmentId a, SegmentId b) {
+                        return segments[a].seal_vtime < segments[b].seal_vtime;
+                      });
+    for (std::size_t i = 0; i < w; ++i) {
+      if (segments[scratch[i]].valid_count < best_valid) {
+        best_valid = segments[scratch[i]].valid_count;
+        best = scratch[i];
+      }
+    }
+    return best;
+  }
+  // random
+  return candidates[rng.below(candidates.size())];
+}
+
+// -- measurement ------------------------------------------------------------
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Runs `body(iteration)` in growing batches until ~0.15s elapse and
+/// returns iterations per second.
+template <typename Body>
+double measure_rate(Body&& body) {
+  constexpr double kMinSeconds = 0.15;
+  std::uint64_t done = 0;
+  std::uint64_t batch = 8;
+  const Clock::time_point t0 = Clock::now();
+  double elapsed = 0.0;
+  while (elapsed < kMinSeconds) {
+    for (std::uint64_t i = 0; i < batch; ++i) body(done + i);
+    done += batch;
+    elapsed = seconds_since(t0);
+    batch = std::min<std::uint64_t>(batch * 2, 1u << 20);
+  }
+  return static_cast<double>(done) / elapsed;
+}
+
+struct CellResult {
+  std::string policy;
+  double scan_per_s = 0.0;
+  double indexed_per_s = 0.0;
+
+  double speedup() const { return indexed_per_s / scan_per_s; }
+};
+
+CellResult run_cell(const std::string& policy, std::uint32_t total) {
+  CellResult r;
+  r.policy = policy;
+
+  // Scan side: seed candidate rebuild + seed selection loop per call.
+  {
+    std::vector<Segment> segments = make_pool(total, /*seed=*/total);
+    std::vector<SegmentId> candidates;
+    std::vector<SegmentId> scratch;
+    candidates.reserve(total);
+    Rng sel_rng(99);
+    Rng churn_rng(7);
+    volatile SegmentId sink = 0;
+    r.scan_per_s = measure_rate([&](std::uint64_t iter) {
+      for (std::uint32_t i = 0; i < kChurnPerSelect; ++i) {
+        Segment& seg = segments[churn_rng.below(segments.size())];
+        seg.valid_count =
+            static_cast<std::uint32_t>(churn_rng.below(kBlocks + 1));
+      }
+      rebuild_candidates(segments, candidates);
+      sink = scan_select(policy, candidates, segments,
+                         static_cast<VTime>(iter), sel_rng, scratch);
+    });
+    (void)sink;
+  }
+
+  // Indexed side: same pool and churn stream, but mutations are delivered
+  // as on_valid_delta notifications and selection uses the live index.
+  {
+    std::vector<Segment> segments = make_pool(total, /*seed=*/total);
+    std::unique_ptr<VictimPolicy> index = make_victim_policy(policy);
+    index->bind_pool(total, kBlocks);
+    for (SegmentId id = 0; id < segments.size(); ++id) {
+      index->on_seal(id, segments[id].valid_count, segments[id].seal_vtime);
+    }
+    Rng sel_rng(99);
+    Rng churn_rng(7);
+    volatile SegmentId sink = 0;
+    r.indexed_per_s = measure_rate([&](std::uint64_t iter) {
+      for (std::uint32_t i = 0; i < kChurnPerSelect; ++i) {
+        Segment& seg = segments[churn_rng.below(segments.size())];
+        const std::uint32_t old_valid = seg.valid_count;
+        seg.valid_count =
+            static_cast<std::uint32_t>(churn_rng.below(kBlocks + 1));
+        index->on_valid_delta(
+            static_cast<SegmentId>(&seg - segments.data()), old_valid,
+            seg.valid_count);
+      }
+      sink = index->select(segments, static_cast<VTime>(iter), sel_rng);
+    });
+    (void)sink;
+  }
+  return r;
+}
+
+int run() {
+  const std::vector<std::uint32_t> pool_sizes = {4096, 65536, 262144};
+  const std::vector<std::string> policies = {"greedy", "cost-benefit",
+                                             "d-choice", "windowed", "random"};
+
+  std::printf("GC victim selection throughput (selections/sec)\n");
+  std::printf("segment_blocks=%u, churn=%u valid-count updates per select\n\n",
+              kBlocks, kChurnPerSelect);
+  std::printf("%10s %14s %15s %15s %10s\n", "segments", "policy", "scan/s",
+              "indexed/s", "speedup");
+
+  std::FILE* json = std::fopen("BENCH_gc_victim.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_gc_victim.json for writing\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"gc_victim_selection\",\n"
+               "  \"segment_blocks\": %u,\n"
+               "  \"churn_per_select\": %u,\n  \"pools\": [\n",
+               kBlocks, kChurnPerSelect);
+
+  bool first_pool = true;
+  for (std::uint32_t total : pool_sizes) {
+    std::fprintf(json, "%s    {\"segments\": %u, \"policies\": [\n",
+                 first_pool ? "" : ",\n", total);
+    first_pool = false;
+    bool first_policy = true;
+    for (const std::string& policy : policies) {
+      const CellResult r = run_cell(policy, total);
+      std::printf("%10u %14s %15.0f %15.0f %9.1fx\n", total, r.policy.c_str(),
+                  r.scan_per_s, r.indexed_per_s, r.speedup());
+      std::fflush(stdout);
+      std::fprintf(json,
+                   "%s      {\"name\": \"%s\", \"scan_sel_per_s\": %.1f, "
+                   "\"indexed_sel_per_s\": %.1f, \"speedup\": %.2f}",
+                   first_policy ? "" : ",\n", r.policy.c_str(), r.scan_per_s,
+                   r.indexed_per_s, r.speedup());
+      first_policy = false;
+    }
+    std::fprintf(json, "\n    ]}");
+  }
+  std::fprintf(json, "\n  ]\n}\n");
+  std::fclose(json);
+  std::printf("\nwrote BENCH_gc_victim.json\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace adapt::lss
+
+int main() { return adapt::lss::run(); }

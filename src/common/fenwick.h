@@ -1,9 +1,11 @@
 // Fenwick (binary indexed) tree over a dynamically growing index range.
-// Used by the reuse-distance tracker: positions in the sampled access
+// Used by the reuse-distance tracker (positions in the sampled access
 // sequence are marked/unmarked and suffix counts give the number of
-// distinct blocks touched since a given position.
+// distinct blocks touched since a given position) and by the GC victim
+// index (occupancy counts with order-statistic queries).
 #pragma once
 
+#include <bit>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -65,6 +67,23 @@ class FenwickTree {
   /// Sum of positions in (i, size) — i.e. strictly after position i.
   std::int64_t suffix_sum_after(std::size_t i) const noexcept {
     return total() - prefix_sum(i);
+  }
+
+  /// Order statistic: the smallest 0-indexed position p such that
+  /// prefix_sum(p) >= k (k >= 1), assuming every point value is
+  /// non-negative. Returns size() when the total is below k. One
+  /// binary-lifting descent, O(log size).
+  std::size_t lower_bound(std::int64_t k) const noexcept {
+    std::size_t pos = 0;  // 1-indexed: positions proven to hold sum < k
+    std::int64_t remaining = k;
+    for (std::size_t step = std::bit_floor(size()); step != 0; step >>= 1) {
+      const std::size_t next = pos + step;
+      if (next <= size() && tree_[next] < remaining) {
+        pos = next;
+        remaining -= tree_[next];
+      }
+    }
+    return pos;  // first 0-indexed position with cumulative sum >= k
   }
 
  private:

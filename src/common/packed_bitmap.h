@@ -1,0 +1,78 @@
+// Fixed-size bitmap packed into 64-bit words. Replaces std::vector<bool>
+// on the segment hot path: worded access lets GC relocation scans skip 64
+// dead slots at a time and valid-count audits use hardware popcount
+// instead of per-bit loops.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace adapt {
+
+class PackedBitmap {
+ public:
+  static constexpr std::size_t kWordBits = 64;
+
+  /// Resizes to `n` bits, all set to `value` (tail bits stay zero).
+  void assign(std::size_t n, bool value) {
+    size_ = n;
+    words_.assign(word_count(), value ? ~std::uint64_t{0} : 0);
+    if (value) trim_tail();
+  }
+
+  std::size_t size() const noexcept { return size_; }
+
+  std::size_t word_count() const noexcept {
+    return (size_ + kWordBits - 1) / kWordBits;
+  }
+
+  bool test(std::size_t i) const noexcept {
+    return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+  }
+
+  void set(std::size_t i) noexcept {
+    words_[i / kWordBits] |= std::uint64_t{1} << (i % kWordBits);
+  }
+
+  void reset(std::size_t i) noexcept {
+    words_[i / kWordBits] &= ~(std::uint64_t{1} << (i % kWordBits));
+  }
+
+  /// Raw word `w` (bits [64w, 64w + 63]); zero words let scans skip a
+  /// whole dead region in one comparison.
+  std::uint64_t word(std::size_t w) const noexcept { return words_[w]; }
+
+  /// Number of set bits in [begin, end).
+  std::size_t count(std::size_t begin, std::size_t end) const noexcept {
+    if (begin >= end) return 0;
+    const std::size_t first = begin / kWordBits;
+    const std::size_t last = (end - 1) / kWordBits;
+    const std::uint64_t head_mask = ~std::uint64_t{0} << (begin % kWordBits);
+    const std::uint64_t tail_mask =
+        ~std::uint64_t{0} >> (kWordBits - 1 - (end - 1) % kWordBits);
+    if (first == last) {
+      return static_cast<std::size_t>(
+          std::popcount(words_[first] & head_mask & tail_mask));
+    }
+    std::size_t n = static_cast<std::size_t>(
+        std::popcount(words_[first] & head_mask));
+    for (std::size_t w = first + 1; w < last; ++w) {
+      n += static_cast<std::size_t>(std::popcount(words_[w]));
+    }
+    return n + static_cast<std::size_t>(
+                   std::popcount(words_[last] & tail_mask));
+  }
+
+ private:
+  void trim_tail() noexcept {
+    const std::size_t tail = size_ % kWordBits;
+    if (tail != 0) words_.back() &= ~std::uint64_t{0} >> (kWordBits - tail);
+  }
+
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace adapt

@@ -37,8 +37,10 @@ LssEngine::LssEngine(const LssConfig& config, PlacementPolicy& policy,
     free_list_.push_back(total - 1 - i);
   }
   free_count_ = total;
+  victim_.bind_pool(total, config_.segment_blocks());
 
   groups_.resize(policy.group_count());
+  group_segments_.assign(policy.group_count(), 0);
   metrics_.groups.resize(policy.group_count());
   primary_.assign(config_.logical_blocks, kUnmapped);
 }
@@ -176,7 +178,7 @@ std::uint32_t LssEngine::pending_unshadowed_valid(GroupId g) const {
   const Segment& seg = segments_[gs.open_seg];
   std::uint32_t n = 0;
   for (std::uint32_t slot = gs.flushed_slots; slot < seg.write_ptr; ++slot) {
-    if (!seg.slot_valid[slot]) continue;
+    if (!seg.slot_valid.test(slot)) continue;
     const Lba lba = seg.slot_lba[slot];
     // Skip shadow copies hosted here and already-shadowed primaries.
     if (primary_[lba] != pack(BlockLocation{gs.open_seg, slot})) continue;
@@ -187,11 +189,8 @@ std::uint32_t LssEngine::pending_unshadowed_valid(GroupId g) const {
 }
 
 std::vector<std::uint32_t> LssEngine::segments_per_group() const {
-  std::vector<std::uint32_t> counts(group_count(), 0);
-  for (const Segment& seg : segments_) {
-    if (!seg.free && seg.group < counts.size()) ++counts[seg.group];
-  }
-  return counts;
+  // Maintained at open/free instead of scanning the pool.
+  return group_segments_;
 }
 
 BlockLocation LssEngine::locate(Lba lba) const {
@@ -207,7 +206,7 @@ void LssEngine::append(GroupId g, Lba lba, Source source, TimeUs now_us) {
 
   const std::uint32_t slot = seg.write_ptr++;
   seg.slot_lba[slot] = lba;
-  seg.slot_valid[slot] = true;
+  seg.slot_valid.set(slot);
   ++seg.valid_count;
 
   const BlockLocation loc{seg_id, slot};
@@ -266,6 +265,7 @@ void LssEngine::open_new_segment(GroupId g) {
   seg.create_vtime = vtime_;
   groups_[g].open_seg = id;
   groups_[g].flushed_slots = 0;
+  ++group_segments_[g];
 }
 
 void LssEngine::seal_segment(GroupId g) {
@@ -275,6 +275,7 @@ void LssEngine::seal_segment(GroupId g) {
   seg.seal_vtime = vtime_;
   ++metrics_.groups[g].segments_sealed;
   policy_.note_segment_sealed(g, vtime_);
+  victim_.on_seal(gs.open_seg, seg.valid_count, seg.seal_vtime);
   gs.open_seg = kInvalidSegment;
   gs.flushed_slots = 0;
   gs.deadline_armed = false;
@@ -283,6 +284,8 @@ void LssEngine::seal_segment(GroupId g) {
 void LssEngine::free_segment(SegmentId id) {
   Segment& seg = segments_[id];
   ++metrics_.groups[seg.group].segments_reclaimed;
+  if (seg.sealed) victim_.on_free(id);
+  --group_segments_[seg.group];
   if (addressed_array_ != nullptr) {
     addressed_array_->trim_chunks(global_chunk_index(id, 0),
                                   config_.segment_chunks);
@@ -297,7 +300,7 @@ void LssEngine::expire_shadows_in_range(GroupId g, std::uint32_t begin,
   const GroupState& gs = groups_[g];
   const Segment& seg = segments_[gs.open_seg];
   for (std::uint32_t slot = begin; slot < end; ++slot) {
-    if (!seg.slot_valid[slot]) continue;
+    if (!seg.slot_valid.test(slot)) continue;
     const Lba lba = seg.slot_lba[slot];
     if (lba == kInvalidLba) continue;
     if (primary_[lba] == pack(BlockLocation{gs.open_seg, slot}) &&
@@ -329,6 +332,7 @@ void LssEngine::flush_chunk(GroupId g, std::uint32_t fill_blocks,
   } else {
     ++gt.full_flushes;
   }
+  ++chunks_flushed_;
   if (array_ != nullptr) {
     array_->write_chunk(g, static_cast<std::uint64_t>(fill_blocks) *
                                config_.block_bytes);
@@ -390,7 +394,7 @@ void LssEngine::pad_flush(GroupId g) {
   // Dead padding slots: allocated, never valid.
   for (std::uint32_t slot = seg.write_ptr; slot < chunk_end; ++slot) {
     seg.slot_lba[slot] = kInvalidLba;
-    seg.slot_valid[slot] = false;
+    seg.slot_valid.reset(slot);
   }
   seg.write_ptr = chunk_end;
   flush_chunk(g, /*fill_blocks=*/pending, /*padded=*/true);
@@ -438,7 +442,7 @@ void LssEngine::shadow_append(GroupId g, GroupId host, TimeUs now_us) {
   std::vector<Lba> to_shadow;
   to_shadow.reserve(seg.write_ptr - gs.flushed_slots);
   for (std::uint32_t slot = gs.flushed_slots; slot < seg.write_ptr; ++slot) {
-    if (!seg.slot_valid[slot]) continue;
+    if (!seg.slot_valid.test(slot)) continue;
     const Lba lba = seg.slot_lba[slot];
     if (primary_[lba] != pack(BlockLocation{gs.open_seg, slot})) continue;
     if (shadow_.contains(lba)) continue;
@@ -467,11 +471,15 @@ void LssEngine::invalidate(Lba lba) {
 
 void LssEngine::invalidate_slot(BlockLocation loc) {
   Segment& seg = segments_[loc.segment];
-  if (!seg.slot_valid[loc.slot]) {
+  if (!seg.slot_valid.test(loc.slot)) {
     throw std::logic_error("double invalidation of a slot");
   }
-  seg.slot_valid[loc.slot] = false;
+  seg.slot_valid.reset(loc.slot);
   --seg.valid_count;
+  if (seg.sealed) {
+    victim_.on_valid_delta(loc.segment, seg.valid_count + 1,
+                           seg.valid_count);
+  }
 }
 
 void LssEngine::expire_shadow(Lba lba) {
@@ -488,11 +496,9 @@ bool LssEngine::gc_step(TimeUs now_us, std::uint32_t watermark) {
 }
 
 std::uint64_t LssEngine::chunks_flushed() const noexcept {
-  std::uint64_t n = 0;
-  for (const GroupTraffic& g : metrics_.groups) {
-    n += g.full_flushes + g.padded_flushes;
-  }
-  return n;
+  // Running counter maintained in flush_chunk; cross-checked against the
+  // per-group flush totals in check_invariants.
+  return chunks_flushed_;
 }
 
 void LssEngine::maybe_gc(TimeUs now_us) {
@@ -507,13 +513,10 @@ void LssEngine::maybe_gc(TimeUs now_us) {
 }
 
 void LssEngine::run_gc_once(TimeUs now_us) {
-  gc_candidates_.clear();
-  for (SegmentId id = 0; id < segments_.size(); ++id) {
-    const Segment& seg = segments_[id];
-    if (!seg.free && seg.sealed) gc_candidates_.push_back(id);
-  }
-  const SegmentId victim =
-      victim_.select(gc_candidates_, segments_, vtime_, rng_);
+  // The victim index is maintained incrementally through seal / valid-delta
+  // / free notifications, so selection needs no candidate rebuild or pool
+  // scan.
+  const SegmentId victim = victim_.select(segments_, vtime_, rng_);
   if (victim == kInvalidSegment) {
     throw std::runtime_error("LssEngine: no GC victim available");
   }
@@ -521,7 +524,14 @@ void LssEngine::run_gc_once(TimeUs now_us) {
   Segment& v = segments_[victim];
 
   for (std::uint32_t slot = 0; slot < v.write_ptr; ++slot) {
-    if (!v.slot_valid[slot]) continue;
+    // Skip fully dead 64-slot words in one comparison. Re-checked at every
+    // word boundary because forced flushes below can clear later bits.
+    if ((slot % PackedBitmap::kWordBits) == 0 &&
+        v.slot_valid.word(slot / PackedBitmap::kWordBits) == 0) {
+      slot += PackedBitmap::kWordBits - 1;
+      continue;
+    }
+    if (!v.slot_valid.test(slot)) continue;
     const Lba lba = v.slot_lba[slot];
     const BlockLocation here{victim, slot};
     const auto sh = shadow_.find(lba);
@@ -533,7 +543,7 @@ void LssEngine::run_gc_once(TimeUs now_us) {
       const GroupId prim_group = segments_[prim.segment].group;
       ++metrics_.forced_lazy_flushes;
       pad_flush(prim_group);
-      if (v.slot_valid[slot]) {
+      if (v.slot_valid.test(slot)) {
         throw std::logic_error("forced flush did not expire shadow");
       }
       continue;
@@ -545,9 +555,12 @@ void LssEngine::run_gc_once(TimeUs now_us) {
     if (target >= group_count()) {
       throw std::logic_error("placement policy returned bad GC group");
     }
-    // Invalidate the victim copy, then append the migrated one.
-    v.slot_valid[slot] = false;
+    // Invalidate the victim copy, then append the migrated one. The victim
+    // stays in the index (its buckets track the drain) until free_segment
+    // reports on_free.
+    v.slot_valid.reset(slot);
     --v.valid_count;
+    victim_.on_valid_delta(victim, v.valid_count + 1, v.valid_count);
     primary_[lba] = kUnmapped;
     append(target, lba, Source::kGc, now_us);
     ++metrics_.gc_migrated_blocks;
@@ -574,14 +587,14 @@ void LssEngine::check_invariants() const {
     if (seg.slot_lba[loc.slot] != lba) {
       throw std::logic_error("slot lba does not match block map");
     }
-    if (!seg.slot_valid[loc.slot]) {
+    if (!seg.slot_valid.test(loc.slot)) {
       throw std::logic_error("primary maps to an invalid slot");
     }
   }
   for (const auto& [lba, loc] : shadow_) {
     const Segment& seg = segments_.at(loc.segment);
     if (seg.free) throw std::logic_error("shadow maps into a free segment");
-    if (seg.slot_lba[loc.slot] != lba || !seg.slot_valid[loc.slot]) {
+    if (seg.slot_lba[loc.slot] != lba || !seg.slot_valid.test(loc.slot)) {
       throw std::logic_error("shadow slot inconsistent");
     }
     if (primary_[lba] == kUnmapped) {
@@ -590,15 +603,15 @@ void LssEngine::check_invariants() const {
   }
   std::uint64_t valid_total = 0;
   std::uint32_t free_seen = 0;
+  std::vector<std::uint32_t> group_counts(group_count(), 0);
   for (const Segment& seg : segments_) {
     if (seg.free) {
       ++free_seen;
       continue;
     }
-    std::uint32_t valid_here = 0;
-    for (std::uint32_t slot = 0; slot < seg.write_ptr; ++slot) {
-      if (seg.slot_valid[slot]) ++valid_here;
-    }
+    if (seg.group < group_counts.size()) ++group_counts[seg.group];
+    const std::uint32_t valid_here = static_cast<std::uint32_t>(
+        seg.slot_valid.count(0, seg.write_ptr));
     if (valid_here != seg.valid_count) {
       throw std::logic_error("segment valid_count out of sync");
     }
@@ -609,6 +622,16 @@ void LssEngine::check_invariants() const {
   }
   if (valid_total != live_primaries + shadow_.size()) {
     throw std::logic_error("valid slots != primaries + shadows");
+  }
+  if (group_counts != group_segments_) {
+    throw std::logic_error("per-group segment counters out of sync");
+  }
+  std::uint64_t flushes = 0;
+  for (const GroupTraffic& g : metrics_.groups) {
+    flushes += g.full_flushes + g.padded_flushes;
+  }
+  if (flushes != chunks_flushed_) {
+    throw std::logic_error("chunks_flushed counter out of sync");
   }
 }
 

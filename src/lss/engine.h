@@ -65,6 +65,9 @@ class LssEngine {
  public:
   /// `policy` and `victim` must outlive the engine. `array` is optional;
   /// when given, every flushed chunk is mirrored to it (stream = group).
+  /// The constructor re-binds `victim`'s index to this engine's pool and
+  /// then drives its on_seal / on_valid_delta / on_free notifications, so
+  /// a victim policy cannot be shared by two live engines.
   LssEngine(const LssConfig& config, PlacementPolicy& policy,
             VictimPolicy& victim, array::SsdArray* array = nullptr,
             std::uint64_t seed = 1);
@@ -125,6 +128,7 @@ class LssEngine {
   std::uint32_t pending_unshadowed_valid(GroupId g) const;
 
   /// Number of in-use (non-free) segments currently owned by each group.
+  /// O(groups): maintained incrementally at segment open/free.
   std::vector<std::uint32_t> segments_per_group() const;
 
   std::uint32_t free_segments() const noexcept { return free_count_; }
@@ -189,6 +193,8 @@ class LssEngine {
   std::vector<SegmentId> free_list_;
   std::uint32_t free_count_ = 0;
   std::vector<GroupState> groups_;
+  /// In-use segments per group, maintained at open/free.
+  std::vector<std::uint32_t> group_segments_;
   /// primary_[lba] = packed BlockLocation or kUnmapped.
   std::vector<std::uint64_t> primary_;
   /// Live shadow copies (lazy-append originals still pending).
@@ -197,7 +203,9 @@ class LssEngine {
   VTime vtime_ = 0;
   TimeUs wall_us_ = 0;
   LssMetrics metrics_;
-  std::vector<SegmentId> gc_candidates_;  // scratch
+  /// Full + padded chunk flushes, kept as a running counter so the
+  /// per-write bandwidth accounting does not walk metrics_.groups.
+  std::uint64_t chunks_flushed_ = 0;
 };
 
 }  // namespace adapt::lss

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/packed_bitmap.h"
 #include "common/types.h"
 
 namespace adapt::lss {
@@ -19,7 +20,7 @@ struct Segment {
   VTime create_vtime = 0;
   VTime seal_vtime = 0;
   std::vector<Lba> slot_lba;      ///< kInvalidLba for padding slots
-  std::vector<bool> slot_valid;
+  PackedBitmap slot_valid;        ///< packed liveness bitmap
 
   void reset(std::uint32_t segment_blocks) {
     group = kInvalidGroup;

@@ -1,46 +1,250 @@
 #include "lss/victim_policy.h"
 
-#include <algorithm>
+#include <charconv>
 #include <limits>
+#include <set>
 #include <stdexcept>
+#include <utility>
+
+#include "common/fenwick.h"
 
 namespace adapt::lss {
 namespace {
+
+constexpr std::uint32_t kNoBucket = std::numeric_limits<std::uint32_t>::max();
+
+/// Valid-count buckets over sealed candidates: one intrusive doubly linked
+/// list per valid count plus a Fenwick tree over bucket occupancy, so the
+/// minimum-valid frontier is an O(log segment_blocks) query and every
+/// insert/erase/move is O(1) list surgery + O(log segment_blocks) count
+/// maintenance.
+class ValidBuckets {
+ public:
+  void bind(std::uint32_t total_segments, std::uint32_t segment_blocks) {
+    head_.assign(segment_blocks + 1, kInvalidSegment);
+    next_.assign(total_segments, kInvalidSegment);
+    prev_.assign(total_segments, kInvalidSegment);
+    bucket_of_.assign(total_segments, kNoBucket);
+    occ_ = FenwickTree(segment_blocks + 1);
+    count_ = 0;
+  }
+
+  std::uint32_t count() const noexcept { return count_; }
+  bool contains(SegmentId seg) const { return bucket_of_.at(seg) != kNoBucket; }
+
+  void insert(SegmentId seg, std::uint32_t valid) {
+    if (valid >= head_.size() || contains(seg)) {
+      throw std::logic_error("victim index: bad insert");
+    }
+    const SegmentId old_head = head_[valid];
+    next_[seg] = old_head;
+    prev_[seg] = kInvalidSegment;
+    if (old_head != kInvalidSegment) prev_[old_head] = seg;
+    head_[valid] = seg;
+    bucket_of_[seg] = valid;
+    occ_.add(valid, +1);
+    ++count_;
+  }
+
+  void erase(SegmentId seg) {
+    const std::uint32_t b = bucket_of_.at(seg);
+    if (b == kNoBucket) {
+      throw std::logic_error("victim index: erase of absent segment");
+    }
+    const SegmentId p = prev_[seg];
+    const SegmentId n = next_[seg];
+    if (p != kInvalidSegment) next_[p] = n; else head_[b] = n;
+    if (n != kInvalidSegment) prev_[n] = p;
+    bucket_of_[seg] = kNoBucket;
+    occ_.add(b, -1);
+    --count_;
+  }
+
+  void move(SegmentId seg, std::uint32_t new_valid) {
+    erase(seg);
+    insert(seg, new_valid);
+  }
+
+  /// Lowest non-empty valid count, or kNoBucket when the index is empty.
+  std::uint32_t min_bucket() const noexcept {
+    if (count_ == 0) return kNoBucket;
+    return static_cast<std::uint32_t>(occ_.lower_bound(1));
+  }
+
+  /// Next non-empty bucket strictly above `b`, or kNoBucket.
+  std::uint32_t next_bucket(std::uint32_t b) const noexcept {
+    const std::size_t p = occ_.lower_bound(occ_.prefix_sum(b) + 1);
+    return p >= head_.size() ? kNoBucket
+                             : static_cast<std::uint32_t>(p);
+  }
+
+  SegmentId head(std::uint32_t bucket) const { return head_.at(bucket); }
+  SegmentId next(SegmentId seg) const { return next_.at(seg); }
+
+  /// Smallest segment id in `bucket` (walks the frontier list only).
+  SegmentId min_id_in(std::uint32_t bucket) const {
+    SegmentId best = kInvalidSegment;
+    for (SegmentId s = head_.at(bucket); s != kInvalidSegment;
+         s = next_[s]) {
+      if (s < best) best = s;
+    }
+    return best;
+  }
+
+ private:
+  std::vector<SegmentId> head_;     ///< per-valid-count list head
+  std::vector<SegmentId> next_;     ///< intrusive links, indexed by seg id
+  std::vector<SegmentId> prev_;
+  std::vector<std::uint32_t> bucket_of_;  ///< kNoBucket when absent
+  FenwickTree occ_;                 ///< candidates per bucket
+  std::uint32_t count_ = 0;
+};
+
+/// Id-ordered candidate presence: a Fenwick tree with a 1 at every sealed
+/// candidate's segment id. kth() is an order-statistic descent that
+/// reproduces exactly the seed implementation's candidates[k], which was
+/// built by an ascending-id pool scan.
+class SealedIdIndex {
+ public:
+  void bind(std::uint32_t total_segments) {
+    occ_ = FenwickTree(total_segments);
+    present_.assign(total_segments, false);
+    count_ = 0;
+  }
+
+  std::uint32_t count() const noexcept { return count_; }
+
+  void insert(SegmentId seg) {
+    if (present_.at(seg)) {
+      throw std::logic_error("victim index: double seal");
+    }
+    present_[seg] = true;
+    occ_.add(seg, +1);
+    ++count_;
+  }
+
+  void erase(SegmentId seg) {
+    if (!present_.at(seg)) {
+      throw std::logic_error("victim index: free of absent segment");
+    }
+    present_[seg] = false;
+    occ_.add(seg, -1);
+    --count_;
+  }
+
+  /// The k-th (0-indexed) candidate in ascending id order.
+  SegmentId kth(std::uint64_t k) const noexcept {
+    return static_cast<SegmentId>(occ_.lower_bound(
+        static_cast<std::int64_t>(k) + 1));
+  }
+
+ private:
+  FenwickTree occ_;
+  std::vector<bool> present_;
+  std::uint32_t count_ = 0;
+};
 
 class GreedyPolicy final : public VictimPolicy {
  public:
   std::string_view name() const override { return "greedy"; }
 
-  SegmentId select(std::span<const SegmentId> candidates,
-                   std::span<const Segment> segments, VTime /*now*/,
-                   Rng& /*rng*/) override {
-    SegmentId best = kInvalidSegment;
-    std::uint32_t best_valid = std::numeric_limits<std::uint32_t>::max();
-    for (SegmentId id : candidates) {
-      const std::uint32_t v = segments[id].valid_count;
-      if (v < best_valid) {
-        best_valid = v;
-        best = id;
-      }
-    }
-    return best;
+  void bind_pool(std::uint32_t total_segments,
+                 std::uint32_t segment_blocks) override {
+    buckets_.bind(total_segments, segment_blocks);
   }
+
+  void on_seal(SegmentId seg, std::uint32_t valid_count,
+               VTime /*seal_vtime*/) override {
+    buckets_.insert(seg, valid_count);
+  }
+
+  void on_valid_delta(SegmentId seg, std::uint32_t /*old_valid*/,
+                      std::uint32_t new_valid) override {
+    buckets_.move(seg, new_valid);
+  }
+
+  void on_free(SegmentId seg) override { buckets_.erase(seg); }
+
+  SegmentId select(std::span<const Segment> /*segments*/, VTime /*now*/,
+                   Rng& /*rng*/) override {
+    const std::uint32_t b = buckets_.min_bucket();
+    if (b == kNoBucket) return kInvalidSegment;
+    // Lowest id inside the minimum bucket == the victim a full
+    // ascending-id scan would pick (strict-less comparison).
+    return buckets_.min_id_in(b);
+  }
+
+ private:
+  ValidBuckets buckets_;
 };
 
 class CostBenefitPolicy final : public VictimPolicy {
  public:
   std::string_view name() const override { return "cost-benefit"; }
 
-  SegmentId select(std::span<const SegmentId> candidates,
-                   std::span<const Segment> segments, VTime now,
+  void bind_pool(std::uint32_t total_segments,
+                 std::uint32_t segment_blocks) override {
+    buckets_.assign(segment_blocks + 1, {});
+    valid_of_.assign(total_segments, kNoBucket);
+    seal_of_.assign(total_segments, 0);
+    occ_ = FenwickTree(segment_blocks + 1);
+    count_ = 0;
+  }
+
+  void on_seal(SegmentId seg, std::uint32_t valid_count,
+               VTime seal_vtime) override {
+    if (valid_of_.at(seg) != kNoBucket) {
+      throw std::logic_error("victim index: double seal");
+    }
+    valid_of_[seg] = valid_count;
+    seal_of_[seg] = seal_vtime;
+    buckets_[valid_count].insert({seal_vtime, seg});
+    occ_.add(valid_count, +1);
+    ++count_;
+  }
+
+  void on_valid_delta(SegmentId seg, std::uint32_t /*old_valid*/,
+                      std::uint32_t new_valid) override {
+    const std::uint32_t old_bucket = valid_of_.at(seg);
+    if (old_bucket == kNoBucket) {
+      throw std::logic_error("victim index: delta on absent segment");
+    }
+    buckets_[old_bucket].erase({seal_of_[seg], seg});
+    buckets_[new_valid].insert({seal_of_[seg], seg});
+    occ_.add(old_bucket, -1);
+    occ_.add(new_valid, +1);
+    valid_of_[seg] = new_valid;
+  }
+
+  void on_free(SegmentId seg) override {
+    const std::uint32_t b = valid_of_.at(seg);
+    if (b == kNoBucket) {
+      throw std::logic_error("victim index: free of absent segment");
+    }
+    buckets_[b].erase({seal_of_[seg], seg});
+    occ_.add(b, -1);
+    valid_of_[seg] = kNoBucket;
+    --count_;
+  }
+
+  SegmentId select(std::span<const Segment> segments, VTime now,
                    Rng& /*rng*/) override {
+    if (count_ == 0) return kInvalidSegment;
     SegmentId best = kInvalidSegment;
     double best_score = -1.0;
-    for (SegmentId id : candidates) {
+    // Within a bucket every candidate shares u, so the score is maximal at
+    // the minimum seal_vtime (max age) — score only that frontier element
+    // per occupied bucket instead of every candidate.
+    for (std::uint32_t b = static_cast<std::uint32_t>(occ_.lower_bound(1));
+         b < buckets_.size();
+         b = static_cast<std::uint32_t>(
+             occ_.lower_bound(occ_.prefix_sum(b) + 1))) {
+      const SegmentId id = buckets_[b].begin()->second;
       const Segment& seg = segments[id];
       const double u = seg.utilization();
       const double age =
-          static_cast<double>(now >= seg.seal_vtime ? now - seg.seal_vtime : 0) +
+          static_cast<double>(now >= seg.seal_vtime ? now - seg.seal_vtime
+                                                    : 0) +
           1.0;
       // Benefit / cost = free-space gain * age / (read + write cost).
       const double score = (1.0 - u) * age / (1.0 + u);
@@ -51,6 +255,15 @@ class CostBenefitPolicy final : public VictimPolicy {
     }
     return best;
   }
+
+ private:
+  /// Per valid count: candidates ordered by (seal_vtime, id); begin() is
+  /// the oldest — the bucket's best-scoring element.
+  std::vector<std::set<std::pair<VTime, SegmentId>>> buckets_;
+  std::vector<std::uint32_t> valid_of_;  ///< kNoBucket when absent
+  std::vector<VTime> seal_of_;
+  FenwickTree occ_;
+  std::uint32_t count_ = 0;
 };
 
 class DChoicePolicy final : public VictimPolicy {
@@ -58,14 +271,28 @@ class DChoicePolicy final : public VictimPolicy {
   explicit DChoicePolicy(std::uint32_t d) : d_(d == 0 ? 1 : d) {}
   std::string_view name() const override { return "d-choice"; }
 
-  SegmentId select(std::span<const SegmentId> candidates,
-                   std::span<const Segment> segments, VTime /*now*/,
+  void bind_pool(std::uint32_t total_segments,
+                 std::uint32_t /*segment_blocks*/) override {
+    index_.bind(total_segments);
+  }
+
+  void on_seal(SegmentId seg, std::uint32_t /*valid_count*/,
+               VTime /*seal_vtime*/) override {
+    index_.insert(seg);
+  }
+
+  void on_valid_delta(SegmentId /*seg*/, std::uint32_t /*old_valid*/,
+                      std::uint32_t /*new_valid*/) override {}
+
+  void on_free(SegmentId seg) override { index_.erase(seg); }
+
+  SegmentId select(std::span<const Segment> segments, VTime /*now*/,
                    Rng& rng) override {
-    if (candidates.empty()) return kInvalidSegment;
+    if (index_.count() == 0) return kInvalidSegment;
     SegmentId best = kInvalidSegment;
     std::uint32_t best_valid = std::numeric_limits<std::uint32_t>::max();
     for (std::uint32_t i = 0; i < d_; ++i) {
-      const SegmentId id = candidates[rng.below(candidates.size())];
+      const SegmentId id = index_.kth(rng.below(index_.count()));
       if (segments[id].valid_count < best_valid) {
         best_valid = segments[id].valid_count;
         best = id;
@@ -76,6 +303,7 @@ class DChoicePolicy final : public VictimPolicy {
 
  private:
   std::uint32_t d_;
+  SealedIdIndex index_;
 };
 
 class WindowedGreedyPolicy final : public VictimPolicy {
@@ -84,25 +312,55 @@ class WindowedGreedyPolicy final : public VictimPolicy {
       : window_(window == 0 ? 1 : window) {}
   std::string_view name() const override { return "windowed-greedy"; }
 
-  SegmentId select(std::span<const SegmentId> candidates,
-                   std::span<const Segment> segments, VTime /*now*/,
+  void bind_pool(std::uint32_t total_segments,
+                 std::uint32_t /*segment_blocks*/) override {
+    next_.assign(total_segments, kInvalidSegment);
+    prev_.assign(total_segments, kInvalidSegment);
+    present_.assign(total_segments, false);
+    head_ = tail_ = kInvalidSegment;
+    count_ = 0;
+  }
+
+  void on_seal(SegmentId seg, std::uint32_t /*valid_count*/,
+               VTime /*seal_vtime*/) override {
+    if (present_.at(seg)) {
+      throw std::logic_error("victim index: double seal");
+    }
+    // Seals arrive in seal_vtime order, so appending keeps the list
+    // age-sorted without any per-call partial_sort.
+    present_[seg] = true;
+    prev_[seg] = tail_;
+    next_[seg] = kInvalidSegment;
+    if (tail_ != kInvalidSegment) next_[tail_] = seg; else head_ = seg;
+    tail_ = seg;
+    ++count_;
+  }
+
+  void on_valid_delta(SegmentId /*seg*/, std::uint32_t /*old_valid*/,
+                      std::uint32_t /*new_valid*/) override {}
+
+  void on_free(SegmentId seg) override {
+    if (!present_.at(seg)) {
+      throw std::logic_error("victim index: free of absent segment");
+    }
+    present_[seg] = false;
+    const SegmentId p = prev_[seg];
+    const SegmentId n = next_[seg];
+    if (p != kInvalidSegment) next_[p] = n; else head_ = n;
+    if (n != kInvalidSegment) prev_[n] = p; else tail_ = p;
+    --count_;
+  }
+
+  SegmentId select(std::span<const Segment> segments, VTime /*now*/,
                    Rng& /*rng*/) override {
-    if (candidates.empty()) return kInvalidSegment;
-    // Window = the `window_` segments sealed earliest.
-    scratch_.assign(candidates.begin(), candidates.end());
-    const std::size_t w =
-        std::min<std::size_t>(window_, scratch_.size());
-    std::partial_sort(scratch_.begin(), scratch_.begin() + w, scratch_.end(),
-                      [&](SegmentId a, SegmentId b) {
-                        return segments[a].seal_vtime < segments[b].seal_vtime;
-                      });
     SegmentId best = kInvalidSegment;
     std::uint32_t best_valid = std::numeric_limits<std::uint32_t>::max();
-    for (std::size_t i = 0; i < w; ++i) {
-      const SegmentId id = scratch_[i];
-      if (segments[id].valid_count < best_valid) {
-        best_valid = segments[id].valid_count;
-        best = id;
+    std::uint32_t seen = 0;
+    for (SegmentId s = head_; s != kInvalidSegment && seen < window_;
+         s = next_[s], ++seen) {
+      if (segments[s].valid_count < best_valid) {
+        best_valid = segments[s].valid_count;
+        best = s;
       }
     }
     return best;
@@ -110,20 +368,56 @@ class WindowedGreedyPolicy final : public VictimPolicy {
 
  private:
   std::uint32_t window_;
-  std::vector<SegmentId> scratch_;
+  std::vector<SegmentId> next_;  ///< seal-order links, head_ = oldest
+  std::vector<SegmentId> prev_;
+  std::vector<bool> present_;
+  SegmentId head_ = kInvalidSegment;
+  SegmentId tail_ = kInvalidSegment;
+  std::uint32_t count_ = 0;
 };
 
 class RandomPolicy final : public VictimPolicy {
  public:
   std::string_view name() const override { return "random"; }
 
-  SegmentId select(std::span<const SegmentId> candidates,
-                   std::span<const Segment> /*segments*/, VTime /*now*/,
-                   Rng& rng) override {
-    if (candidates.empty()) return kInvalidSegment;
-    return candidates[rng.below(candidates.size())];
+  void bind_pool(std::uint32_t total_segments,
+                 std::uint32_t /*segment_blocks*/) override {
+    index_.bind(total_segments);
   }
+
+  void on_seal(SegmentId seg, std::uint32_t /*valid_count*/,
+               VTime /*seal_vtime*/) override {
+    index_.insert(seg);
+  }
+
+  void on_valid_delta(SegmentId /*seg*/, std::uint32_t /*old_valid*/,
+                      std::uint32_t /*new_valid*/) override {}
+
+  void on_free(SegmentId seg) override { index_.erase(seg); }
+
+  SegmentId select(std::span<const Segment> /*segments*/, VTime /*now*/,
+                   Rng& rng) override {
+    if (index_.count() == 0) return kInvalidSegment;
+    return index_.kth(rng.below(index_.count()));
+  }
+
+ private:
+  SealedIdIndex index_;
 };
+
+std::uint32_t parse_policy_param(std::string_view base,
+                                 std::string_view param) {
+  std::uint32_t value = 0;
+  const char* const first = param.data();
+  const char* const last = param.data() + param.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last || value == 0) {
+    throw std::invalid_argument("bad parameter for victim policy '" +
+                                std::string(base) + "': '" +
+                                std::string(param) + "'");
+  }
+  return value;
+}
 
 }  // namespace
 
@@ -144,11 +438,31 @@ std::unique_ptr<VictimPolicy> make_random() {
 }
 
 std::unique_ptr<VictimPolicy> make_victim_policy(std::string_view name) {
-  if (name == "greedy") return make_greedy();
-  if (name == "cost-benefit") return make_cost_benefit();
-  if (name == "d-choice") return make_d_choice(8);
-  if (name == "windowed") return make_windowed_greedy(32);
-  if (name == "random") return make_random();
+  std::string_view base = name;
+  std::string_view param;
+  bool has_param = false;
+  if (const std::size_t colon = name.find(':');
+      colon != std::string_view::npos) {
+    base = name.substr(0, colon);
+    param = name.substr(colon + 1);
+    has_param = true;
+  }
+  if (base == "d-choice") {
+    return make_d_choice(has_param ? parse_policy_param(base, param) : 8);
+  }
+  if (base == "windowed") {
+    return make_windowed_greedy(has_param ? parse_policy_param(base, param)
+                                          : 32);
+  }
+  if (base == "greedy" || base == "cost-benefit" || base == "random") {
+    if (has_param) {
+      throw std::invalid_argument("victim policy '" + std::string(base) +
+                                  "' takes no parameter");
+    }
+    if (base == "greedy") return make_greedy();
+    if (base == "cost-benefit") return make_cost_benefit();
+    return make_random();
+  }
   throw std::invalid_argument("unknown victim policy: " + std::string(name));
 }
 

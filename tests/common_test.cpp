@@ -1,5 +1,5 @@
 // Unit and property tests for src/common: PRNG, Zipfian generators,
-// Fenwick tree, histograms, thread pool.
+// Fenwick tree, packed bitmaps, histograms, thread pool.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -13,6 +13,7 @@
 
 #include "common/fenwick.h"
 #include "common/histogram.h"
+#include "common/packed_bitmap.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "common/zipf.h"
@@ -268,6 +269,110 @@ TEST(FenwickTest, PrefixClampsBeyondSize) {
   FenwickTree t(4);
   t.add(2, 7);
   EXPECT_EQ(t.prefix_sum(1000), 7);
+}
+
+TEST(FenwickTest, LowerBoundFindsFirstPositionReachingK) {
+  FenwickTree t(8);
+  t.add(1, 2);
+  t.add(4, 3);
+  t.add(6, 1);
+  EXPECT_EQ(t.lower_bound(1), 1u);
+  EXPECT_EQ(t.lower_bound(2), 1u);
+  EXPECT_EQ(t.lower_bound(3), 4u);
+  EXPECT_EQ(t.lower_bound(5), 4u);
+  EXPECT_EQ(t.lower_bound(6), 6u);
+  EXPECT_EQ(t.lower_bound(7), t.size());  // total is 6: unreachable
+}
+
+TEST(FenwickTest, LowerBoundMatchesNaiveUnderChurn) {
+  FenwickTree t(300);
+  std::vector<std::int64_t> naive(300, 0);
+  Rng rng(61);
+  for (int op = 0; op < 3000; ++op) {
+    const std::size_t i = rng.below(300);
+    if (naive[i] == 0 || rng.chance(0.7)) {
+      t.add(i, 1);
+      ++naive[i];
+    } else {
+      t.add(i, -1);
+      --naive[i];
+    }
+    const auto k = static_cast<std::int64_t>(rng.below(
+        static_cast<std::uint64_t>(t.total()) + 2)) + 1;
+    std::size_t expect = naive.size();
+    std::int64_t run = 0;
+    for (std::size_t p = 0; p < naive.size(); ++p) {
+      run += naive[p];
+      if (run >= k) {
+        expect = p;
+        break;
+      }
+    }
+    ASSERT_EQ(t.lower_bound(k), expect) << "k=" << k << " at op " << op;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PackedBitmap
+// ---------------------------------------------------------------------------
+
+TEST(PackedBitmapTest, AssignSetsSizeAndValue) {
+  PackedBitmap b;
+  b.assign(100, false);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.count(0, 100), 0u);
+  b.assign(100, true);
+  EXPECT_EQ(b.count(0, 100), 100u);
+  // The tail beyond size must stay masked for word-level scans.
+  EXPECT_EQ(b.word(1), (std::uint64_t{1} << 36) - 1);
+}
+
+TEST(PackedBitmapTest, SetResetTest) {
+  PackedBitmap b;
+  b.assign(130, false);
+  b.set(0);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(129));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(0, 130), 3u);
+  b.reset(64);
+  EXPECT_FALSE(b.test(64));
+  EXPECT_EQ(b.count(0, 130), 2u);
+}
+
+TEST(PackedBitmapTest, RangeCountMatchesNaive) {
+  PackedBitmap b;
+  std::vector<bool> naive(200, false);
+  b.assign(200, false);
+  Rng rng(67);
+  for (int op = 0; op < 500; ++op) {
+    const std::size_t i = rng.below(200);
+    if (naive[i]) {
+      b.reset(i);
+      naive[i] = false;
+    } else {
+      b.set(i);
+      naive[i] = true;
+    }
+    const std::size_t lo = rng.below(201);
+    const std::size_t hi = lo + rng.below(201 - lo);
+    std::size_t expect = 0;
+    for (std::size_t p = lo; p < hi; ++p) expect += naive[p];
+    ASSERT_EQ(b.count(lo, hi), expect) << "[" << lo << "," << hi << ")";
+  }
+}
+
+TEST(PackedBitmapTest, WordExposesRawBits) {
+  PackedBitmap b;
+  b.assign(128, false);
+  EXPECT_EQ(b.word_count(), 2u);
+  b.set(3);
+  b.set(65);
+  EXPECT_EQ(b.word(0), std::uint64_t{1} << 3);
+  EXPECT_EQ(b.word(1), std::uint64_t{1} << 1);
 }
 
 // ---------------------------------------------------------------------------
