@@ -1,0 +1,52 @@
+# `lint` target: clang-tidy (config in .clang-tidy) + cppcheck over all
+# first-party sources. Both tools are optional at configure time — the dev
+# container ships only GCC, so missing tools degrade to a warning and the
+# target only runs what it found. CI installs both and treats any finding as
+# failure (WarningsAsErrors in .clang-tidy; --error-exitcode for cppcheck).
+find_program(CLANG_TIDY_EXE NAMES clang-tidy clang-tidy-18 clang-tidy-17
+                                  clang-tidy-16 clang-tidy-15)
+find_program(CPPCHECK_EXE NAMES cppcheck)
+
+file(GLOB_RECURSE ADAPT_LINT_SOURCES
+     ${CMAKE_SOURCE_DIR}/src/*.cpp
+     ${CMAKE_SOURCE_DIR}/tests/*.cpp
+     ${CMAKE_SOURCE_DIR}/bench/*.cpp
+     ${CMAKE_SOURCE_DIR}/examples/*.cpp
+     ${CMAKE_SOURCE_DIR}/fuzz/*.cpp)
+
+set(ADAPT_LINT_COMMANDS)
+if(CLANG_TIDY_EXE)
+  # Needs compile_commands.json; always emitted (see top-level CMakeLists).
+  list(APPEND ADAPT_LINT_COMMANDS
+       COMMAND ${CLANG_TIDY_EXE} -p ${CMAKE_BINARY_DIR} --quiet
+               ${ADAPT_LINT_SOURCES})
+else()
+  message(WARNING "clang-tidy not found: `lint` target will skip it")
+endif()
+
+if(CPPCHECK_EXE)
+  list(APPEND ADAPT_LINT_COMMANDS
+       COMMAND ${CPPCHECK_EXE}
+               --enable=warning,performance,portability
+               --inline-suppr
+               --error-exitcode=2
+               --suppress=missingIncludeSystem
+               --std=c++20 --language=c++ --quiet
+               -I ${CMAKE_SOURCE_DIR}/src
+               ${ADAPT_LINT_SOURCES})
+else()
+  message(WARNING "cppcheck not found: `lint` target will skip it")
+endif()
+
+if(ADAPT_LINT_COMMANDS)
+  add_custom_target(lint
+                    ${ADAPT_LINT_COMMANDS}
+                    WORKING_DIRECTORY ${CMAKE_SOURCE_DIR}
+                    COMMENT "Running static analysis (clang-tidy / cppcheck)"
+                    VERBATIM)
+else()
+  add_custom_target(lint
+                    COMMAND ${CMAKE_COMMAND} -E echo
+                            "lint: neither clang-tidy nor cppcheck available; nothing to do"
+                    COMMENT "Static analysis tools unavailable")
+endif()

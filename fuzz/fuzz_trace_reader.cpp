@@ -1,0 +1,69 @@
+// libFuzzer harness for the CSV trace reader.
+//
+// Input layout: byte 0 selects the trace format (mod 4); the rest is fed to
+// read_trace as a whole stream and to parse_line line-by-line. ParseError is
+// the documented failure mode and is swallowed; anything else — UB caught by
+// ASan/UBSan, wild std exceptions from unchecked conversions, records that
+// violate the reader's postconditions — is a finding.
+//
+// Seed corpus: fuzz/corpus/trace/ (the same lines pinned by the ParseError
+// unit tests in tests/trace_test.cpp).
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "trace/reader.h"
+
+namespace {
+
+using adapt::trace::ParseError;
+using adapt::trace::TraceFormat;
+
+constexpr TraceFormat kFormats[] = {TraceFormat::kCanonical,
+                                    TraceFormat::kAlibaba,
+                                    TraceFormat::kTencent, TraceFormat::kMsrc};
+
+void check_postconditions(const adapt::trace::Record& r) {
+  if (r.blocks == 0) __builtin_trap();  // reader promises >= 1 block
+  if (r.lba > std::numeric_limits<std::uint64_t>::max() - r.blocks) {
+    __builtin_trap();  // reader promises a representable block range
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  const TraceFormat format = kFormats[data[0] % 4];
+  const std::string text(reinterpret_cast<const char*>(data + 1), size - 1);
+
+  // Whole-stream path: line-number attribution + timestamp rebasing.
+  try {
+    std::istringstream in(text);
+    const adapt::trace::Volume v = adapt::trace::read_trace(in, format);
+    for (const auto& r : v.records) check_postconditions(r);
+  } catch (const ParseError&) {
+    // Expected for malformed input.
+  }
+
+  // Line-at-a-time path (also covers the non-default block size).
+  std::string_view rest = text;
+  while (!rest.empty()) {
+    const std::size_t nl = rest.find('\n');
+    const std::string_view line =
+        nl == std::string_view::npos ? rest : rest.substr(0, nl);
+    rest = nl == std::string_view::npos ? std::string_view{}
+                                        : rest.substr(nl + 1);
+    try {
+      const auto rec = adapt::trace::parse_line(line, format, 512);
+      if (rec) check_postconditions(*rec);
+    } catch (const ParseError& e) {
+      if (e.line_no() != 0) __builtin_trap();  // parse_line contract
+    }
+  }
+  return 0;
+}

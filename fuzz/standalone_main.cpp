@@ -1,0 +1,31 @@
+// Fallback driver for toolchains without libFuzzer (-fsanitize=fuzzer needs
+// Clang; CI has it, the dev container ships only GCC). Replays each file
+// argument through LLVMFuzzerTestOneInput once — enough to regression-test
+// the corpus under ASan/UBSan, with no coverage-guided mutation.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+int main(int argc, char** argv) {
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 1;
+    }
+    const std::vector<std::uint8_t> data(std::istreambuf_iterator<char>(in),
+                                         std::istreambuf_iterator<char>{});
+    LLVMFuzzerTestOneInput(data.data(), data.size());
+    ++replayed;
+  }
+  std::printf("replayed %d corpus file(s) without findings\n", replayed);
+  return 0;
+}

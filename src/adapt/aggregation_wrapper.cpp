@@ -1,6 +1,7 @@
 #include "adapt/aggregation_wrapper.h"
 
 #include <stdexcept>
+#include <string>
 
 namespace adapt::core {
 
@@ -69,6 +70,27 @@ lss::AggregationDecision AggregatingPolicy::on_chunk_deadline(
   shadow_budget_used_ += donor_pending;
   ++shadow_decisions_;
   return {.donor = donor, .host = host_group_};
+}
+
+void AggregatingPolicy::check_invariants(audit::Level level) const {
+  if (level == audit::Level::kOff) return;
+  const auto fail = [](const char* what) {
+    throw std::logic_error(
+        std::string("AggregatingPolicy invariant violated: ") + what);
+  };
+  if (inner_ == nullptr) fail("inner policy vanished");
+  if (host_group_ >= inner_->group_count() ||
+      !inner_->is_user_group(host_group_)) {
+    fail("host group is not a user group of the wrapped policy");
+  }
+  // The ctor picks the highest-indexed user group; nothing may outrank it.
+  for (GroupId g = host_group_ + 1; g < inner_->group_count(); ++g) {
+    if (inner_->is_user_group(g)) fail("host group is not the coldest");
+  }
+  const std::uint64_t budget =
+      static_cast<std::uint64_t>(config_.budget_floor_chunks) *
+      config_.chunk_blocks;
+  if (shadow_budget_used_ > budget) fail("shadow budget overdrawn");
 }
 
 std::unique_ptr<AggregatingPolicy> wrap_with_aggregation(

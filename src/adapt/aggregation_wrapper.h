@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 
+#include "audit/audit.h"
 #include "lss/engine.h"
 #include "lss/placement_policy.h"
 
@@ -60,6 +61,11 @@ class AggregatingPolicy final : public lss::PlacementPolicy,
   std::uint64_t shadow_decisions() const noexcept {
     return shadow_decisions_;
   }
+
+  /// Self-audit; throws std::logic_error on violation. Both tiers cost
+  /// O(groups): the wrapper owns no per-block structures, only the
+  /// host-group designation and the shadow budget counters.
+  void check_invariants(audit::Level level) const;
 
  private:
   std::unique_ptr<lss::PlacementPolicy> inner_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace adapt::core {
 
@@ -55,6 +57,31 @@ std::uint32_t CascadeDiscriminator::score(Lba lba) const noexcept {
     if (f.maybe_contains(lba)) ++s;
   }
   return s;
+}
+
+void CascadeDiscriminator::check_invariants(audit::Level level) const {
+  if (level == audit::Level::kOff) return;
+  const auto fail = [](const char* what) {
+    throw std::logic_error(
+        std::string("CascadeDiscriminator invariant violated: ") + what);
+  };
+  if (filters_.size() > max_filters_) fail("more filters than the FIFO cap");
+  std::uint64_t retained = 0;
+  for (std::size_t i = 0; i < filters_.size(); ++i) {
+    // FIFO fill discipline: only the newest filter may be partial.
+    if (i + 1 < filters_.size() && !filters_[i].full()) {
+      fail("partial filter that is not the newest");
+    }
+    retained += filters_[i].inserted();
+  }
+  if (retained > total_inserted_) {
+    fail("retained insertions exceed the running total");
+  }
+  if (level != audit::Level::kFull) return;
+  for (const BloomFilter& f : filters_) {
+    if (f.capacity() != filter_capacity_) fail("filter capacity drifted");
+    if (f.memory_usage_bytes() == 0) fail("filter lost its bit array");
+  }
 }
 
 std::size_t CascadeDiscriminator::memory_usage_bytes() const noexcept {

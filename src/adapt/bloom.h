@@ -15,6 +15,7 @@
 #include <deque>
 #include <vector>
 
+#include "audit/audit.h"
 #include "common/rng.h"
 #include "common/types.h"
 
@@ -60,6 +61,12 @@ class CascadeDiscriminator {
   std::size_t filter_count() const noexcept { return filters_.size(); }
   std::uint64_t total_inserted() const noexcept { return total_inserted_; }
   std::size_t memory_usage_bytes() const noexcept;
+
+  /// Self-audit; throws std::logic_error on violation. kCounters checks the
+  /// FIFO rotation discipline in O(filters); kFull additionally verifies
+  /// every retained filter's geometry. (Bloom bit contents are
+  /// probabilistic and have no independently checkable ground truth.)
+  void check_invariants(audit::Level level) const;
 
  private:
   std::uint32_t max_filters_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 namespace adapt::core {
 
@@ -74,6 +75,52 @@ void GhostSet::maybe_gc() {
     segments_.erase(victim_key);
     ++gc_runs_;
   }
+}
+
+void GhostSet::check_invariants(audit::Level level) const {
+  if (level == audit::Level::kOff) return;
+  const auto fail = [](const char* what) {
+    throw std::logic_error(std::string("GhostSet invariant violated: ") +
+                           what);
+  };
+  // Counters tier: the two open segments (if any) must be live, unsealed
+  // and strictly below the seal size.
+  for (const std::uint64_t open : open_key_) {
+    if (open == ~0ull) continue;
+    const auto it = segments_.find(open);
+    if (it == segments_.end()) fail("open key points at no segment");
+    if (it->second.sealed) fail("open segment is sealed");
+    if (it->second.lbas.size() >= config_.segment_blocks) {
+      fail("open segment at or past seal size");
+    }
+  }
+  if (level != audit::Level::kFull) return;
+
+  // Full tier: re-derive per-segment valid counts and walk the map both
+  // directions.
+  std::size_t live_blocks = 0;
+  for (const auto& [key, seg] : segments_) {
+    if (seg.valid.size() != seg.lbas.size()) fail("bitmap/slot size skew");
+    if (!seg.sealed && key != open_key_[0] && key != open_key_[1]) {
+      fail("unsealed segment that is not open");
+    }
+    if (seg.sealed && seg.lbas.size() != config_.segment_blocks) {
+      fail("sealed segment not full");
+    }
+    std::uint32_t recount = 0;
+    for (std::uint32_t slot = 0; slot < seg.lbas.size(); ++slot) {
+      if (!seg.valid[slot]) continue;
+      ++recount;
+      const auto it = map_.find(seg.lbas[slot]);
+      if (it == map_.end() || it->second.segment_key != key ||
+          it->second.slot != slot) {
+        fail("valid slot not indexed by the map");
+      }
+    }
+    if (recount != seg.valid_count) fail("valid_count drifted from bitmap");
+    live_blocks += recount;
+  }
+  if (live_blocks != map_.size()) fail("map size != live block count");
 }
 
 std::size_t GhostSet::memory_usage_bytes() const noexcept {

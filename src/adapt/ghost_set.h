@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "audit/audit.h"
 #include "common/types.h"
 
 namespace adapt::core {
@@ -64,6 +65,11 @@ class GhostSet {
 
   std::size_t segment_count() const noexcept { return segments_.size(); }
   std::size_t memory_usage_bytes() const noexcept;
+
+  /// Self-audit; throws std::logic_error on violation. kCounters checks the
+  /// open-segment bookkeeping in O(1); kFull re-derives every segment's
+  /// valid count and cross-checks the LBA map in O(tracked blocks).
+  void check_invariants(audit::Level level) const;
 
  private:
   struct GhostSegment {

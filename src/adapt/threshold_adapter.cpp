@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace adapt::core {
 namespace {
@@ -136,6 +137,30 @@ void ThresholdAdapter::maybe_adopt() {
     configure_linear(ghosts_[best - 1].threshold(),
                      ghosts_[best + 1].threshold());
   }
+}
+
+void ThresholdAdapter::check_invariants(audit::Level level) const {
+  if (level == audit::Level::kOff) return;
+  const auto fail = [](const char* what) {
+    throw std::logic_error(
+        std::string("ThresholdAdapter invariant violated: ") + what);
+  };
+  if (ghosts_.size() != config_.num_ghosts) fail("ghost bank resized");
+  for (std::size_t i = 0; i + 1 < ghosts_.size(); ++i) {
+    // Both window shapes (exponential and linear) keep candidates sorted.
+    if (ghosts_[i].threshold() >= ghosts_[i + 1].threshold()) {
+      fail("ghost thresholds not strictly increasing");
+    }
+  }
+  if (current_threshold_ == 0) fail("adopted threshold is zero");
+  if (sampled_since_reconfigure_ > sampled_writes_) {
+    fail("reconfigure counter ahead of total sampled writes");
+  }
+  if (phase_ == Phase::kLinear && adoptions_ == 0) {
+    fail("linear phase before any adoption");
+  }
+  if (level != audit::Level::kFull) return;
+  for (const GhostSet& g : ghosts_) g.check_invariants(level);
 }
 
 std::vector<std::uint64_t> ThresholdAdapter::ghost_thresholds() const {

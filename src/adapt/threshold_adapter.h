@@ -17,6 +17,7 @@
 
 #include "adapt/ghost_set.h"
 #include "adapt/reuse_distance.h"
+#include "audit/audit.h"
 #include "common/types.h"
 
 namespace adapt::core {
@@ -69,6 +70,11 @@ class ThresholdAdapter {
   std::uint64_t sampled_writes() const noexcept { return sampled_writes_; }
 
   std::size_t memory_usage_bytes() const noexcept;
+
+  /// Self-audit; throws std::logic_error on violation. kCounters checks
+  /// the ghost-bank shape and sampling counters in O(ghosts); kFull also
+  /// runs every ghost's structural audit.
+  void check_invariants(audit::Level level) const;
 
  private:
   void configure_exponential(std::uint64_t center);

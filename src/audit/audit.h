@@ -1,0 +1,68 @@
+// Tiered invariant-audit levels shared by the LSS engine, the FTL, and the
+// ADAPT components.
+//
+//   * kOff      — no checking (production default);
+//   * kCounters — O(1)/O(groups) cross-checks of incrementally maintained
+//                 counters against each other, cheap enough to run per-op in
+//                 debug builds;
+//   * kFull     — O(n) structural audits (bitmap popcounts vs valid
+//                 counters, mapping walks, victim-index membership), for
+//                 tests and on-demand diagnosis.
+//
+// The environment variable ADAPT_AUDIT ("off" | "counters" | "full")
+// overrides whatever level the code configured, so a failing run can be
+// re-executed under full auditing without a rebuild.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace adapt::audit {
+
+enum class Level : std::uint8_t { kOff = 0, kCounters = 1, kFull = 2 };
+
+constexpr bool at_least(Level level, Level floor) noexcept {
+  return static_cast<std::uint8_t>(level) >= static_cast<std::uint8_t>(floor);
+}
+
+constexpr std::string_view to_string(Level level) noexcept {
+  switch (level) {
+    case Level::kOff:
+      return "off";
+    case Level::kCounters:
+      return "counters";
+    case Level::kFull:
+      return "full";
+  }
+  return "off";
+}
+
+inline std::optional<Level> parse_level(std::string_view text) noexcept {
+  if (text == "off" || text == "0") return Level::kOff;
+  if (text == "counters" || text == "1") return Level::kCounters;
+  if (text == "full" || text == "2") return Level::kFull;
+  return std::nullopt;
+}
+
+/// Name of the override environment variable.
+inline constexpr const char* kEnvVar = "ADAPT_AUDIT";
+
+/// Resolves the effective audit level: ADAPT_AUDIT when set (throws
+/// std::invalid_argument on an unparseable value — a misspelled audit
+/// request must not silently disable auditing), `configured` otherwise.
+inline Level level_from_env(Level configured) {
+  const char* const env = std::getenv(kEnvVar);
+  if (env == nullptr || *env == '\0') return configured;
+  const std::optional<Level> parsed = parse_level(env);
+  if (!parsed.has_value()) {
+    throw std::invalid_argument(std::string("bad ") + kEnvVar + " value: '" +
+                                env + "' (want off|counters|full)");
+  }
+  return *parsed;
+}
+
+}  // namespace adapt::audit

@@ -1,0 +1,95 @@
+// Differential oracles for the LSS engine and the FTL.
+//
+// Each oracle is a deliberately naive reference model: it mirrors the same
+// operation stream the production structure receives, keeps the simplest
+// possible state (flat hash maps, plain counters), and then cross-checks the
+// production structure's *observable* state against its own. The engine's
+// incrementally maintained indexes, packed bitmaps, and running counters
+// must all agree with a model that has none of those optimisations — a
+// silent accounting drift shows up as a verify() failure instead of a
+// plausible-but-wrong WA number.
+//
+// OracleModel checks, against a live LssEngine:
+//   * mapping agreement — an LBA is mapped iff the oracle wrote it, and the
+//     engine's segment slot bookkeeping agrees with locate();
+//   * per-segment valid-count ledger — each segment's valid_count equals
+//     the number of live primaries + live shadows the oracle can account
+//     for, and no two live copies share a slot;
+//   * shadow/lazy-append pairing — every live shadow's original is still
+//     pending in its group's open chunk (a shadow surviving its original's
+//     persist is the §3.3 bug class) and is hosted by a different group;
+//   * the write-accounting identity
+//       user + gc + shadow + padding == chunk_blocks * chunks_flushed
+//                                       + rmw_blocks + pending,
+//     i.e. every block the metrics claim was appended either reached the
+//     media or is still pending in an open chunk.
+//
+// FtlOracle mirrors host_write/trim against a flat lpn->mapped set and
+// checks L2P agreement plus the host/trim page accounting.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "flash/ftl.h"
+#include "lss/engine.h"
+
+namespace adapt::audit {
+
+class OracleModel {
+ public:
+  explicit OracleModel(const lss::LssConfig& config) : config_(config) {}
+
+  /// Mirrors LssEngine::write(lba, blocks, ...).
+  void on_write(Lba lba, std::uint32_t blocks);
+
+  std::uint64_t user_blocks() const noexcept { return user_blocks_; }
+  std::uint64_t live_lbas() const noexcept { return version_.size(); }
+
+  /// O(groups) cross-check of the written LBA's mapping, its shadow pairing
+  /// rules, and the accounting identity. Cheap enough to call per-op.
+  void verify_op(const lss::LssEngine& engine, Lba lba) const;
+
+  /// Full O(logical + segments) differential audit.
+  void verify_full(const lss::LssEngine& engine) const;
+
+  /// End-of-run checks after LssEngine::flush_all(): nothing pending,
+  /// no live shadows, identity still holds.
+  void verify_drained(const lss::LssEngine& engine) const;
+
+ private:
+  void verify_lba(const lss::LssEngine& engine, Lba lba) const;
+  void verify_identity(const lss::LssEngine& engine) const;
+
+  lss::LssConfig config_;
+  /// Latest version tag per live LBA (1-based; absent = never written).
+  std::unordered_map<Lba, std::uint64_t> version_;
+  std::uint64_t next_version_ = 1;
+  std::uint64_t user_blocks_ = 0;
+};
+
+class FtlOracle {
+ public:
+  explicit FtlOracle(const flash::FtlConfig& config) : config_(config) {}
+
+  /// Mirrors Ftl::host_write(lpn, pages, stream).
+  void on_host_write(std::uint64_t lpn, std::uint32_t pages);
+
+  /// Mirrors Ftl::trim(lpn, pages).
+  void on_trim(std::uint64_t lpn, std::uint32_t pages);
+
+  std::uint64_t host_pages() const noexcept { return host_pages_; }
+
+  /// Full differential audit against the FTL's observable state.
+  void verify(const flash::Ftl& ftl) const;
+
+ private:
+  flash::FtlConfig config_;
+  std::unordered_map<std::uint64_t, std::uint64_t> version_;
+  std::uint64_t next_version_ = 1;
+  std::uint64_t host_pages_ = 0;
+  std::uint64_t trimmed_pages_ = 0;
+};
+
+}  // namespace adapt::audit

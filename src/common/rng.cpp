@@ -12,9 +12,9 @@ double Rng::exponential(double mean) noexcept {
 }
 
 double Rng::normal() noexcept {
-  double u;
-  double v;
-  double s;
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
   do {
     u = uniform(-1.0, 1.0);
     v = uniform(-1.0, 1.0);

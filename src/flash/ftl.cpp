@@ -193,7 +193,26 @@ Ftl::WearStats Ftl::wear() const {
   return w;
 }
 
-void Ftl::check_invariants() const {
+void Ftl::check_invariants(audit::Level level) const {
+  if (level == audit::Level::kOff) return;
+  // Counter tier: O(streams) cross-checks of the running bookkeeping.
+  if (free_list_.size() != free_count_) {
+    throw std::logic_error("Ftl: free list size != free counter");
+  }
+  if (stats_.erases != stats_.gc_runs) {
+    throw std::logic_error("Ftl: erase and GC-run counters disagree");
+  }
+  for (std::uint32_t s = 0; s < config_.num_streams; ++s) {
+    for (const std::uint32_t open : {open_block_[s], gc_open_block_[s]}) {
+      if (open == kNoBlock) continue;
+      const FlashBlock& b = blocks_.at(open);
+      if (b.free || !b.open || b.stream != s ||
+          b.write_ptr >= config_.pages_per_block) {
+        throw std::logic_error("Ftl: open block in an inconsistent state");
+      }
+    }
+  }
+  if (level != audit::Level::kFull) return;
   std::uint64_t mapped = 0;
   for (std::uint64_t lpn = 0; lpn < config_.logical_pages; ++lpn) {
     const std::uint64_t ppn = l2p_[lpn];

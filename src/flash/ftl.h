@@ -19,6 +19,7 @@
 #include <limits>
 #include <vector>
 
+#include "audit/audit.h"
 #include "common/types.h"
 
 namespace adapt::flash {
@@ -83,8 +84,12 @@ class Ftl {
   };
   WearStats wear() const;
 
-  /// Consistency checks for tests; throws std::logic_error on violation.
-  void check_invariants() const;
+  /// Consistency checks; throws std::logic_error on violation. kCounters
+  /// cross-checks the free pool and open-block bookkeeping in O(streams);
+  /// kFull additionally re-derives every block's valid count and walks the
+  /// whole L2P table.
+  void check_invariants(audit::Level level) const;
+  void check_invariants() const { check_invariants(audit::Level::kFull); }
 
  private:
   static constexpr std::uint64_t kUnmapped =

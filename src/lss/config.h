@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "audit/audit.h"
 #include "common/types.h"
 
 namespace adapt::lss {
@@ -26,6 +27,10 @@ struct LssConfig {
   /// group_count + free_segment_reserve.
   std::uint32_t free_segment_reserve = 4;
   PartialWriteMode partial_write_mode = PartialWriteMode::kZeroPad;
+  /// Per-op self-auditing tier (kCounters cross-checks the running
+  /// counters after every mutation; kFull re-walks all structures — tests
+  /// only). Overridable at run time via the ADAPT_AUDIT env variable.
+  audit::Level audit_level = audit::Level::kOff;
 
   std::uint32_t segment_blocks() const noexcept {
     return chunk_blocks * segment_chunks;

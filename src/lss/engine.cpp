@@ -16,7 +16,8 @@ LssEngine::LssEngine(const LssConfig& config, PlacementPolicy& policy,
       policy_(policy),
       victim_(victim),
       array_(array),
-      rng_(seed) {
+      rng_(seed),
+      audit_level_(audit::level_from_env(config.audit_level)) {
   config_.validate(policy.group_count());
   if (array_ != nullptr &&
       array_->config().num_streams < policy.group_count()) {
@@ -101,6 +102,7 @@ void LssEngine::write_block(Lba lba, TimeUs now_us) {
   append(g, lba, Source::kUser, now_us);
   ++vtime_;
   maybe_gc(now_us);
+  audit_point();
 }
 
 void LssEngine::read(Lba lba, std::uint32_t blocks, TimeUs now_us) {
@@ -164,6 +166,7 @@ void LssEngine::flush_all() {
     }
     groups_[g].deadline_armed = false;
   }
+  audit_point();
 }
 
 std::uint32_t LssEngine::pending_blocks(GroupId g) const {
@@ -196,6 +199,19 @@ std::vector<std::uint32_t> LssEngine::segments_per_group() const {
 BlockLocation LssEngine::locate(Lba lba) const {
   if (lba >= primary_.size() || primary_[lba] == kUnmapped) return kNowhere;
   return unpack(primary_[lba]);
+}
+
+BlockLocation LssEngine::shadow_location(Lba lba) const {
+  const auto it = shadow_.find(lba);
+  return it == shadow_.end() ? kNowhere : it->second;
+}
+
+bool LssEngine::is_pending(Lba lba) const {
+  const BlockLocation loc = locate(lba);
+  if (loc == kNowhere) return false;
+  const GroupId g = segments_[loc.segment].group;
+  const GroupState& gs = groups_[g];
+  return gs.open_seg == loc.segment && loc.slot >= gs.flushed_slots;
 }
 
 void LssEngine::append(GroupId g, Lba lba, Source source, TimeUs now_us) {
@@ -364,6 +380,8 @@ void LssEngine::rmw_flush(GroupId g) {
   GroupTraffic& gt = metrics_.groups[g];
   ++gt.rmw_flushes;
   ++metrics_.rmw_flushes;
+  gt.rmw_blocks += pending;
+  metrics_.rmw_blocks += pending;
   // Small-write parity update reads the old data chunk and old parity.
   metrics_.rmw_read_blocks += 2ull * config_.chunk_blocks;
   if (array_ != nullptr) {
@@ -492,6 +510,7 @@ void LssEngine::expire_shadow(Lba lba) {
 bool LssEngine::gc_step(TimeUs now_us, std::uint32_t watermark) {
   if (free_count_ >= watermark) return false;
   run_gc_once(now_us);
+  audit_point();
   return true;
 }
 
@@ -573,7 +592,79 @@ void LssEngine::run_gc_once(TimeUs now_us) {
   free_segment(victim);
 }
 
-void LssEngine::check_invariants() const {
+void LssEngine::check_counters() const {
+  if (free_list_.size() != free_count_) {
+    throw std::logic_error("free list size != free counter");
+  }
+  std::uint64_t in_use = 0;
+  for (const std::uint32_t n : group_segments_) in_use += n;
+  if (in_use + free_count_ != segments_.size()) {
+    throw std::logic_error("per-group + free segment counters != pool size");
+  }
+  if (vtime_ != metrics_.user_blocks) {
+    throw std::logic_error("vtime desynchronised from user block counter");
+  }
+  if (metrics_.gc_blocks != metrics_.gc_migrated_blocks) {
+    throw std::logic_error("gc append and migration counters disagree");
+  }
+  GroupTraffic totals;
+  std::uint64_t flushes = 0;
+  std::uint64_t pending = 0;
+  for (GroupId g = 0; g < group_count(); ++g) {
+    const GroupTraffic& gt = metrics_.groups[g];
+    totals.user_blocks += gt.user_blocks;
+    totals.gc_blocks += gt.gc_blocks;
+    totals.shadow_blocks += gt.shadow_blocks;
+    totals.padding_blocks += gt.padding_blocks;
+    totals.rmw_blocks += gt.rmw_blocks;
+    totals.rmw_flushes += gt.rmw_flushes;
+    flushes += gt.full_flushes + gt.padded_flushes;
+
+    const GroupState& gs = groups_[g];
+    if (gs.deadline_armed && gs.open_seg == kInvalidSegment) {
+      throw std::logic_error("deadline armed without an open segment");
+    }
+    if (gs.open_seg == kInvalidSegment) continue;
+    const Segment& seg = segments_[gs.open_seg];
+    if (seg.free || seg.sealed || seg.group != g) {
+      throw std::logic_error("open segment in an inconsistent state");
+    }
+    if (gs.flushed_slots > seg.write_ptr ||
+        seg.write_ptr > config_.segment_blocks()) {
+      throw std::logic_error("open segment pointers out of order");
+    }
+    if (config_.partial_write_mode == PartialWriteMode::kZeroPad &&
+        gs.flushed_slots % config_.chunk_blocks != 0) {
+      throw std::logic_error("zero-pad flush boundary not chunk-aligned");
+    }
+    pending += seg.write_ptr - gs.flushed_slots;
+  }
+  if (totals.user_blocks != metrics_.user_blocks ||
+      totals.gc_blocks != metrics_.gc_blocks ||
+      totals.shadow_blocks != metrics_.shadow_blocks ||
+      totals.padding_blocks != metrics_.padding_blocks ||
+      totals.rmw_blocks != metrics_.rmw_blocks ||
+      totals.rmw_flushes != metrics_.rmw_flushes) {
+    throw std::logic_error("per-group traffic != global traffic counters");
+  }
+  if (flushes != chunks_flushed_) {
+    throw std::logic_error("chunks_flushed counter out of sync");
+  }
+  // The write-accounting identity: every block the metrics claim was
+  // appended either reached the media (full/padded chunks + RMW partials)
+  // or is still pending in an open chunk.
+  const std::uint64_t appended = metrics_.total_blocks();
+  const std::uint64_t media =
+      chunks_flushed_ * config_.chunk_blocks + metrics_.rmw_blocks;
+  if (appended != media + pending) {
+    throw std::logic_error("write-accounting identity broken");
+  }
+}
+
+void LssEngine::check_invariants(audit::Level level) const {
+  if (level == audit::Level::kOff) return;
+  check_counters();
+  if (level != audit::Level::kFull) return;
   std::uint64_t live_primaries = 0;
   for (Lba lba = 0; lba < primary_.size(); ++lba) {
     if (primary_[lba] == kUnmapped) continue;
@@ -600,11 +691,30 @@ void LssEngine::check_invariants() const {
     if (primary_[lba] == kUnmapped) {
       throw std::logic_error("shadow without a live primary");
     }
+    // §3.3 pairing rules: the shadow lives in another group's chunk, and
+    // only while its lazy-append original is still pending.
+    const BlockLocation prim = unpack(primary_[lba]);
+    if (segments_.at(prim.segment).group == seg.group) {
+      throw std::logic_error("shadow hosted by its original's own group");
+    }
+    if (!is_pending(lba)) {
+      throw std::logic_error("shadow outlived its persisted original");
+    }
   }
   std::uint64_t valid_total = 0;
   std::uint32_t free_seen = 0;
   std::vector<std::uint32_t> group_counts(group_count(), 0);
-  for (const Segment& seg : segments_) {
+  for (SegmentId id = 0; id < segments_.size(); ++id) {
+    const Segment& seg = segments_[id];
+    // Victim-index membership must mirror pool state exactly: sealed
+    // in-use segments are candidates, everything else is not.
+    const bool should_be_candidate = !seg.free && seg.sealed;
+    if (victim_.is_candidate(id) != should_be_candidate) {
+      throw std::logic_error(
+          should_be_candidate
+              ? "sealed segment missing from the victim index"
+              : "victim index holds a free or open segment");
+    }
     if (seg.free) {
       ++free_seen;
       continue;
@@ -625,13 +735,6 @@ void LssEngine::check_invariants() const {
   }
   if (group_counts != group_segments_) {
     throw std::logic_error("per-group segment counters out of sync");
-  }
-  std::uint64_t flushes = 0;
-  for (const GroupTraffic& g : metrics_.groups) {
-    flushes += g.full_flushes + g.padded_flushes;
-  }
-  if (flushes != chunks_flushed_) {
-    throw std::logic_error("chunks_flushed counter out of sync");
   }
 }
 

@@ -24,6 +24,7 @@
 
 #include "array/addressed_array.h"
 #include "array/ssd_array.h"
+#include "audit/audit.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "lss/config.h"
@@ -137,10 +138,29 @@ class LssEngine {
   BlockLocation locate(Lba lba) const;
   bool has_live_shadow(Lba lba) const { return shadow_.contains(lba); }
 
+  /// Where lba's live shadow copy sits, or kNowhere when it has none.
+  BlockLocation shadow_location(Lba lba) const;
+  std::size_t live_shadow_count() const noexcept { return shadow_.size(); }
+
+  /// True while lba's primary copy sits in its group's open chunk, appended
+  /// but not yet persisted to the array.
+  bool is_pending(Lba lba) const;
+
   std::span<const Segment> segments() const noexcept { return segments_; }
 
-  /// Consistency checks for tests; throws std::logic_error on violation.
-  void check_invariants() const;
+  /// Effective self-audit tier (config value + ADAPT_AUDIT override).
+  audit::Level audit_level() const noexcept { return audit_level_; }
+
+  /// Consistency checks; throws std::logic_error on violation.
+  /// kCounters cross-checks the incrementally maintained counters in
+  /// O(groups); kFull additionally re-derives them with O(n) structural
+  /// walks (bitmap popcounts, mapping walk, victim-index membership).
+  void check_invariants(audit::Level level) const;
+  void check_invariants() const { check_invariants(audit::Level::kFull); }
+
+  /// Test-only mutable access for auditor failure-detection tests: lets a
+  /// test corrupt a segment on purpose and assert the audit catches it.
+  Segment& corrupt_segment_for_test(SegmentId id) { return segments_.at(id); }
 
  private:
   enum class Source { kUser, kGc, kShadow };
@@ -180,6 +200,11 @@ class LssEngine {
   void maybe_gc(TimeUs now_us);
   void run_gc_once(TimeUs now_us);
   void expire_shadow(Lba lba);
+  void check_counters() const;
+  /// Per-op self-audit hook (no-op at Level::kOff).
+  void audit_point() const {
+    if (audit_level_ != audit::Level::kOff) check_invariants(audit_level_);
+  }
 
   LssConfig config_;
   PlacementPolicy& policy_;
@@ -188,6 +213,7 @@ class LssEngine {
   array::AddressedArray* addressed_array_ = nullptr;
   AggregationHook* hook_ = nullptr;
   Rng rng_;
+  audit::Level audit_level_ = audit::Level::kOff;
 
   std::vector<Segment> segments_;
   std::vector<SegmentId> free_list_;

@@ -23,6 +23,10 @@ struct GroupTraffic {
   std::uint64_t padded_fill_blocks = 0;
   /// Sub-chunk flushes in read-modify-write mode.
   std::uint64_t rmw_flushes = 0;
+  /// Payload blocks persisted by sub-chunk RMW flushes. A media-write
+  /// counter (the blocks were already counted as user/gc/shadow when
+  /// appended), so it does not feed total_blocks().
+  std::uint64_t rmw_blocks = 0;
   std::uint64_t segments_sealed = 0;
   std::uint64_t segments_reclaimed = 0;
 
@@ -40,6 +44,9 @@ struct LssMetrics {
   std::uint64_t gc_migrated_blocks = 0;
   std::uint64_t forced_lazy_flushes = 0;  ///< shadow-in-victim force flushes
   std::uint64_t rmw_flushes = 0;          ///< sub-chunk RMW persist events
+  /// Payload blocks persisted by sub-chunk RMW flushes (media-write
+  /// counter; the blocks are already in user/gc/shadow totals).
+  std::uint64_t rmw_blocks = 0;
   /// Blocks read for parity updates in RMW mode (old data + old parity).
   std::uint64_t rmw_read_blocks = 0;
   // Read path (paper §2.2: "for reads, systems fetch entire chunks").

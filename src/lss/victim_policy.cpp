@@ -114,6 +114,10 @@ class SealedIdIndex {
 
   std::uint32_t count() const noexcept { return count_; }
 
+  bool contains(SegmentId seg) const noexcept {
+    return seg < present_.size() && present_[seg];
+  }
+
   void insert(SegmentId seg) {
     if (present_.at(seg)) {
       throw std::logic_error("victim index: double seal");
@@ -164,6 +168,10 @@ class GreedyPolicy final : public VictimPolicy {
   }
 
   void on_free(SegmentId seg) override { buckets_.erase(seg); }
+
+  bool is_candidate(SegmentId seg) const override {
+    return buckets_.contains(seg);
+  }
 
   SegmentId select(std::span<const Segment> /*segments*/, VTime /*now*/,
                    Rng& /*rng*/) override {
@@ -227,6 +235,10 @@ class CostBenefitPolicy final : public VictimPolicy {
     --count_;
   }
 
+  bool is_candidate(SegmentId seg) const override {
+    return seg < valid_of_.size() && valid_of_[seg] != kNoBucket;
+  }
+
   SegmentId select(std::span<const Segment> segments, VTime now,
                    Rng& /*rng*/) override {
     if (count_ == 0) return kInvalidSegment;
@@ -285,6 +297,10 @@ class DChoicePolicy final : public VictimPolicy {
                       std::uint32_t /*new_valid*/) override {}
 
   void on_free(SegmentId seg) override { index_.erase(seg); }
+
+  bool is_candidate(SegmentId seg) const override {
+    return index_.contains(seg);
+  }
 
   SegmentId select(std::span<const Segment> segments, VTime /*now*/,
                    Rng& rng) override {
@@ -351,6 +367,10 @@ class WindowedGreedyPolicy final : public VictimPolicy {
     --count_;
   }
 
+  bool is_candidate(SegmentId seg) const override {
+    return seg < present_.size() && present_[seg];
+  }
+
   SegmentId select(std::span<const Segment> segments, VTime /*now*/,
                    Rng& /*rng*/) override {
     SegmentId best = kInvalidSegment;
@@ -394,6 +414,10 @@ class RandomPolicy final : public VictimPolicy {
                       std::uint32_t /*new_valid*/) override {}
 
   void on_free(SegmentId seg) override { index_.erase(seg); }
+
+  bool is_candidate(SegmentId seg) const override {
+    return index_.contains(seg);
+  }
 
   SegmentId select(std::span<const Segment> /*segments*/, VTime /*now*/,
                    Rng& rng) override {

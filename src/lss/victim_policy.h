@@ -49,6 +49,11 @@ class VictimPolicy {
   /// Candidate `seg` was reclaimed and leaves the index.
   virtual void on_free(SegmentId seg) = 0;
 
+  /// True while `seg` sits in the candidate index (sealed, not yet freed).
+  /// Used by the engine's full invariant audit to cross-check index
+  /// membership against pool state; must be O(1).
+  virtual bool is_candidate(SegmentId seg) const = 0;
+
   /// Picks a victim from the maintained candidate index, or
   /// kInvalidSegment when no candidate exists. `segments` is the whole
   /// pool for metric lookups; `now` is virtual time. Does not remove the

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <ostream>
 #include <stdexcept>
 #include <string>
@@ -38,28 +40,38 @@ std::string_view trim(std::string_view s) {
   return s;
 }
 
+[[noreturn]] void bad_field(const char* what, std::string_view value,
+                            const char* why = "malformed") {
+  throw ParseError(0, std::string(why) + " " + what + " field: '" +
+                          std::string(value) + "'");
+}
+
 std::uint64_t parse_u64(std::string_view s, const char* what) {
   s = trim(s);
   std::uint64_t value = 0;
   const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
-  if (ec != std::errc{} || ptr != s.data() + s.size()) {
-    throw std::invalid_argument(std::string("bad ") + what + " field: '" +
-                                std::string(s) + "'");
-  }
+  if (ec == std::errc::result_out_of_range) bad_field(what, s, "overflowing");
+  if (ec != std::errc{} || ptr != s.data() + s.size()) bad_field(what, s);
   return value;
+}
+
+std::uint32_t parse_u32(std::string_view s, const char* what) {
+  const std::uint64_t value = parse_u64(s, what);
+  if (value > std::numeric_limits<std::uint32_t>::max()) {
+    bad_field(what, trim(s), "overflowing");
+  }
+  return static_cast<std::uint32_t>(value);
 }
 
 double parse_f64(std::string_view s, const char* what) {
   s = trim(s);
   // std::from_chars<double> is not universally available; use strtod on a
-  // bounded copy.
+  // bounded copy. Embedded NULs make end stop early and fail the check.
   std::string buf(s);
   char* end = nullptr;
   const double value = std::strtod(buf.c_str(), &end);
-  if (end != buf.c_str() + buf.size() || buf.empty()) {
-    throw std::invalid_argument(std::string("bad ") + what + " field: '" +
-                                buf + "'");
-  }
+  if (end != buf.c_str() + buf.size() || buf.empty()) bad_field(what, s);
+  if (!std::isfinite(value)) bad_field(what, s, "non-finite");
   return value;
 }
 
@@ -71,21 +83,53 @@ OpType parse_op_letter(std::string_view s) {
   if (s == "W" || s == "w" || s == "Write" || s == "write") {
     return OpType::kWrite;
   }
-  throw std::invalid_argument("bad op field: '" + std::string(s) + "'");
+  bad_field("op", s);
 }
 
 void require_fields(const std::vector<std::string_view>& f, std::size_t n,
                     const char* format) {
   if (f.size() < n) {
-    throw std::invalid_argument(std::string("too few fields for ") + format);
+    throw ParseError(0, std::string("too few fields for ") + format +
+                            " (got " + std::to_string(f.size()) + ", want " +
+                            std::to_string(n) + ")");
   }
 }
 
-std::uint32_t bytes_to_blocks(std::uint64_t bytes, std::uint32_t block_size) {
+std::uint64_t checked_add(std::uint64_t a, std::uint64_t b,
+                          const char* what) {
+  if (a > std::numeric_limits<std::uint64_t>::max() - b) {
+    bad_field(what, std::to_string(a) + " + " + std::to_string(b),
+              "overflowing");
+  }
+  return a + b;
+}
+
+std::uint64_t sectors_to_bytes(std::uint64_t sectors, const char* what) {
+  if (sectors > std::numeric_limits<std::uint64_t>::max() / 512) {
+    bad_field(what, std::to_string(sectors), "overflowing");
+  }
+  return sectors * 512;
+}
+
+std::uint32_t bytes_to_blocks(std::uint64_t bytes, std::uint32_t block_size,
+                              const char* what) {
   // Round the request up to whole blocks; a zero-length request still
   // touches the block at its offset.
-  const std::uint64_t blocks = (bytes + block_size - 1) / block_size;
-  return static_cast<std::uint32_t>(std::max<std::uint64_t>(blocks, 1));
+  const std::uint64_t rounded = checked_add(bytes, block_size - 1, what);
+  const std::uint64_t blocks = std::max<std::uint64_t>(rounded / block_size, 1);
+  if (blocks > std::numeric_limits<std::uint32_t>::max()) {
+    bad_field(what, std::to_string(bytes), "overflowing");
+  }
+  return static_cast<std::uint32_t>(blocks);
+}
+
+TimeUs seconds_to_us(double seconds, const char* what) {
+  // Reject negatives and values whose microsecond count does not fit u64
+  // (the cast would otherwise be UB).
+  if (seconds < 0.0 || seconds >= 1.8e13) {
+    bad_field(what, std::to_string(seconds), "out-of-range");
+  }
+  return static_cast<TimeUs>(seconds * 1e6);
 }
 
 }  // namespace
@@ -102,7 +146,7 @@ std::optional<Record> parse_line(std::string_view line, TraceFormat format,
       r.ts_us = parse_u64(f[0], "ts_us");
       r.op = parse_op_letter(f[1]);
       r.lba = parse_u64(f[2], "lba");
-      r.blocks = static_cast<std::uint32_t>(parse_u64(f[3], "blocks"));
+      r.blocks = parse_u32(f[3], "blocks");
       break;
     }
     case TraceFormat::kAlibaba: {
@@ -112,7 +156,9 @@ std::optional<Record> parse_line(std::string_view line, TraceFormat format,
       const std::uint64_t length = parse_u64(f[3], "length");
       r.ts_us = parse_u64(f[4], "ts");
       r.lba = offset / block_size;
-      r.blocks = bytes_to_blocks(length + offset % block_size, block_size);
+      r.blocks = bytes_to_blocks(
+          checked_add(length, offset % block_size, "length"), block_size,
+          "length");
       break;
     }
     case TraceFormat::kTencent: {
@@ -121,13 +167,15 @@ std::optional<Record> parse_line(std::string_view line, TraceFormat format,
       const std::uint64_t offset_sectors = parse_u64(f[1], "offset");
       const std::uint64_t size_sectors = parse_u64(f[2], "size");
       const std::uint64_t io_type = parse_u64(f[3], "io_type");
-      r.ts_us = static_cast<TimeUs>(ts_sec * 1e6);
+      r.ts_us = seconds_to_us(ts_sec, "ts_sec");
       r.op = io_type == 0 ? OpType::kRead : OpType::kWrite;
-      const std::uint64_t offset_bytes = offset_sectors * 512;
-      const std::uint64_t size_bytes = size_sectors * 512;
+      const std::uint64_t offset_bytes =
+          sectors_to_bytes(offset_sectors, "offset");
+      const std::uint64_t size_bytes = sectors_to_bytes(size_sectors, "size");
       r.lba = offset_bytes / block_size;
-      r.blocks =
-          bytes_to_blocks(size_bytes + offset_bytes % block_size, block_size);
+      r.blocks = bytes_to_blocks(
+          checked_add(size_bytes, offset_bytes % block_size, "size"),
+          block_size, "size");
       break;
     }
     case TraceFormat::kMsrc: {
@@ -138,11 +186,16 @@ std::optional<Record> parse_line(std::string_view line, TraceFormat format,
       const std::uint64_t offset = parse_u64(f[4], "offset");
       const std::uint64_t size = parse_u64(f[5], "size");
       r.lba = offset / block_size;
-      r.blocks = bytes_to_blocks(size + offset % block_size, block_size);
+      r.blocks = bytes_to_blocks(checked_add(size, offset % block_size, "size"),
+                                 block_size, "size");
       break;
     }
   }
   if (r.blocks == 0) r.blocks = 1;
+  // The record must address a representable block range.
+  if (r.lba > std::numeric_limits<std::uint64_t>::max() - r.blocks) {
+    bad_field("lba", std::to_string(r.lba), "overflowing");
+  }
   return r;
 }
 
@@ -150,11 +203,18 @@ Volume read_trace(std::istream& in, TraceFormat format,
                   std::uint32_t block_size, std::uint64_t capacity_blocks) {
   Volume volume;
   std::string line;
+  std::uint64_t line_no = 0;
   std::uint64_t max_block = 0;
   bool have_base = false;
   TimeUs base_ts = 0;
   while (std::getline(in, line)) {
-    const auto rec = parse_line(line, format, block_size);
+    ++line_no;
+    std::optional<Record> rec;
+    try {
+      rec = parse_line(line, format, block_size);
+    } catch (const ParseError& e) {
+      throw e.at_line(line_no);
+    }
     if (!rec) continue;
     Record r = *rec;
     if (!have_base) {

@@ -10,8 +10,10 @@
 //               size_bytes,response_us
 #pragma once
 
+#include <cstdint>
 #include <istream>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 
@@ -21,15 +23,43 @@ namespace adapt::trace {
 
 enum class TraceFormat { kCanonical, kAlibaba, kTencent, kMsrc };
 
+/// Structured parse failure: which line (1-based; 0 when unknown, e.g. from
+/// parse_line on a free-standing string) and why. Malformed or overflowing
+/// fields always raise this — a trace reader that silently skips or
+/// truncates corrupt records produces plausible-but-wrong workloads.
+class ParseError : public std::invalid_argument {
+ public:
+  ParseError(std::uint64_t line_no, const std::string& reason)
+      : std::invalid_argument("trace line " + std::to_string(line_no) + ": " +
+                              reason),
+        line_no_(line_no),
+        reason_(reason) {}
+
+  std::uint64_t line_no() const noexcept { return line_no_; }
+  const std::string& reason() const noexcept { return reason_; }
+
+  /// Copy of this error re-attributed to `line_no` (used by read_trace to
+  /// annotate errors thrown while parsing an isolated line).
+  ParseError at_line(std::uint64_t line_no) const {
+    return {line_no, reason_};
+  }
+
+ private:
+  std::uint64_t line_no_;
+  std::string reason_;
+};
+
 /// Parses one CSV line in the given format. Returns nullopt for blank lines
-/// and comment lines (leading '#'); throws std::invalid_argument on
-/// malformed input. `block_size` converts byte/sector offsets to blocks.
+/// and comment lines (leading '#'); throws ParseError (with line 0) on
+/// malformed or overflowing input. `block_size` converts byte/sector
+/// offsets to blocks.
 std::optional<Record> parse_line(std::string_view line, TraceFormat format,
                                  std::uint32_t block_size = kDefaultBlockSize);
 
 /// Reads a whole stream into a Volume. Records keep file order; capacity is
 /// sized to the maximum addressed block + 1 unless `capacity_blocks` is
-/// given. Timestamps are rebased so the first record is at t = 0.
+/// given. Timestamps are rebased so the first record is at t = 0. Throws
+/// ParseError carrying the 1-based line number of the offending record.
 Volume read_trace(std::istream& in, TraceFormat format,
                   std::uint32_t block_size = kDefaultBlockSize,
                   std::uint64_t capacity_blocks = 0);

@@ -176,7 +176,7 @@ Volume CloudVolumeModel::make_volume(std::uint64_t volume_id,
   TimeUs clock_us = 0;
   std::uint64_t written = 0;
   while (written < target_write_blocks) {
-    double gap_us;
+    double gap_us = 0.0;
     if (burst_remaining > 0) {
       --burst_remaining;
       gap_us = rng.exponential(profile_.burst_gap_us);

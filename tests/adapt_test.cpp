@@ -16,6 +16,7 @@
 #include "adapt/ghost_set.h"
 #include "adapt/reuse_distance.h"
 #include "adapt/threshold_adapter.h"
+#include "audit/audit.h"
 #include "common/rng.h"
 #include "lss/engine.h"
 #include "lss/victim_policy.h"
@@ -82,10 +83,12 @@ TEST(CascadeTest, FifoEviction) {
   d.insert(7);  // filter 0
   for (Lba lba = 100; lba < 104; ++lba) d.insert(lba);  // fills 0, opens 1
   for (Lba lba = 200; lba < 204; ++lba) d.insert(lba);  // fills 1, opens 2
+  d.check_invariants(audit::Level::kCounters);
   // Max 2 filters: filter 0 (containing 7) must have been evicted by now.
   for (Lba lba = 300; lba < 304; ++lba) d.insert(lba);
   EXPECT_LE(d.filter_count(), 2u);
   EXPECT_EQ(d.score(7), 0u);
+  d.check_invariants(audit::Level::kFull);
 }
 
 TEST(CascadeTest, ScoreBoundedByMaxFilters) {
@@ -99,10 +102,14 @@ TEST(CascadeTest, ScoreBoundedByMaxFilters) {
 
 TEST(CascadeTest, MemoryIsBounded) {
   CascadeDiscriminator d(2, 100);
-  for (Lba lba = 0; lba < 10000; ++lba) d.insert(lba);
+  for (Lba lba = 0; lba < 10000; ++lba) {
+    d.insert(lba);
+    if (lba % 512 == 0) d.check_invariants(audit::Level::kCounters);
+  }
   EXPECT_LE(d.filter_count(), 2u);
   EXPECT_LE(d.memory_usage_bytes(), 2u * 100 * 10 / 8 + 64);
   EXPECT_EQ(d.total_inserted(), 10000u);
+  d.check_invariants(audit::Level::kFull);
 }
 
 // ---------------------------------------------------------------------------
@@ -230,16 +237,24 @@ TEST(GhostSetTest, OverwritesCreateGarbageNotDiscards) {
 
 TEST(GhostSetTest, WriteOnceStreamForcesDiscards) {
   GhostSet g(tiny_ghost(), 100);
-  for (Lba lba = 0; lba < 200; ++lba) g.write(lba, 1000000);
+  for (Lba lba = 0; lba < 200; ++lba) {
+    g.write(lba, 1000000);
+    g.check_invariants(audit::Level::kCounters);
+  }
   EXPECT_GT(g.discarded(), 0u);
   EXPECT_GT(g.gc_runs(), 0u);
   EXPECT_GT(g.discard_ratio(), 0.0);
+  g.check_invariants(audit::Level::kFull);
 }
 
 TEST(GhostSetTest, SegmentCountBounded) {
   GhostSet g(tiny_ghost(), 100);
   Rng rng(109);
-  for (int i = 0; i < 5000; ++i) g.write(rng.below(256), rng.below(2000));
+  for (int i = 0; i < 5000; ++i) {
+    g.write(rng.below(256), rng.below(2000));
+    if (i % 256 == 0) g.check_invariants(audit::Level::kFull);
+    g.check_invariants(audit::Level::kCounters);
+  }
   EXPECT_LE(g.segment_count(), tiny_ghost().capacity_segments + 1u);
 }
 
@@ -254,6 +269,7 @@ TEST(GhostSetTest, DiscardAccountingIsExact) {
   for (Lba lba = 16; lba < 20; ++lba) g.write(lba, 1u << 20);
   EXPECT_EQ(g.discarded(), 4u);
   EXPECT_EQ(g.gc_runs(), 1u);
+  g.check_invariants(audit::Level::kFull);
 }
 
 TEST(GhostSetTest, InvalidatedBlocksAreNotDiscarded) {
@@ -269,6 +285,7 @@ TEST(GhostSetTest, InvalidatedBlocksAreNotDiscarded) {
   for (Lba lba = 16; lba < 20; ++lba) g.write(lba, 1u << 20);
   EXPECT_EQ(g.discarded(), 0u);
   EXPECT_GE(g.gc_runs(), 1u);
+  g.check_invariants(audit::Level::kFull);
 }
 
 TEST(GhostSetTest, DifferentThresholdsDifferentPlacements) {
@@ -291,6 +308,8 @@ TEST(GhostSetTest, DifferentThresholdsDifferentPlacements) {
   EXPECT_NE(separating.discarded(), degenerate.discarded());
   EXPECT_GT(separating.gc_runs(), 0u);
   EXPECT_GT(degenerate.gc_runs(), 0u);
+  separating.check_invariants(audit::Level::kFull);
+  degenerate.check_invariants(audit::Level::kFull);
 }
 
 TEST(GhostSetTest, SetThresholdResetsMetrics) {
@@ -355,9 +374,12 @@ TEST(ThresholdAdapterTest, AdoptsAfterEnoughChurn) {
     // Mixed workload: hot blocks 0-31 + cold stream.
     const Lba lba = rng.chance(0.6) ? rng.below(32) : 100 + rng.below(4000);
     changed |= a.on_user_write(lba, now++);
+    a.check_invariants(audit::Level::kCounters);
+    if (i % 8192 == 0) a.check_invariants(audit::Level::kFull);
   }
   EXPECT_TRUE(a.adopted());
   EXPECT_GT(a.threshold(), 0u);
+  a.check_invariants(audit::Level::kFull);
 }
 
 TEST(ThresholdAdapterTest, MemoryGrowsWithTracking) {
@@ -365,6 +387,7 @@ TEST(ThresholdAdapterTest, MemoryGrowsWithTracking) {
   const std::size_t before = a.memory_usage_bytes();
   for (Lba lba = 0; lba < 1000; ++lba) a.on_user_write(lba, lba);
   EXPECT_GT(a.memory_usage_bytes(), before);
+  a.check_invariants(audit::Level::kFull);
 }
 
 // ---------------------------------------------------------------------------
@@ -477,6 +500,8 @@ lss::LssConfig engine_config() {
   c.logical_blocks = 1024;
   c.over_provision = 0.5;
   c.coalesce_window_us = 100;
+  // Per-op counters self-audit inside the engine for every test below.
+  c.audit_level = audit::Level::kCounters;
   return c;
 }
 
@@ -644,6 +669,7 @@ TEST(AggregationWrapperTest, DelegatesToInnerPolicy) {
   EXPECT_TRUE(wrapped.is_user_group(0));
   EXPECT_EQ(wrapped.host_group(), 1u);  // SepBIT's cold user group
   EXPECT_EQ(wrapped.place_user_write(1, 0), 1u);  // first write: cold
+  wrapped.check_invariants(audit::Level::kFull);
 }
 
 TEST(AggregationWrapperTest, RejectsSingleUserGroupPolicies) {
@@ -678,6 +704,7 @@ TEST(AggregationWrapperTest, ShadowsThroughTheEngine) {
   engine.advance_time(1200);
   EXPECT_GT(wrapped.shadow_decisions(), 0u);
   EXPECT_GT(engine.metrics().shadow_blocks, 0u);
+  wrapped.check_invariants(audit::Level::kCounters);
   engine.check_invariants();
 }
 

@@ -325,7 +325,10 @@ TEST_P(EngineRandomTest, InvariantsHoldUnderRandomWorkload) {
     now += rng.below(200);
     const Lba lba = rng.below(250);
     const auto blocks = static_cast<std::uint32_t>(1 + rng.below(4));
-    engine.write(lba, std::min<std::uint32_t>(blocks, 256 - lba), now);
+    engine.write(
+        lba,
+        std::min<std::uint32_t>(blocks, static_cast<std::uint32_t>(256 - lba)),
+        now);
     if (i % 512 == 0) engine.check_invariants();
   }
   engine.flush_all();

@@ -266,7 +266,8 @@ TEST(FactoryTest, PoliciesStayWithinGroupBounds) {
       ASSERT_LT(ug, policy->group_count()) << name;
       if (i % 3 == 0) {
         const GroupId gg = policy->place_gc_rewrite(
-            lba, rng.below(policy->group_count()), static_cast<VTime>(i));
+            lba, static_cast<GroupId>(rng.below(policy->group_count())),
+            static_cast<VTime>(i));
         ASSERT_LT(gg, policy->group_count()) << name;
       }
     }

@@ -107,6 +107,97 @@ TEST(ParseLineTest, CustomBlockSize) {
 }
 
 // ---------------------------------------------------------------------------
+// ParseError paths
+//
+// The literal lines below double as the seed corpus for the libFuzzer
+// harness in fuzz/fuzz_trace_reader.cpp (fuzz/corpus/trace/) — if one of
+// them changes behaviour here, regenerate the corpus file of the same name.
+// ---------------------------------------------------------------------------
+
+/// Expects `line` to throw ParseError with line_no 0 and a reason containing
+/// `reason_piece`.
+void expect_parse_error(std::string_view line, TraceFormat format,
+                        std::string_view reason_piece) {
+  try {
+    parse_line(line, format);
+    FAIL() << "no ParseError for: " << line;
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line_no(), 0u) << line;
+    EXPECT_NE(e.reason().find(reason_piece), std::string::npos)
+        << "reason '" << e.reason() << "' lacks '" << reason_piece
+        << "' for: " << line;
+  }
+}
+
+TEST(ParseErrorTest, MalformedNumberFields) {
+  expect_parse_error("x,W,1,1", TraceFormat::kCanonical, "malformed ts_us");
+  expect_parse_error("1,W,0x10,1", TraceFormat::kCanonical, "malformed lba");
+  expect_parse_error("1,W,-5,1", TraceFormat::kCanonical, "malformed lba");
+  expect_parse_error("1,W,2,3.5", TraceFormat::kCanonical,
+                     "malformed blocks");
+}
+
+TEST(ParseErrorTest, OverflowingFields) {
+  // 2^64 = 18446744073709551616 does not fit u64.
+  expect_parse_error("18446744073709551616,W,1,1", TraceFormat::kCanonical,
+                     "overflowing ts_us");
+  // Fits u64 but not the u32 block-count field.
+  expect_parse_error("1,W,1,4294967296", TraceFormat::kCanonical,
+                     "overflowing blocks");
+  // offset + length overflows u64 during byte->block conversion.
+  expect_parse_error("0,W,18446744073709551615,18446744073709551615,0",
+                     TraceFormat::kAlibaba, "overflowing");
+  // Sector->byte conversion (x512) overflows u64.
+  expect_parse_error("1.0,36893488147419103232,8,1,0", TraceFormat::kTencent,
+                     "overflowing");
+}
+
+TEST(ParseErrorTest, BadTimestamps) {
+  expect_parse_error("-1.5,16,8,1,0", TraceFormat::kTencent,
+                     "out-of-range ts_sec");
+  expect_parse_error("nan,16,8,1,0", TraceFormat::kTencent,
+                     "non-finite ts_sec");
+  expect_parse_error("inf,16,8,1,0", TraceFormat::kTencent,
+                     "non-finite ts_sec");
+  expect_parse_error("1e300,16,8,1,0", TraceFormat::kTencent,
+                     "out-of-range ts_sec");
+}
+
+TEST(ParseErrorTest, TooFewFieldsNamesCounts) {
+  expect_parse_error("1,W,2", TraceFormat::kCanonical,
+                     "too few fields for canonical (got 3, want 4)");
+  expect_parse_error("1,W", TraceFormat::kAlibaba,
+                     "too few fields for alibaba (got 2, want 5)");
+  expect_parse_error("1,h,0,Read,8192", TraceFormat::kMsrc,
+                     "too few fields for msrc (got 5, want 6)");
+}
+
+TEST(ParseErrorTest, BadOpLetter) {
+  expect_parse_error("1,Q,2,3", TraceFormat::kCanonical, "malformed op");
+  expect_parse_error("1,,2,3", TraceFormat::kCanonical, "malformed op");
+  expect_parse_error("1,h,0,Flush,8192,4096", TraceFormat::kMsrc,
+                     "malformed op");
+}
+
+TEST(ParseErrorTest, LbaRangeOverflow) {
+  // lba at u64 max with a nonzero block count: lba + blocks would wrap.
+  expect_parse_error("1,W,18446744073709551615,4", TraceFormat::kCanonical,
+                     "overflowing lba");
+}
+
+TEST(ParseErrorTest, ReadTraceAttributesLineNumber) {
+  std::istringstream in("0,W,0,1\n# comment\n\n5,W,bad,1\n");
+  try {
+    read_trace(in, TraceFormat::kCanonical);
+    FAIL() << "no ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line_no(), 4u);  // comments and blanks still count as lines
+    EXPECT_NE(e.reason().find("malformed lba"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("trace line 4:"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // read_trace / write_canonical
 // ---------------------------------------------------------------------------
 
