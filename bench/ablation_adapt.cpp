@@ -31,6 +31,7 @@ int main() {
       {"stripped core (SepBIT)", false, false, false},
   };
 
+  obs::BenchReport report("ablation_adapt");
   std::printf("\n%-28s %10s %10s %10s %12s\n", "variant", "WA", "gcWA",
               "padding%", "shadow-blk");
   for (const Variant& v : variants) {
@@ -49,13 +50,20 @@ int main() {
       user += vol.metrics.user_blocks;
       gc += vol.metrics.gc_blocks;
     }
+    const double gc_wa = user == 0 ? 0.0
+                                   : static_cast<double>(user + gc) /
+                                         static_cast<double>(user);
     std::printf("%-28s %10.3f %10.3f %9.1f%% %12llu\n", v.label,
-                cell.overall_wa(),
-                user == 0 ? 0.0
-                          : static_cast<double>(user + gc) /
-                                static_cast<double>(user),
+                cell.overall_wa(), gc_wa,
                 100.0 * cell.overall_padding_ratio(),
                 static_cast<unsigned long long>(shadow));
+    const obs::BenchReport::Params key = {{"variant", v.label}};
+    report.add("overall_wa", key, cell.overall_wa(), "ratio");
+    report.add("gc_wa", key, gc_wa, "ratio");
+    report.add("padding_ratio", key, cell.overall_padding_ratio(),
+               "fraction");
+    report.add("shadow_blocks", key, static_cast<double>(shadow), "blocks");
   }
+  bench::write_report(report);
   return 0;
 }

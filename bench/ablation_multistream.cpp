@@ -78,6 +78,7 @@ int main() {
               volume.records.size(),
               static_cast<unsigned long long>(volume.capacity_blocks));
 
+  obs::BenchReport report("ablation_multistream");
   std::printf("%-28s %10s %12s %12s\n", "configuration", "host WA",
               "device WA", "wear max/mean");
   struct Case {
@@ -92,7 +93,12 @@ int main() {
     const Outcome o = run(volume, c.multi_stream, c.trim);
     std::printf("%-28s %10.3f %12.3f %12.2f\n", c.label, o.host_wa,
                 o.device_wa, o.wear_spread);
+    const obs::BenchReport::Params key = {{"configuration", c.label}};
+    report.add("host_wa", key, o.host_wa, "ratio");
+    report.add("device_wa", key, o.device_wa, "ratio");
+    report.add("wear_spread", key, o.wear_spread, "ratio");
   }
+  bench::write_report(report);
   std::printf("\nexpected shape: host WA identical across rows; device WA "
               "lowest with multi-stream + TRIM, highest with neither\n");
   return 0;

@@ -14,6 +14,7 @@ int main() {
       trace::alibaba_profile(), bench::volumes_per_workload(),
       bench::fill_factor());
 
+  obs::BenchReport report("ablation_rmw");
   std::printf("\n%-10s %-8s %10s %10s %10s %12s %14s\n", "mode", "policy",
               "WA", "gcWA", "padding%", "rmw-flushes", "rmw-read-blk");
   for (const auto mode : {lss::PartialWriteMode::kZeroPad,
@@ -34,18 +35,28 @@ int main() {
         rmw += v.metrics.rmw_flushes;
         rmw_reads += v.metrics.rmw_read_blocks;
       }
+      const char* mode_name =
+          mode == lss::PartialWriteMode::kZeroPad ? "zero-pad" : "rmw";
+      const double gc_wa = user == 0 ? 0.0
+                                     : static_cast<double>(user + gc) /
+                                           static_cast<double>(user);
       std::printf("%-10s %-8s %10.3f %10.3f %9.1f%% %12llu %14llu\n",
-                  mode == lss::PartialWriteMode::kZeroPad ? "zero-pad"
-                                                          : "rmw",
-                  policy, cell.overall_wa(),
-                  user == 0 ? 0.0
-                            : static_cast<double>(user + gc) /
-                                  static_cast<double>(user),
+                  mode_name, policy, cell.overall_wa(), gc_wa,
                   100.0 * cell.overall_padding_ratio(),
                   static_cast<unsigned long long>(rmw),
                   static_cast<unsigned long long>(rmw_reads));
+      const obs::BenchReport::Params key = {{"mode", mode_name},
+                                            {"policy", policy}};
+      report.add("overall_wa", key, cell.overall_wa(), "ratio");
+      report.add("gc_wa", key, gc_wa, "ratio");
+      report.add("padding_ratio", key, cell.overall_padding_ratio(),
+                 "fraction");
+      report.add("rmw_flushes", key, static_cast<double>(rmw), "count");
+      report.add("rmw_read_blocks", key, static_cast<double>(rmw_reads),
+                 "blocks");
     }
   }
+  bench::write_report(report);
   std::printf("\nexpected shape: RMW eliminates padding (lower write WA) "
               "but pays two chunk reads per sub-chunk flush; zero-padding "
               "trades that read traffic for padding writes\n");

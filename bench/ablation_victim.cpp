@@ -17,16 +17,21 @@ int main() {
   spec.victims = {"greedy", "cost-benefit", "d-choice", "windowed", "random"};
   const auto results = sim::run_experiment(spec, workload.volumes);
 
+  obs::BenchReport report("ablation_victim");
   std::printf("\noverall WA\n");
   bench::print_policy_row_header("victim");
   for (const auto& victim : spec.victims) {
     std::printf("%-14s", victim.c_str());
     for (const auto& policy : spec.policies) {
-      std::printf("%10.3f",
-                  results.at(sim::CellKey{policy, victim}).overall_wa());
+      const double wa =
+          results.at(sim::CellKey{policy, victim}).overall_wa();
+      std::printf("%10.3f", wa);
+      report.add("overall_wa", {{"victim", victim}, {"policy", policy}}, wa,
+                 "ratio");
     }
     std::printf("\n");
   }
+  bench::write_report(report);
   std::printf("\nexpected shape: random worst; d-choice/windowed close to "
               "greedy; cost-benefit best or tied for the separating "
               "schemes\n");

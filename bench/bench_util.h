@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/export.h"
 #include "sim/experiment.h"
 #include "sim/simulator.h"
 #include "trace/synthetic.h"
@@ -67,6 +68,20 @@ inline void print_header(const char* figure, const char* description) {
   std::printf("%s — %s\n", figure, description);
   std::printf("(synthetic trace substitute; compare shapes, not values)\n");
   std::printf("==================================================\n");
+}
+
+/// Compact numeric param formatting for BenchReport ("%g": 0.25, 1e+06).
+inline std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+/// Writes `BENCH_<name>.json` into the working directory and tells the
+/// operator; validate with tools/check_bench_json.
+inline void write_report(const obs::BenchReport& report) {
+  std::printf("\nwrote %s (%zu rows)\n", report.write_file().c_str(),
+              report.row_count());
 }
 
 inline void print_policy_row_header(const char* label) {

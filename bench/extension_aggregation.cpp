@@ -14,6 +14,7 @@ int main() {
       trace::alibaba_profile(), bench::volumes_per_workload(),
       bench::fill_factor());
 
+  obs::BenchReport report("extension_aggregation");
   std::printf("\n%-12s %10s %10s %10s %12s\n", "policy", "WA", "gcWA",
               "padding%", "shadow-blk");
   for (const char* policy :
@@ -31,14 +32,21 @@ int main() {
       gc += v.metrics.gc_blocks;
       shadow += v.metrics.shadow_blocks;
     }
+    const double gc_wa = user == 0 ? 0.0
+                                   : static_cast<double>(user + gc) /
+                                         static_cast<double>(user);
     std::printf("%-12s %10.3f %10.3f %9.1f%% %12llu\n", policy,
-                cell.overall_wa(),
-                user == 0 ? 0.0
-                          : static_cast<double>(user + gc) /
-                                static_cast<double>(user),
+                cell.overall_wa(), gc_wa,
                 100.0 * cell.overall_padding_ratio(),
                 static_cast<unsigned long long>(shadow));
+    const obs::BenchReport::Params key = {{"policy", policy}};
+    report.add("overall_wa", key, cell.overall_wa(), "ratio");
+    report.add("gc_wa", key, gc_wa, "ratio");
+    report.add("padding_ratio", key, cell.overall_padding_ratio(),
+               "fraction");
+    report.add("shadow_blocks", key, static_cast<double>(shadow), "blocks");
   }
+  bench::write_report(report);
   std::printf("\nexpected shape: each +agg variant pads less and lowers WA "
               "vs its base; full ADAPT remains lowest overall\n");
   return 0;

@@ -10,6 +10,7 @@
 int main() {
   using namespace adapt;
   bench::print_header("Figure 2", "workload CDFs (request rate, write size)");
+  obs::BenchReport report("fig02_workload_cdf");
 
   for (const auto& workload : bench::all_workloads()) {
     const trace::WorkloadDistributions dist =
@@ -19,16 +20,25 @@ int main() {
                 workload.volumes.size());
     std::printf("(a) request rate CDF (req/s -> fraction of volumes)\n");
     for (const double rate : {1.0, 5.0, 10.0, 50.0, 100.0, 500.0}) {
-      std::printf("    <= %6.0f req/s : %5.1f%%\n", rate,
-                  100.0 * dist.request_rate_per_volume.cdf_at(rate));
+      const double frac = dist.request_rate_per_volume.cdf_at(rate);
+      std::printf("    <= %6.0f req/s : %5.1f%%\n", rate, 100.0 * frac);
+      report.add("request_rate_cdf",
+                 {{"workload", workload.name},
+                  {"le_req_per_s", bench::fmt(rate)}},
+                 frac, "fraction");
     }
     std::printf("(b) write size CDF (KiB -> fraction of write requests)\n");
     for (const double kib : {4.0, 8.0, 16.0, 32.0, 64.0, 128.0}) {
-      std::printf("    <= %6.0f KiB   : %5.1f%%\n", kib,
-                  100.0 * dist.write_size_bytes.cdf_at(kib * 1024.0));
+      const double frac = dist.write_size_bytes.cdf_at(kib * 1024.0);
+      std::printf("    <= %6.0f KiB   : %5.1f%%\n", kib, 100.0 * frac);
+      report.add("write_size_cdf",
+                 {{"workload", workload.name},
+                  {"le_kib", bench::fmt(kib)}},
+                 frac, "fraction");
     }
     std::printf("  paper check: <=10 req/s in [75%%, 86.1%%]; "
                 "<=8 KiB in [69.8%%, 80.9%%]\n");
   }
+  bench::write_report(report);
   return 0;
 }

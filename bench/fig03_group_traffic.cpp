@@ -22,6 +22,7 @@ int main() {
   sim::ExperimentSpec spec;
   for (const auto p : sim::all_policy_names()) spec.policies.emplace_back(p);
   const auto results = sim::run_experiment(spec, workload.volumes);
+  obs::BenchReport report("fig03_group_traffic");
 
   for (const auto& policy : spec.policies) {
     const auto& cell = results.at(sim::CellKey{policy, "greedy"});
@@ -65,7 +66,25 @@ int main() {
               ? 0.0
               : 100.0 * static_cast<double>(segments[g]) /
                     static_cast<double>(total_segments));
+      const obs::BenchReport::Params key = {{"policy", policy},
+                                            {"group", std::to_string(g)}};
+      report.add("user_share", key,
+                 static_cast<double>(gt.user_blocks) / gt_total, "fraction");
+      report.add("gc_share", key,
+                 static_cast<double>(gt.gc_blocks) / gt_total, "fraction");
+      report.add("padding_share", key,
+                 static_cast<double>(gt.padding_blocks) / gt_total,
+                 "fraction");
+      report.add("traffic_share", key,
+                 gt_total / static_cast<double>(total), "fraction");
+      report.add("size_share", key,
+                 total_segments == 0
+                     ? 0.0
+                     : static_cast<double>(segments[g]) /
+                           static_cast<double>(total_segments),
+                 "fraction");
     }
   }
+  bench::write_report(report);
   return 0;
 }

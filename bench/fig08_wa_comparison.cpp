@@ -18,6 +18,7 @@ int main() {
   sim::ExperimentSpec spec;
   for (const auto p : sim::all_policy_names()) spec.policies.emplace_back(p);
   spec.victims = {"greedy", "cost-benefit"};
+  obs::BenchReport report("fig08_wa_comparison");
 
   for (const auto& workload : bench::all_workloads()) {
     const auto results = sim::run_experiment(spec, workload.volumes);
@@ -28,8 +29,14 @@ int main() {
       bench::print_policy_row_header("");
       std::printf("%-14s", "WA");
       for (const auto& policy : spec.policies) {
-        std::printf("%10.3f",
-                    results.at(sim::CellKey{policy, victim}).overall_wa());
+        const double wa =
+            results.at(sim::CellKey{policy, victim}).overall_wa();
+        std::printf("%10.3f", wa);
+        report.add("overall_wa",
+                   {{"workload", workload.name},
+                    {"victim", victim},
+                    {"policy", policy}},
+                   wa, "ratio");
       }
       std::printf("\n");
 
@@ -44,6 +51,11 @@ int main() {
                     "whiskers=[%6.3f, %6.3f] outliers=%zu\n",
                     policy.c_str(), b.q1, b.median, b.q3, b.whisker_lo,
                     b.whisker_hi, b.outliers);
+        report.add("wa_median",
+                   {{"workload", workload.name},
+                    {"victim", victim},
+                    {"policy", policy}},
+                   b.median, "ratio");
       }
     }
     // Paper-style reduction summary for the Greedy policy.
@@ -59,5 +71,6 @@ int main() {
     }
     std::printf("\n");
   }
+  bench::write_report(report);
   return 0;
 }

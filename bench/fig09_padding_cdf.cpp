@@ -15,6 +15,7 @@ int main() {
   sim::ExperimentSpec spec;
   for (const auto p : sim::all_policy_names()) spec.policies.emplace_back(p);
   spec.victims = {"greedy", "cost-benefit"};
+  obs::BenchReport report("fig09_padding_cdf");
 
   for (const auto& workload : bench::all_workloads()) {
     const auto results = sim::run_experiment(spec, workload.volumes);
@@ -32,11 +33,19 @@ int main() {
                            .per_volume_padding_ratio();
         std::printf("  %-8s", policy.c_str());
         for (const double x : {0.05, 0.10, 0.25, 0.40, 0.60}) {
-          std::printf("%9.1f%%", 100.0 * h.cdf_at(x));
+          const double frac = h.cdf_at(x);
+          std::printf("%9.1f%%", 100.0 * frac);
+          report.add("padding_ratio_cdf",
+                     {{"workload", workload.name},
+                      {"victim", victim},
+                      {"policy", policy},
+                      {"le", bench::fmt(x)}},
+                     frac, "fraction");
         }
         std::printf("\n");
       }
     }
   }
+  bench::write_report(report);
   return 0;
 }

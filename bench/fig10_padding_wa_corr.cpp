@@ -48,6 +48,7 @@ int main() {
   spec.policies = {"adapt", "mida", "sepbit"};
   const auto results = sim::run_experiment(spec, workload.volumes);
   const auto& adapt_cell = results.at(sim::CellKey{"adapt", "greedy"});
+  obs::BenchReport report("fig10_padding_wa_corr");
 
   for (const char* baseline : {"mida", "sepbit"}) {
     const auto& base_cell =
@@ -70,9 +71,19 @@ int main() {
       pad_red.push_back(pr);
       wa_red.push_back(wr);
       std::printf("  %-6zu %13.1f%% %11.1f%%\n", i, pr, wr);
+      report.add("padding_reduction",
+                 {{"baseline", baseline}, {"volume", std::to_string(i)}},
+                 pr / 100.0, "fraction");
+      report.add("wa_reduction",
+                 {{"baseline", baseline}, {"volume", std::to_string(i)}},
+                 wr / 100.0, "fraction");
     }
+    const double r = pearson(pad_red, wa_red);
     std::printf("  Pearson correlation: %.3f (paper: strongly positive)\n",
-                pearson(pad_red, wa_red));
+                r);
+    report.add("pearson_padding_wa", {{"baseline", baseline}}, r,
+               "correlation");
   }
+  bench::write_report(report);
   return 0;
 }

@@ -18,6 +18,7 @@ int main() {
   const auto writes = static_cast<std::uint64_t>(
       bench::fill_factor() * static_cast<double>(working_set));
   sim::SimConfig config;
+  obs::BenchReport report("fig11_sensitivity");
 
   std::printf("\n(left) WA vs traffic intensity (alpha = 0.99)\n");
   std::printf("  light = gaps above the 100 us window, heavy = chunk fills "
@@ -38,7 +39,13 @@ int main() {
     const trace::Volume volume = trace::make_ycsb_volume(wc, writes);
     std::printf("  %-12s", d.label);
     for (const auto p : sim::all_policy_names()) {
-      std::printf("%10.3f", sim::run_volume(volume, p, config).wa());
+      const double wa = sim::run_volume(volume, p, config).wa();
+      std::printf("%10.3f", wa);
+      report.add("wa",
+                 {{"axis", "density"},
+                  {"point", d.label},
+                  {"policy", std::string(p)}},
+                 wa, "ratio");
     }
     std::printf("\n");
   }
@@ -54,9 +61,16 @@ int main() {
     const trace::Volume volume = trace::make_ycsb_volume(wc, writes);
     std::printf("  %-12.1f", alpha);
     for (const auto p : sim::all_policy_names()) {
-      std::printf("%10.3f", sim::run_volume(volume, p, config).wa());
+      const double wa = sim::run_volume(volume, p, config).wa();
+      std::printf("%10.3f", wa);
+      report.add("wa",
+                 {{"axis", "skew"},
+                  {"point", bench::fmt(alpha)},
+                  {"policy", std::string(p)}},
+                 wa, "ratio");
     }
     std::printf("\n");
   }
+  bench::write_report(report);
   return 0;
 }

@@ -19,6 +19,7 @@ int main() {
       bench::env_u64("ADAPT_BENCH_PROTO_BLOCKS", 1u << 16);
   const std::uint64_t total_writes =
       bench::env_u64("ADAPT_BENCH_PROTO_WRITES", 4 * working_set);
+  obs::BenchReport report("fig12_prototype");
 
   std::printf("\n(a) throughput (MiB/s of user writes)\n");
   bench::print_policy_row_header("  clients");
@@ -39,6 +40,10 @@ int main() {
       const proto::PrototypeResult r = proto::run_prototype(config);
       std::printf("%10.1f", r.throughput_mib_per_s);
       std::fflush(stdout);
+      report.add("throughput",
+                 {{"clients", std::to_string(clients)},
+                  {"policy", std::string(p)}},
+                 r.throughput_mib_per_s, "MiB/s");
     }
     std::printf("\n");
   }
@@ -60,8 +65,12 @@ int main() {
                 static_cast<double>(r.policy_memory_bytes) / (1 << 20),
                 static_cast<double>(r.engine_memory_bytes) / (1 << 20),
                 r.metrics.wa());
+    report.add("policy_memory", {{"policy", p}},
+               static_cast<double>(r.policy_memory_bytes), "bytes");
+    report.add("wa", {{"policy", p}}, r.metrics.wa(), "ratio");
   }
   std::printf("  paper check: ADAPT ~4.6%% above SepBIT at production "
               "sampling rates (0.001 on multi-TB volumes)\n");
+  bench::write_report(report);
   return 0;
 }

@@ -19,6 +19,7 @@
 
 #include "common/rng.h"
 #include "lss/victim_policy.h"
+#include "obs/export.h"
 
 namespace adapt::lss {
 namespace {
@@ -218,40 +219,25 @@ int run() {
   std::printf("%10s %14s %15s %15s %10s\n", "segments", "policy", "scan/s",
               "indexed/s", "speedup");
 
-  std::FILE* json = std::fopen("BENCH_gc_victim.json", "w");
-  if (json == nullptr) {
-    std::fprintf(stderr, "cannot open BENCH_gc_victim.json for writing\n");
-    return 1;
-  }
-  std::fprintf(json,
-               "{\n  \"bench\": \"gc_victim_selection\",\n"
-               "  \"segment_blocks\": %u,\n"
-               "  \"churn_per_select\": %u,\n  \"pools\": [\n",
-               kBlocks, kChurnPerSelect);
-
-  bool first_pool = true;
+  obs::BenchReport report("gc_victim");
   for (std::uint32_t total : pool_sizes) {
-    std::fprintf(json, "%s    {\"segments\": %u, \"policies\": [\n",
-                 first_pool ? "" : ",\n", total);
-    first_pool = false;
-    bool first_policy = true;
     for (const std::string& policy : policies) {
       const CellResult r = run_cell(policy, total);
       std::printf("%10u %14s %15.0f %15.0f %9.1fx\n", total, r.policy.c_str(),
                   r.scan_per_s, r.indexed_per_s, r.speedup());
       std::fflush(stdout);
-      std::fprintf(json,
-                   "%s      {\"name\": \"%s\", \"scan_sel_per_s\": %.1f, "
-                   "\"indexed_sel_per_s\": %.1f, \"speedup\": %.2f}",
-                   first_policy ? "" : ",\n", r.policy.c_str(), r.scan_per_s,
-                   r.indexed_per_s, r.speedup());
-      first_policy = false;
+      const obs::BenchReport::Params key = {
+          {"segments", std::to_string(total)},
+          {"policy", policy},
+          {"segment_blocks", std::to_string(kBlocks)},
+          {"churn_per_select", std::to_string(kChurnPerSelect)}};
+      report.add("scan_sel_per_s", key, r.scan_per_s, "1/s");
+      report.add("indexed_sel_per_s", key, r.indexed_per_s, "1/s");
+      report.add("speedup", key, r.speedup(), "ratio");
     }
-    std::fprintf(json, "\n    ]}");
   }
-  std::fprintf(json, "\n  ]\n}\n");
-  std::fclose(json);
-  std::printf("\nwrote BENCH_gc_victim.json\n");
+  std::printf("\nwrote %s (%zu rows)\n", report.write_file().c_str(),
+              report.row_count());
   return 0;
 }
 

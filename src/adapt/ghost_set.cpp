@@ -124,10 +124,22 @@ void GhostSet::check_invariants(audit::Level level) const {
 }
 
 std::size_t GhostSet::memory_usage_bytes() const noexcept {
-  // ~20 bytes per simulated block (paper §4.4): LBA record + index share.
-  std::size_t blocks = 0;
-  for (const auto& [key, seg] : segments_) blocks += seg.lbas.size();
-  return blocks * sizeof(Lba) + map_.size() * 24;
+  // Deterministic model of both hash maps (~20 B per simulated block, paper
+  // §4.4): per tracked segment, the LBA log, the validity bitmap (1 bit per
+  // slot), the 8 B key and the hash-node overhead; per mapped LBA, key +
+  // Location + node overhead. Modelled constants rather than sizeof() of
+  // implementation types, so tests can pin exact byte counts.
+  constexpr std::size_t kHashNodeBytes = 24;  // next ptr + cached hash
+  constexpr std::size_t kLocationBytes = 16;  // segment_key + padded slot
+  std::size_t total = 0;
+  for (const auto& [key, seg] : segments_) {
+    total += seg.lbas.size() * sizeof(Lba)  // LBA log
+             + (seg.lbas.size() + 7) / 8    // valid bitmap
+             + sizeof(std::uint64_t)        // segment key
+             + kHashNodeBytes;
+  }
+  total += map_.size() * (sizeof(Lba) + kLocationBytes + kHashNodeBytes);
+  return total;
 }
 
 }  // namespace adapt::core

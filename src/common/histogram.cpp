@@ -39,6 +39,9 @@ double Histogram::percentile(double p) const {
   if (values_.empty()) {
     throw std::out_of_range("Histogram::percentile on empty");
   }
+  if (std::isnan(p)) {
+    throw std::invalid_argument("Histogram::percentile: p is NaN");
+  }
   ensure_sorted();
   if (p <= 0) return sorted_values_.front();
   if (p >= 100) return sorted_values_.back();
@@ -85,6 +88,9 @@ BoxStats box_stats(const Histogram& h) {
 
 std::string format_cdf(const Histogram& h, double x_lo, double x_hi,
                        int steps) {
+  if (steps <= 0) {
+    throw std::invalid_argument("format_cdf: steps must be > 0");
+  }
   std::ostringstream out;
   for (int i = 0; i <= steps; ++i) {
     const double x =

@@ -27,7 +27,10 @@ class Histogram {
   double min() const;
   double max() const;
 
-  /// Exact percentile via nearest-rank; p in [0, 100].
+  /// Exact percentile via nearest-rank; p in [0, 100]. Throws
+  /// std::out_of_range on an empty histogram and std::invalid_argument when
+  /// p is NaN (NaN compares false against both clamp bounds and would
+  /// otherwise reach the interpolation with a NaN rank).
   double percentile(double p) const;
 
   /// Fraction of samples <= x (empirical CDF).
@@ -58,6 +61,7 @@ struct BoxStats {
 BoxStats box_stats(const Histogram& h);
 
 /// Renders "x<TAB>cdf" rows over evenly spaced x for textual figure output.
+/// Throws std::invalid_argument unless steps > 0.
 std::string format_cdf(const Histogram& h, double x_lo, double x_hi,
                        int steps);
 

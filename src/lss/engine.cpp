@@ -103,6 +103,7 @@ void LssEngine::write_block(Lba lba, TimeUs now_us) {
   ++vtime_;
   maybe_gc(now_us);
   audit_point();
+  if (observer_ != nullptr) observer_->on_user_block(*this, now_us);
 }
 
 void LssEngine::read(Lba lba, std::uint32_t blocks, TimeUs now_us) {

@@ -62,6 +62,18 @@ class AggregationHook {
                                                 const LssEngine& engine) = 0;
 };
 
+/// Passive per-user-block observation hook (implemented by
+/// obs::EngineSampler). Called after a user block has been fully applied —
+/// vtime advanced, deadlines fired, GC settled — so implementations see a
+/// consistent engine. Observers must treat the engine as read-only; the
+/// write path costs one null check when no observer is attached.
+class EngineObserver {
+ public:
+  virtual ~EngineObserver() = default;
+
+  virtual void on_user_block(const LssEngine& engine, TimeUs now_us) = 0;
+};
+
 class LssEngine {
  public:
   /// `policy` and `victim` must outlive the engine. `array` is optional;
@@ -77,6 +89,13 @@ class LssEngine {
   LssEngine& operator=(const LssEngine&) = delete;
 
   void set_aggregation_hook(AggregationHook* hook) noexcept { hook_ = hook; }
+
+  /// Attaches a passive metrics observer (nullptr detaches). Observation
+  /// never changes engine behaviour: the pinned fixed-seed regression
+  /// metrics are bit-identical with and without an observer.
+  void set_observer(EngineObserver* observer) noexcept {
+    observer_ = observer;
+  }
 
   /// Attaches an address-mapped array with flash-backed devices: every
   /// chunk flush writes through at its real array address, segment
@@ -212,6 +231,7 @@ class LssEngine {
   array::SsdArray* array_;
   array::AddressedArray* addressed_array_ = nullptr;
   AggregationHook* hook_ = nullptr;
+  EngineObserver* observer_ = nullptr;
   Rng rng_;
   audit::Level audit_level_ = audit::Level::kOff;
 

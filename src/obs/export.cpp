@@ -1,0 +1,547 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+#include "obs/json.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace adapt::obs {
+
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+std::uint64_t total_blocks(const SeriesRow& r) {
+  return r.user_blocks + r.gc_blocks + r.shadow_blocks + r.padding_blocks;
+}
+
+double ratio(std::uint64_t num, std::uint64_t den) {
+  return den == 0 ? kNan
+                  : static_cast<double>(num) / static_cast<double>(den);
+}
+
+/// Windowed series derived from two consecutive cumulative rows (`prev`
+/// nullptr means the implicit all-zero row before the first sample).
+struct Windowed {
+  double wa = kNan;             ///< Δtotal / Δuser
+  double padding_ratio = kNan;  ///< Δpadding / Δtotal
+  double gc_rate = kNan;        ///< ΔGC runs / Δuser blocks
+  double shadow_rate = kNan;    ///< Δshadow / Δuser
+};
+
+Windowed windowed_of(const SeriesRow* prev, const SeriesRow& row) {
+  const SeriesRow zero{};
+  const SeriesRow& p = prev != nullptr ? *prev : zero;
+  Windowed w;
+  const std::uint64_t d_user = row.user_blocks - p.user_blocks;
+  const std::uint64_t d_total = total_blocks(row) - total_blocks(p);
+  w.wa = ratio(d_total, d_user);
+  w.padding_ratio = ratio(row.padding_blocks - p.padding_blocks, d_total);
+  w.gc_rate = ratio(row.gc_runs - p.gc_runs, d_user);
+  w.shadow_rate = ratio(row.shadow_blocks - p.shadow_blocks, d_user);
+  return w;
+}
+
+void append_kv(std::string& out, const char* key, std::uint64_t v) {
+  out += json::quote(key);
+  out += ':';
+  out += std::to_string(v);
+}
+
+void append_kv(std::string& out, const char* key, double v) {
+  out += json::quote(key);
+  out += ':';
+  json::append_number(out, v);
+}
+
+void append_kv(std::string& out, const char* key, std::string_view v) {
+  out += json::quote(key);
+  out += ':';
+  out += json::quote(v);
+}
+
+const json::Value& require(const json::Value& obj, std::string_view key) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr) {
+    throw std::invalid_argument("schema: missing key \"" + std::string(key) +
+                                '"');
+  }
+  return *v;
+}
+
+double require_number(const json::Value& obj, std::string_view key) {
+  const json::Value& v = require(obj, key);
+  if (!v.is_number()) {
+    throw std::invalid_argument("schema: key \"" + std::string(key) +
+                                "\" must be a number");
+  }
+  return v.as_number();
+}
+
+void require_number_or_null(const json::Value& obj, std::string_view key) {
+  const json::Value& v = require(obj, key);
+  if (!v.is_number() && !v.is_null()) {
+    throw std::invalid_argument("schema: key \"" + std::string(key) +
+                                "\" must be a number or null");
+  }
+}
+
+const std::string& require_string(const json::Value& obj,
+                                  std::string_view key) {
+  const json::Value& v = require(obj, key);
+  if (!v.is_string()) {
+    throw std::invalid_argument("schema: key \"" + std::string(key) +
+                                "\" must be a string");
+  }
+  return v.as_string();
+}
+
+void require_schema(const json::Value& obj, std::string_view expected) {
+  if (require_string(obj, "schema") != expected) {
+    throw std::invalid_argument("schema: expected \"" +
+                                std::string(expected) + '"');
+  }
+}
+
+}  // namespace
+
+std::uint64_t current_peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+void register_lss_metrics(Registry& r, const lss::LssMetrics& m) {
+  *r.slot("lss.user_blocks") += m.user_blocks;
+  *r.slot("lss.gc_blocks") += m.gc_blocks;
+  *r.slot("lss.shadow_blocks") += m.shadow_blocks;
+  *r.slot("lss.padding_blocks") += m.padding_blocks;
+  *r.slot("lss.gc_runs") += m.gc_runs;
+  *r.slot("lss.gc_migrated_blocks") += m.gc_migrated_blocks;
+  *r.slot("lss.forced_lazy_flushes") += m.forced_lazy_flushes;
+  *r.slot("lss.rmw_flushes") += m.rmw_flushes;
+  *r.slot("lss.rmw_blocks") += m.rmw_blocks;
+  *r.slot("lss.rmw_read_blocks") += m.rmw_read_blocks;
+  *r.slot("lss.read_blocks") += m.read_blocks;
+  *r.slot("lss.read_chunk_fetches") += m.read_chunk_fetches;
+  *r.slot("lss.read_buffer_hits") += m.read_buffer_hits;
+  *r.slot("lss.read_unmapped") += m.read_unmapped;
+}
+
+std::string manifest_json(const RunManifest& m) {
+  std::string out = "{";
+  append_kv(out, "schema", kManifestSchema);
+  out += ',';
+  append_kv(out, "tool", m.tool);
+  out += ',';
+  append_kv(out, "policy", m.policy);
+  out += ',';
+  append_kv(out, "victim", m.victim);
+  out += ',';
+  append_kv(out, "workload", m.workload);
+  out += ',';
+  append_kv(out, "volume_id", m.volume_id);
+  out += ',';
+  append_kv(out, "seed", m.seed);
+  out += ',';
+  append_kv(out, "records", m.records);
+  out += ',';
+  append_kv(out, "user_blocks", m.user_blocks);
+  out += ',';
+  append_kv(out, "wall_seconds", m.wall_seconds);
+  out += ',';
+  append_kv(out, "records_per_sec", m.records_per_sec);
+  out += ',';
+  append_kv(out, "peak_rss_bytes", m.peak_rss_bytes);
+  out += ',';
+  out += json::quote("geometry");
+  out += ":{";
+  append_kv(out, "chunk_blocks", static_cast<std::uint64_t>(m.chunk_blocks));
+  out += ',';
+  append_kv(out, "segment_chunks",
+            static_cast<std::uint64_t>(m.segment_chunks));
+  out += ',';
+  append_kv(out, "logical_blocks", m.logical_blocks);
+  out += ',';
+  append_kv(out, "over_provision", m.over_provision);
+  out += "},";
+  out += json::quote("counters");
+  out += ":{";
+  bool first = true;
+  for (const auto& [name, value] : m.counters.entries()) {
+    if (!first) out += ',';
+    first = false;
+    append_kv(out, name.c_str(), value);
+  }
+  out += "}}";
+  return out;
+}
+
+namespace {
+
+void append_sample_line(std::string& out, const SeriesRow* prev,
+                        const SeriesRow& row) {
+  out += '{';
+  append_kv(out, "type", "sample");
+  out += ',';
+  append_kv(out, "vtime", row.vtime);
+  out += ',';
+  append_kv(out, "wall_us", row.wall_us);
+  out += ',';
+  append_kv(out, "user_blocks", row.user_blocks);
+  out += ',';
+  append_kv(out, "gc_blocks", row.gc_blocks);
+  out += ',';
+  append_kv(out, "shadow_blocks", row.shadow_blocks);
+  out += ',';
+  append_kv(out, "padding_blocks", row.padding_blocks);
+  out += ',';
+  append_kv(out, "rmw_blocks", row.rmw_blocks);
+  out += ',';
+  append_kv(out, "chunks_flushed", row.chunks_flushed);
+  out += ',';
+  append_kv(out, "gc_runs", row.gc_runs);
+  out += ',';
+  append_kv(out, "free_segments",
+            static_cast<std::uint64_t>(row.free_segments));
+  out += ',';
+  append_kv(out, "live_shadows", row.live_shadows);
+  out += ',';
+  append_kv(out, "threshold", row.threshold);
+  out += ',';
+  append_kv(out, "wa", ratio(total_blocks(row), row.user_blocks));
+  out += ',';
+  append_kv(out, "padding_ratio",
+            ratio(row.padding_blocks, total_blocks(row)));
+  out += ',';
+  const Windowed w = windowed_of(prev, row);
+  out += json::quote("windowed");
+  out += ":{";
+  append_kv(out, "wa", w.wa);
+  out += ',';
+  append_kv(out, "padding_ratio", w.padding_ratio);
+  out += ',';
+  append_kv(out, "gc_rate", w.gc_rate);
+  out += ',';
+  append_kv(out, "shadow_rate", w.shadow_rate);
+  out += '}';
+  if (!row.groups.empty()) {
+    out += ',';
+    out += json::quote("groups");
+    out += ":[";
+    for (std::size_t g = 0; g < row.groups.size(); ++g) {
+      if (g != 0) out += ',';
+      const GroupSample& gs = row.groups[g];
+      out += '{';
+      append_kv(out, "group", static_cast<std::uint64_t>(g));
+      out += ',';
+      append_kv(out, "user_blocks", gs.user_blocks);
+      out += ',';
+      append_kv(out, "gc_blocks", gs.gc_blocks);
+      out += ',';
+      append_kv(out, "shadow_blocks", gs.shadow_blocks);
+      out += ',';
+      append_kv(out, "padding_blocks", gs.padding_blocks);
+      out += ',';
+      append_kv(out, "valid_blocks", gs.valid_blocks);
+      out += ',';
+      append_kv(out, "segments", static_cast<std::uint64_t>(gs.segments));
+      out += '}';
+    }
+    out += ']';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+void write_series_jsonl(std::ostream& out, const TimeSeries& series) {
+  std::string line = "{";
+  append_kv(line, "type", "header");
+  line += ',';
+  append_kv(line, "schema", kSeriesSchema);
+  line += ',';
+  append_kv(line, "window_blocks", series.window_blocks);
+  line += ',';
+  append_kv(line, "downsamples",
+            static_cast<std::uint64_t>(series.downsamples));
+  line += ',';
+  append_kv(line, "rows", static_cast<std::uint64_t>(series.rows.size()));
+  line += '}';
+  out << line << '\n';
+  for (std::size_t i = 0; i < series.rows.size(); ++i) {
+    line.clear();
+    append_sample_line(line, i == 0 ? nullptr : &series.rows[i - 1],
+                       series.rows[i]);
+    out << line << '\n';
+  }
+}
+
+void write_series_csv(std::ostream& out, const TimeSeries& series) {
+  out << "vtime,wall_us,user_blocks,gc_blocks,shadow_blocks,padding_blocks,"
+         "rmw_blocks,chunks_flushed,gc_runs,free_segments,live_shadows,"
+         "threshold,wa,padding_ratio,windowed_wa,windowed_padding_ratio,"
+         "windowed_gc_rate,windowed_shadow_rate\n";
+  std::string line;
+  for (std::size_t i = 0; i < series.rows.size(); ++i) {
+    const SeriesRow& row = series.rows[i];
+    const Windowed w =
+        windowed_of(i == 0 ? nullptr : &series.rows[i - 1], row);
+    line.clear();
+    line += std::to_string(row.vtime);
+    line += ',';
+    line += std::to_string(row.wall_us);
+    line += ',';
+    line += std::to_string(row.user_blocks);
+    line += ',';
+    line += std::to_string(row.gc_blocks);
+    line += ',';
+    line += std::to_string(row.shadow_blocks);
+    line += ',';
+    line += std::to_string(row.padding_blocks);
+    line += ',';
+    line += std::to_string(row.rmw_blocks);
+    line += ',';
+    line += std::to_string(row.chunks_flushed);
+    line += ',';
+    line += std::to_string(row.gc_runs);
+    line += ',';
+    line += std::to_string(row.free_segments);
+    line += ',';
+    line += std::to_string(row.live_shadows);
+    // gnuplot reads "nan" as a missing point, so raw %g is fine here.
+    for (const double v :
+         {row.threshold, ratio(total_blocks(row), row.user_blocks),
+          ratio(row.padding_blocks, total_blocks(row)), w.wa,
+          w.padding_ratio, w.gc_rate, w.shadow_rate}) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), ",%.10g", v);
+      line += buf;
+    }
+    out << line << '\n';
+  }
+}
+
+void validate_manifest_json(std::string_view text) {
+  const json::Value doc = json::parse(text);
+  if (!doc.is_object()) {
+    throw std::invalid_argument("schema: manifest must be an object");
+  }
+  require_schema(doc, kManifestSchema);
+  require_string(doc, "tool");
+  require_string(doc, "policy");
+  require_string(doc, "victim");
+  require_string(doc, "workload");
+  for (const char* key : {"volume_id", "seed", "records", "user_blocks",
+                          "wall_seconds", "records_per_sec",
+                          "peak_rss_bytes"}) {
+    require_number(doc, key);
+  }
+  const json::Value& geometry = require(doc, "geometry");
+  if (!geometry.is_object()) {
+    throw std::invalid_argument("schema: geometry must be an object");
+  }
+  for (const char* key :
+       {"chunk_blocks", "segment_chunks", "logical_blocks",
+        "over_provision"}) {
+    require_number(geometry, key);
+  }
+  const json::Value& counters = require(doc, "counters");
+  if (!counters.is_object()) {
+    throw std::invalid_argument("schema: counters must be an object");
+  }
+  for (const auto& [name, value] : counters.members()) {
+    if (!value.is_number()) {
+      throw std::invalid_argument("schema: counter \"" + name +
+                                  "\" must be a number");
+    }
+  }
+}
+
+std::size_t validate_series_jsonl(std::string_view text) {
+  std::size_t samples = 0;
+  std::uint64_t declared_rows = 0;
+  bool saw_header = false;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find('\n', start);
+    const std::string_view line =
+        text.substr(start, end == std::string_view::npos ? std::string_view::npos
+                                                         : end - start);
+    start = end == std::string_view::npos ? text.size() + 1 : end + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    json::Value doc;
+    try {
+      doc = json::parse(line);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("line " + std::to_string(line_no) + ": " +
+                                  e.what());
+    }
+    if (!doc.is_object()) {
+      throw std::invalid_argument("line " + std::to_string(line_no) +
+                                  ": not an object");
+    }
+    const std::string& type = require_string(doc, "type");
+    if (!saw_header) {
+      if (type != "header") {
+        throw std::invalid_argument("first line must be the series header");
+      }
+      require_schema(doc, kSeriesSchema);
+      require_number(doc, "window_blocks");
+      require_number(doc, "downsamples");
+      declared_rows = static_cast<std::uint64_t>(require_number(doc, "rows"));
+      saw_header = true;
+      continue;
+    }
+    if (type != "sample") {
+      throw std::invalid_argument("line " + std::to_string(line_no) +
+                                  ": unknown row type \"" + type + '"');
+    }
+    for (const char* key :
+         {"vtime", "wall_us", "user_blocks", "gc_blocks", "shadow_blocks",
+          "padding_blocks", "rmw_blocks", "chunks_flushed", "gc_runs",
+          "free_segments", "live_shadows"}) {
+      require_number(doc, key);
+    }
+    require_number_or_null(doc, "threshold");
+    require_number_or_null(doc, "wa");
+    require_number_or_null(doc, "padding_ratio");
+    const json::Value& windowed = require(doc, "windowed");
+    if (!windowed.is_object()) {
+      throw std::invalid_argument("line " + std::to_string(line_no) +
+                                  ": windowed must be an object");
+    }
+    for (const char* key : {"wa", "padding_ratio", "gc_rate", "shadow_rate"}) {
+      require_number_or_null(windowed, key);
+    }
+    if (const json::Value* groups = doc.find("groups"); groups != nullptr) {
+      if (!groups->is_array()) {
+        throw std::invalid_argument("line " + std::to_string(line_no) +
+                                    ": groups must be an array");
+      }
+      for (const json::Value& g : groups->items()) {
+        for (const char* key :
+             {"group", "user_blocks", "gc_blocks", "shadow_blocks",
+              "padding_blocks", "valid_blocks", "segments"}) {
+          require_number(g, key);
+        }
+      }
+    }
+    ++samples;
+  }
+  if (!saw_header) throw std::invalid_argument("series has no header line");
+  if (samples != declared_rows) {
+    throw std::invalid_argument(
+        "header declares " + std::to_string(declared_rows) +
+        " rows but the stream carries " + std::to_string(samples));
+  }
+  return samples;
+}
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {
+  if (name_.empty()) {
+    throw std::invalid_argument("BenchReport: empty bench name");
+  }
+}
+
+void BenchReport::add(std::string_view metric, Params params, double value,
+                      std::string_view unit) {
+  rows_.push_back(Row{std::string(metric), std::move(params), value,
+                      std::string(unit)});
+}
+
+std::string BenchReport::json() const {
+  std::string out = "{";
+  append_kv(out, "schema", kBenchSchema);
+  out += ',';
+  append_kv(out, "bench", name_);
+  out += ',';
+  out += json::quote("rows");
+  out += ":[";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (i != 0) out += ',';
+    const Row& row = rows_[i];
+    out += '{';
+    append_kv(out, "metric", row.metric);
+    out += ',';
+    out += json::quote("params");
+    out += ":{";
+    for (std::size_t p = 0; p < row.params.size(); ++p) {
+      if (p != 0) out += ',';
+      append_kv(out, row.params[p].first.c_str(), row.params[p].second);
+    }
+    out += "},";
+    append_kv(out, "value", row.value);
+    out += ',';
+    append_kv(out, "unit", row.unit);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string BenchReport::write_file(const std::string& dir) const {
+  const std::filesystem::path path =
+      std::filesystem::path(dir) / ("BENCH_" + name_ + ".json");
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("BenchReport: cannot open " + path.string());
+  }
+  out << json() << '\n';
+  return path.string();
+}
+
+void validate_bench_json(std::string_view text) {
+  const json::Value doc = json::parse(text);
+  if (!doc.is_object()) {
+    throw std::invalid_argument("schema: bench report must be an object");
+  }
+  require_schema(doc, kBenchSchema);
+  require_string(doc, "bench");
+  const json::Value& rows = require(doc, "rows");
+  if (!rows.is_array()) {
+    throw std::invalid_argument("schema: rows must be an array");
+  }
+  if (rows.items().empty()) {
+    throw std::invalid_argument("schema: rows must not be empty");
+  }
+  for (const json::Value& row : rows.items()) {
+    if (!row.is_object()) {
+      throw std::invalid_argument("schema: each row must be an object");
+    }
+    require_string(row, "metric");
+    require_string(row, "unit");
+    require_number_or_null(row, "value");
+    const json::Value& params = require(row, "params");
+    if (!params.is_object()) {
+      throw std::invalid_argument("schema: params must be an object");
+    }
+    for (const auto& [name, value] : params.members()) {
+      if (!value.is_string()) {
+        throw std::invalid_argument("schema: param \"" + name +
+                                    "\" must be a string");
+      }
+    }
+  }
+}
+
+}  // namespace adapt::obs

@@ -1,0 +1,105 @@
+// Machine-readable exporters for the observability layer:
+//
+//   * JSONL series dump — one header line plus one JSON object per sample,
+//     with windowed WA / padding ratio / GC rate / shadow-append rate
+//     derived from consecutive cumulative rows;
+//   * CSV series dump — flat scalar columns for gnuplot;
+//   * run manifest — config, seed, wall clock, records/s, peak RSS and the
+//     merged counter registry, attached to every VolumeResult/CellResult;
+//   * BenchReport — the schema-stable `BENCH_<name>.json` emitter every
+//     figure bench feeds the perf trajectory through.
+//
+// Each artifact has a validator that throws std::invalid_argument with a
+// reason on schema violations; `tools/check_bench_json` wraps them as a CLI.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/registry.h"
+#include "obs/series.h"
+
+namespace adapt::obs {
+
+inline constexpr std::string_view kSeriesSchema = "adapt-series-v1";
+inline constexpr std::string_view kManifestSchema = "adapt-manifest-v1";
+inline constexpr std::string_view kBenchSchema = "adapt-bench-v1";
+
+/// Provenance + cost summary of one simulation run (or an aggregate over a
+/// cell's runs).
+struct RunManifest {
+  std::string tool = "simulator";
+  std::string policy;
+  std::string victim;
+  std::string workload;  ///< profile / trace name; set by the driver
+  std::uint64_t volume_id = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t records = 0;
+  std::uint64_t user_blocks = 0;
+  double wall_seconds = 0.0;  ///< worker wall clock (summed for aggregates)
+  double records_per_sec = 0.0;
+  std::uint64_t peak_rss_bytes = 0;
+  // Geometry.
+  std::uint32_t chunk_blocks = 0;
+  std::uint32_t segment_chunks = 0;
+  std::uint64_t logical_blocks = 0;
+  double over_provision = 0.0;
+  /// Merged counter registry (per-engine instances summed at collection).
+  Registry counters;
+};
+
+/// Peak resident set of this process in bytes (getrusage; 0 if unknown).
+std::uint64_t current_peak_rss_bytes();
+
+/// Registers the engine's global counters into `r` (names `lss.*`).
+void register_lss_metrics(Registry& r, const lss::LssMetrics& m);
+
+std::string manifest_json(const RunManifest& manifest);
+
+void write_series_jsonl(std::ostream& out, const TimeSeries& series);
+void write_series_csv(std::ostream& out, const TimeSeries& series);
+
+/// Validators: throw std::invalid_argument on malformed or schema-violating
+/// input. validate_series_jsonl returns the number of sample rows.
+void validate_manifest_json(std::string_view text);
+std::size_t validate_series_jsonl(std::string_view text);
+void validate_bench_json(std::string_view text);
+
+/// Schema-stable bench result emitter. Every figure bench creates one,
+/// `add()`s its headline series as (metric, params, value, unit) rows and
+/// `write_file()`s a `BENCH_<name>.json` into the working directory, seeding
+/// the cross-PR perf trajectory.
+class BenchReport {
+ public:
+  using Params = std::vector<std::pair<std::string, std::string>>;
+
+  explicit BenchReport(std::string name);
+
+  void add(std::string_view metric, Params params, double value,
+           std::string_view unit);
+
+  std::string json() const;
+
+  /// Writes `<dir>/BENCH_<name>.json`; returns the path.
+  std::string write_file(const std::string& dir = ".") const;
+
+  const std::string& name() const noexcept { return name_; }
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::string metric;
+    Params params;
+    double value;
+    std::string unit;
+  };
+
+  std::string name_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace adapt::obs

@@ -1,0 +1,62 @@
+// Minimal JSON support for the observability exporters and their schema
+// validators: a strict recursive-descent parser (objects, arrays, strings
+// with escapes, numbers, booleans, null — no extensions) plus the string
+// escaping helper the hand-rolled writers share. Dependency-free on purpose:
+// the container image carries no JSON library and the schemas involved are
+// tiny.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adapt::obs::json {
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::kNull; }
+  bool is_bool() const noexcept { return type_ == Type::kBool; }
+  bool is_number() const noexcept { return type_ == Type::kNumber; }
+  bool is_string() const noexcept { return type_ == Type::kString; }
+  bool is_array() const noexcept { return type_ == Type::kArray; }
+  bool is_object() const noexcept { return type_ == Type::kObject; }
+
+  /// Accessors throw std::invalid_argument on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<Value>& items() const;
+  const std::map<std::string, Value>& members() const;
+
+  /// Object member lookup; nullptr when absent (throws if not an object).
+  const Value* find(std::string_view key) const;
+
+  // Construction is done by the parser.
+  friend class Parser;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::map<std::string, Value> object_;
+};
+
+/// Parses exactly one JSON document (trailing whitespace allowed, trailing
+/// garbage is an error). Throws std::invalid_argument with a byte offset.
+Value parse(std::string_view text);
+
+/// Returns `s` quoted and escaped as a JSON string literal.
+std::string quote(std::string_view s);
+
+/// Appends a JSON-legal rendering of `v`: a finite number, or `null` for
+/// NaN / infinity (JSON has no encoding for them).
+void append_number(std::string& out, double v);
+
+}  // namespace adapt::obs::json

@@ -1,0 +1,26 @@
+#include "obs/registry.h"
+
+namespace adapt::obs {
+
+std::uint64_t* Registry::slot(std::string_view name) {
+  const auto it = slots_.find(name);
+  if (it != slots_.end()) return &it->second;
+  return &slots_.emplace(std::string(name), 0).first->second;
+}
+
+std::uint64_t Registry::value(std::string_view name) const noexcept {
+  const auto it = slots_.find(name);
+  return it == slots_.end() ? 0 : it->second;
+}
+
+bool Registry::contains(std::string_view name) const noexcept {
+  return slots_.find(name) != slots_.end();
+}
+
+void Registry::merge_from(const Registry& other) {
+  for (const auto& [name, value] : other.slots_) {
+    *slot(name) += value;
+  }
+}
+
+}  // namespace adapt::obs

@@ -1,0 +1,49 @@
+// Low-overhead counter/gauge registry (observability layer).
+//
+// The hot path never sees the registry: callers look a slot up once
+// (`slot()` returns a stable `std::uint64_t*`) and bump the raw word from
+// then on — no locks, no hashing, no virtual dispatch per update. Thread
+// safety comes from ownership, not synchronisation: each engine / worker
+// thread owns its own Registry instance and the collector merges them with
+// `merge_from` once the workers are done (the experiment runner does this
+// under its collection mutex).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace adapt::obs {
+
+class Registry {
+ public:
+  /// Returns a stable pointer to the named slot, creating it at 0. Node
+  /// addresses survive later insertions (std::map nodes never move), so the
+  /// pointer stays valid for the registry's lifetime.
+  std::uint64_t* slot(std::string_view name);
+
+  /// Current value of a slot; 0 for names never registered.
+  std::uint64_t value(std::string_view name) const noexcept;
+
+  bool contains(std::string_view name) const noexcept;
+
+  /// Adds every slot of `other` into this registry (sum per name). The
+  /// collection-time merge for per-thread / per-engine instances.
+  void merge_from(const Registry& other);
+
+  std::size_t size() const noexcept { return slots_.size(); }
+  bool empty() const noexcept { return slots_.empty(); }
+
+  /// Name-sorted view for exporters.
+  const std::map<std::string, std::uint64_t, std::less<>>& entries()
+      const noexcept {
+    return slots_;
+  }
+
+ private:
+  std::map<std::string, std::uint64_t, std::less<>> slots_;
+};
+
+}  // namespace adapt::obs

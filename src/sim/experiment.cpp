@@ -1,5 +1,8 @@
 #include "sim/experiment.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <mutex>
 #include <thread>
 
@@ -42,6 +45,31 @@ Histogram CellResult::per_volume_padding_ratio() const {
   return h;
 }
 
+obs::RunManifest CellResult::aggregate_manifest() const {
+  obs::RunManifest m;
+  m.tool = "experiment";
+  m.policy = key.policy;
+  m.victim = key.victim;
+  for (const VolumeResult& v : volumes) {
+    m.records += v.manifest.records;
+    m.user_blocks += v.manifest.user_blocks;
+    m.wall_seconds += v.manifest.wall_seconds;
+    m.peak_rss_bytes = std::max(m.peak_rss_bytes, v.manifest.peak_rss_bytes);
+    m.counters.merge_from(v.manifest.counters);
+    // Geometry and seed are uniform across a cell; keep the last seen.
+    m.seed = v.manifest.seed;
+    m.chunk_blocks = v.manifest.chunk_blocks;
+    m.segment_chunks = v.manifest.segment_chunks;
+    m.logical_blocks = v.manifest.logical_blocks;
+    m.over_provision = v.manifest.over_provision;
+  }
+  m.records_per_sec =
+      m.wall_seconds > 0.0
+          ? static_cast<double>(m.records) / m.wall_seconds
+          : 0.0;
+  return m;
+}
+
 std::map<CellKey, CellResult> run_experiment(
     const ExperimentSpec& spec, const std::vector<trace::Volume>& volumes) {
   std::map<CellKey, CellResult> results;
@@ -60,6 +88,16 @@ std::map<CellKey, CellResult> run_experiment(
   std::mutex error_mu;
   std::exception_ptr first_error;
 
+  std::function<void(const std::string&)> progress = spec.progress;
+  if (!progress && std::getenv("ADAPT_PROGRESS") != nullptr) {
+    progress = [](const std::string& line) {
+      std::fprintf(stderr, "%s\n", line.c_str());
+    };
+  }
+  std::mutex progress_mu;
+  std::map<CellKey, std::size_t> remaining;
+  for (const auto& [key, cell] : results) remaining[key] = volumes.size();
+
   for (const auto& policy : spec.policies) {
     for (const auto& victim : spec.victims) {
       CellResult& cell = results[CellKey{policy, victim}];
@@ -72,6 +110,20 @@ std::map<CellKey, CellResult> run_experiment(
           } catch (...) {
             std::lock_guard<std::mutex> lock(error_mu);
             if (!first_error) first_error = std::current_exception();
+          }
+          if (progress) {
+            std::lock_guard<std::mutex> lock(progress_mu);
+            if (--remaining[cell.key] == 0) {
+              const obs::RunManifest m = cell.aggregate_manifest();
+              char buf[256];
+              std::snprintf(buf, sizeof(buf),
+                            "cell %s/%s done: %zu volumes, %.2fs worker "
+                            "wall, %.0f records/s",
+                            cell.key.policy.c_str(), cell.key.victim.c_str(),
+                            cell.volumes.size(), m.wall_seconds,
+                            m.records_per_sec);
+              progress(buf);
+            }
           }
         });
       }

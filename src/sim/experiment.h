@@ -32,6 +32,9 @@ struct CellResult {
   double overall_padding_ratio() const;
   Histogram per_volume_wa() const;
   Histogram per_volume_padding_ratio() const;
+  /// Cell-level manifest: records / user blocks / worker wall seconds
+  /// summed across volumes, counter registries merged, peak RSS maxed.
+  obs::RunManifest aggregate_manifest() const;
 };
 
 struct ExperimentSpec {
@@ -39,6 +42,11 @@ struct ExperimentSpec {
   std::vector<std::string> victims = {"greedy"};
   SimConfig base;  ///< victim_policy field is overridden per cell
   std::size_t threads = 0;  ///< 0 = hardware concurrency
+  /// Optional progress sink: receives one human-readable line as each
+  /// (policy, victim) cell completes — volume count, summed worker wall
+  /// seconds, records/s. When unset, lines go to stderr if the
+  /// ADAPT_PROGRESS environment variable is set; otherwise silent.
+  std::function<void(const std::string&)> progress;
 };
 
 /// Runs the full matrix; results keyed by (policy, victim).

@@ -1,6 +1,7 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "adapt/adapt_policy.h"
@@ -83,11 +84,32 @@ VolumeResult run_volume(const trace::Volume& volume,
     engine.set_aggregation_hook(wrapper);
   }
 
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::unique_ptr<obs::EngineSampler> sampler;
+  if (config.sampling_enabled) {
+    std::function<double()> probe;
+    if (adapt_policy != nullptr) {
+      probe = [adapt_policy] { return adapt_policy->threshold(); };
+    }
+    sampler = std::make_unique<obs::EngineSampler>(config.sampling,
+                                                   std::move(probe));
+    engine.set_observer(sampler.get());
+  }
+
   // Requests past the volume's declared capacity are trace noise: clamp.
   const Lba addressable =
       std::min<Lba>(std::max<Lba>(volume.capacity_blocks, 1),
                     lss_config.logical_blocks);
+  const auto total_records =
+      static_cast<std::uint64_t>(volume.records.size());
+  std::uint64_t done = 0;
+  TimeUs last_ts = 0;
   for (const trace::Record& r : volume.records) {
+    ++done;
+    if (config.progress && done % 65536 == 0) {
+      config.progress(done, total_records);
+    }
+    last_ts = r.ts_us;
     const Lba end = std::min<Lba>(r.lba + r.blocks, addressable);
     if (r.lba >= end) continue;
     const auto span = static_cast<std::uint32_t>(end - r.lba);
@@ -98,6 +120,8 @@ VolumeResult run_volume(const trace::Volume& volume,
     }
   }
   engine.flush_all();
+  if (sampler != nullptr) sampler->finalize(engine, last_ts);
+  if (config.progress) config.progress(total_records, total_records);
 
   VolumeResult result;
   result.volume_id = volume.id;
@@ -107,6 +131,32 @@ VolumeResult run_volume(const trace::Volume& volume,
   result.segments_per_group = engine.segments_per_group();
   result.policy_memory_bytes = policy->memory_usage_bytes();
   if (ssd_array != nullptr) result.array_totals = ssd_array->totals();
+
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  obs::RunManifest& man = result.manifest;
+  man.policy = result.policy;
+  man.victim = result.victim;
+  man.volume_id = volume.id;
+  man.seed = config.seed;
+  man.records = total_records;
+  man.user_blocks = result.metrics.user_blocks;
+  man.wall_seconds = wall_seconds;
+  man.records_per_sec =
+      wall_seconds > 0.0 ? static_cast<double>(total_records) / wall_seconds
+                         : 0.0;
+  man.peak_rss_bytes = obs::current_peak_rss_bytes();
+  man.chunk_blocks = lss_config.chunk_blocks;
+  man.segment_chunks = lss_config.segment_chunks;
+  man.logical_blocks = lss_config.logical_blocks;
+  man.over_provision = lss_config.over_provision;
+  obs::register_lss_metrics(man.counters, result.metrics);
+  if (sampler != nullptr) {
+    result.series =
+        std::make_shared<const obs::TimeSeries>(sampler->take());
+  }
   return result;
 }
 

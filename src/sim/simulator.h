@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -14,6 +15,7 @@
 #include "lss/config.h"
 #include "lss/engine.h"
 #include "lss/metrics.h"
+#include "obs/export.h"
 #include "trace/record.h"
 
 namespace adapt::sim {
@@ -27,6 +29,15 @@ struct SimConfig {
   bool adapt_threshold_adaptation = true;
   bool adapt_cross_group_aggregation = true;
   bool adapt_proactive_demotion = true;
+  /// Observability: when enabled, run_volume attaches an obs::EngineSampler
+  /// (plus a live-threshold probe for the "adapt" policy) and returns the
+  /// time series in VolumeResult::series. Off by default — the replay loop
+  /// then pays exactly one null check per user block.
+  bool sampling_enabled = false;
+  obs::SamplerConfig sampling;
+  /// Optional replay-progress callback (records done, records total);
+  /// invoked every ~64k records and once at completion.
+  std::function<void(std::uint64_t, std::uint64_t)> progress;
 };
 
 struct VolumeResult {
@@ -37,6 +48,11 @@ struct VolumeResult {
   array::StreamStats array_totals;
   std::vector<std::uint32_t> segments_per_group;
   std::size_t policy_memory_bytes = 0;
+  /// Provenance + cost summary (always filled; counters hold the lss.*
+  /// registry snapshot of this volume's metrics).
+  obs::RunManifest manifest;
+  /// Sampled time series; null unless SimConfig::sampling_enabled.
+  std::shared_ptr<const obs::TimeSeries> series;
 
   double wa() const noexcept { return metrics.wa(); }
   double padding_ratio() const noexcept { return metrics.padding_ratio(); }

@@ -12,7 +12,13 @@ VolumeStats compute_volume_stats(const Volume& volume,
       ++s.write_requests;
       s.write_blocks += r.blocks;
     }
-    s.duration_us = r.ts_us;  // records are time-ordered
+  }
+  // Span between the first and last arrival: a trace whose timestamps do
+  // not start at zero must not inflate its duration (and so deflate the
+  // request rate) by the lead-in offset. Records are time-ordered.
+  if (!volume.records.empty()) {
+    s.duration_us =
+        volume.records.back().ts_us - volume.records.front().ts_us;
   }
   if (s.duration_us > 0) {
     s.avg_request_rate_per_sec =

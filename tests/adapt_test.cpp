@@ -258,6 +258,22 @@ TEST(GhostSetTest, SegmentCountBounded) {
   EXPECT_LE(g.segment_count(), tiny_ghost().capacity_segments + 1u);
 }
 
+// Regression: memory_usage_bytes must account for the validity bitmaps and
+// the per-segment map overhead, not just raw LBA bytes plus the LBA-map
+// nodes. The accounting model is deterministic (modelled constants, no
+// sizeof of library types), so the scenario below pins an exact number:
+// 20 distinct cold LBAs -> 5 sealed 4-block segments, 20 map entries.
+//   per segment: 4*8 (LBA log) + 1 (bitmap) + 8 (key) + 24 (node) = 65
+//   per mapping: 8 (LBA) + 16 (Location) + 24 (node)              = 48
+//   total: 5*65 + 20*48 = 1285
+// (The pre-fix formula gave 20*8 + 20*24 = 640.)
+TEST(GhostSetTest, MemoryAccountsForBitmapsAndSegmentOverhead) {
+  GhostSet g(tiny_ghost(), 100);
+  for (Lba lba = 0; lba < 20; ++lba) g.write(lba, 1000);
+  ASSERT_EQ(g.segment_count(), 5u);
+  EXPECT_EQ(g.memory_usage_bytes(), 1285u);
+}
+
 TEST(GhostSetTest, DiscardAccountingIsExact) {
   // Deterministic micro-scenario: segment = 4 blocks, capacity = 4
   // segments. Fill four segments with write-once blocks routed cold, then

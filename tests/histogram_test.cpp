@@ -1,0 +1,82 @@
+// Histogram edge cases: empty/single-value behaviour and the argument
+// guards on percentile (NaN p) and format_cdf (non-positive steps).
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace adapt {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  const Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.cdf_at(1.0), 0.0);
+  EXPECT_THROW(h.min(), std::out_of_range);
+  EXPECT_THROW(h.max(), std::out_of_range);
+  EXPECT_THROW(h.percentile(50), std::out_of_range);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.add(7.0);
+  EXPECT_DOUBLE_EQ(h.min(), 7.0);
+  EXPECT_DOUBLE_EQ(h.max(), 7.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 7.0);
+  for (const double p : {0.0, 25.0, 50.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile(p), 7.0) << "p=" << p;
+  }
+  EXPECT_DOUBLE_EQ(h.cdf_at(6.9), 0.0);
+  EXPECT_DOUBLE_EQ(h.cdf_at(7.0), 1.0);
+}
+
+TEST(HistogramTest, PercentileInterpolates) {
+  Histogram h;
+  h.add(0.0);
+  h.add(10.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(h.percentile(-3), 0.0);   // clamps low
+  EXPECT_DOUBLE_EQ(h.percentile(250), 10.0); // clamps high
+}
+
+// Regression: NaN compares false against both clamp bounds (p <= 0 and
+// p >= 100), so before the guard it fell through to the interpolation and
+// indexed the sorted array with a NaN-derived rank.
+TEST(HistogramTest, PercentileRejectsNanP) {
+  Histogram h;
+  h.add(1.0);
+  h.add(2.0);
+  EXPECT_THROW(h.percentile(std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+}
+
+// Regression: steps == 0 divided by zero when computing the x grid (and a
+// negative steps value silently produced an empty table).
+TEST(HistogramTest, FormatCdfRejectsNonPositiveSteps) {
+  Histogram h;
+  h.add(1.0);
+  EXPECT_THROW(format_cdf(h, 0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(format_cdf(h, 0.0, 1.0, -4), std::invalid_argument);
+}
+
+TEST(HistogramTest, FormatCdfRowsAndEndpoints) {
+  Histogram h;
+  h.add(0.5);
+  const std::string table = format_cdf(h, 0.0, 1.0, 2);
+  EXPECT_EQ(table, "0\t0\n0.5\t1\n1\t1\n");
+}
+
+TEST(HistogramTest, BoxStatsOnEmptyIsZeroed) {
+  const BoxStats b = box_stats(Histogram{});
+  EXPECT_DOUBLE_EQ(b.median, 0.0);
+  EXPECT_EQ(b.outliers, 0u);
+}
+
+}  // namespace
+}  // namespace adapt

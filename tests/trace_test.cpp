@@ -429,6 +429,28 @@ TEST(WorkloadStatsTest, CountsAndRates) {
   EXPECT_DOUBLE_EQ(s.avg_write_size_bytes, 3.0 * 4096);
 }
 
+// Regression: duration must be the span between the first and last arrival,
+// not the raw final timestamp — a trace starting at t=5s (e.g. a slice cut
+// out of a longer capture) must not count the lead-in as elapsed time.
+TEST(WorkloadStatsTest, ShiftedTimestampsDoNotInflateDuration) {
+  Volume v;
+  v.records = {{5000000, OpType::kWrite, 0, 1},
+               {5500000, OpType::kWrite, 4, 1},
+               {6000000, OpType::kRead, 8, 1}};
+  const VolumeStats s = compute_volume_stats(v);
+  EXPECT_EQ(s.duration_us, 1000000u);
+  // 3 requests over 1 s of trace, not over 6 s of wall clock.
+  EXPECT_DOUBLE_EQ(s.avg_request_rate_per_sec, 3.0);
+}
+
+TEST(WorkloadStatsTest, SingleRecordHasZeroDuration) {
+  Volume v;
+  v.records = {{7000000, OpType::kWrite, 0, 1}};
+  const VolumeStats s = compute_volume_stats(v);
+  EXPECT_EQ(s.duration_us, 0u);
+  EXPECT_DOUBLE_EQ(s.avg_request_rate_per_sec, 0.0);
+}
+
 TEST(WorkloadStatsTest, EmptyVolume) {
   Volume v;
   const VolumeStats s = compute_volume_stats(v);

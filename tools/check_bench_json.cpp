@@ -1,0 +1,80 @@
+// check_bench_json — schema validator CLI for the observability artifacts.
+//
+//   check_bench_json BENCH_fig02.json ...            adapt-bench-v1 (default)
+//   check_bench_json --manifest manifest.json ...    adapt-manifest-v1
+//   check_bench_json --series series.jsonl ...       adapt-series-v1
+//
+// Exits 0 when every file validates; prints the first schema violation and
+// exits 1 otherwise. CI's bench-smoke job runs this over every BENCH_*.json
+// the figure benches emit.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/export.h"
+
+namespace {
+
+enum class Kind { kBench, kManifest, kSeries };
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Kind kind = Kind::kBench;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--bench") {
+      kind = Kind::kBench;
+    } else if (arg == "--manifest") {
+      kind = Kind::kManifest;
+    } else if (arg == "--series") {
+      kind = Kind::kSeries;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: check_bench_json [--bench|--manifest|--series] files...\n");
+      return 0;
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "check_bench_json: no input files\n");
+    return 1;
+  }
+  for (const std::string& path : paths) {
+    try {
+      const std::string text = read_file(path);
+      switch (kind) {
+        case Kind::kBench:
+          adapt::obs::validate_bench_json(text);
+          break;
+        case Kind::kManifest:
+          adapt::obs::validate_manifest_json(text);
+          break;
+        case Kind::kSeries: {
+          const std::size_t samples = adapt::obs::validate_series_jsonl(text);
+          std::printf("%s: %zu samples\n", path.c_str(), samples);
+          break;
+        }
+      }
+      std::printf("%s: ok\n", path.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), e.what());
+      return 1;
+    }
+  }
+  return 0;
+}
