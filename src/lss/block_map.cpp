@@ -1,0 +1,39 @@
+#include "lss/block_map.h"
+
+#include <stdexcept>
+
+#include "lss/segment_pool.h"
+
+namespace adapt::lss {
+
+void BlockMap::invalidate(Lba lba, SegmentPool& pool) {
+  if (primary_[lba] != kUnmappedLocation) {
+    pool.invalidate_slot(unpack_location(primary_[lba]));
+    primary_[lba] = kUnmappedLocation;
+  }
+  const auto it = shadow_.find(lba);
+  if (it != shadow_.end()) {
+    pool.invalidate_slot(it->second);
+    shadow_.erase(it);
+  }
+}
+
+void BlockMap::expire_shadow(Lba lba, SegmentPool& pool) {
+  const auto it = shadow_.find(lba);
+  if (it == shadow_.end()) return;
+  pool.invalidate_slot(it->second);
+  shadow_.erase(it);
+}
+
+void BlockMap::check_counters() const {
+  // O(live shadows), which is bounded by the pending blocks across open
+  // chunks: a shadow exists only while its lazy-append original is pending.
+  for (const auto& [lba, loc] : shadow_) {
+    (void)loc;
+    if (lba >= primary_.size() || primary_[lba] == kUnmappedLocation) {
+      throw std::logic_error("shadow without a live primary");
+    }
+  }
+}
+
+}  // namespace adapt::lss

@@ -1,0 +1,98 @@
+// BlockMap: the logical-to-physical mapping of the LSS.
+//
+// Owns the packed primary map (one 64-bit word per logical block holding a
+// BlockLocation, or kUnmappedLocation) and the shadow map of live
+// cross-group aggregation copies (lazy-append originals still pending).
+// Mapping state only — slot liveness lives in the SegmentPool; the
+// cross-structure invalidation paths take the pool as a parameter so both
+// sides move together.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "lss/segment.h"
+
+namespace adapt::lss {
+
+class SegmentPool;
+
+inline constexpr std::uint64_t kUnmappedLocation =
+    std::numeric_limits<std::uint64_t>::max();
+
+constexpr std::uint64_t pack_location(BlockLocation loc) noexcept {
+  return (static_cast<std::uint64_t>(loc.segment) << 32) | loc.slot;
+}
+
+constexpr BlockLocation unpack_location(std::uint64_t packed) noexcept {
+  return BlockLocation{static_cast<SegmentId>(packed >> 32),
+                       static_cast<std::uint32_t>(packed & 0xffffffffu)};
+}
+
+class BlockMap {
+ public:
+  explicit BlockMap(std::uint64_t logical_blocks) {
+    primary_.assign(logical_blocks, kUnmappedLocation);
+  }
+
+  std::uint64_t logical_blocks() const noexcept { return primary_.size(); }
+
+  /// Where lba currently lives (primary copy), or kNowhere.
+  BlockLocation locate(Lba lba) const {
+    if (lba >= primary_.size() || primary_[lba] == kUnmappedLocation) {
+      return kNowhere;
+    }
+    return unpack_location(primary_[lba]);
+  }
+
+  bool is_mapped(Lba lba) const { return primary_[lba] != kUnmappedLocation; }
+
+  /// True when lba's primary copy is exactly `loc` (cheap packed compare).
+  bool primary_is(Lba lba, BlockLocation loc) const {
+    return primary_[lba] == pack_location(loc);
+  }
+
+  void set_primary(Lba lba, BlockLocation loc) {
+    primary_[lba] = pack_location(loc);
+  }
+
+  void clear_primary(Lba lba) { primary_[lba] = kUnmappedLocation; }
+
+  bool has_shadow(Lba lba) const { return shadow_.contains(lba); }
+
+  /// Where lba's live shadow copy sits, or kNowhere when it has none.
+  BlockLocation shadow_location(Lba lba) const {
+    const auto it = shadow_.find(lba);
+    return it == shadow_.end() ? kNowhere : it->second;
+  }
+
+  void set_shadow(Lba lba, BlockLocation loc) { shadow_[lba] = loc; }
+
+  std::size_t live_shadow_count() const noexcept { return shadow_.size(); }
+
+  const std::unordered_map<Lba, BlockLocation>& shadows() const noexcept {
+    return shadow_;
+  }
+
+  /// Drops lba's primary and shadow copies (if any), invalidating their
+  /// slots in the pool. The overwrite path of a user write.
+  void invalidate(Lba lba, SegmentPool& pool);
+
+  /// Expires lba's live shadow copy, if any: the lazy-append original
+  /// persisted, so the shadow's slot dies.
+  void expire_shadow(Lba lba, SegmentPool& pool);
+
+  /// Counters-tier self-audit; throws std::logic_error on violation.
+  void check_counters() const;
+
+ private:
+  /// primary_[lba] = packed BlockLocation or kUnmappedLocation.
+  std::vector<std::uint64_t> primary_;
+  /// Live shadow copies (lazy-append originals still pending).
+  std::unordered_map<Lba, BlockLocation> shadow_;
+};
+
+}  // namespace adapt::lss

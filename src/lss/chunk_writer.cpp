@@ -1,0 +1,305 @@
+#include "lss/chunk_writer.h"
+
+#include <stdexcept>
+
+namespace adapt::lss {
+
+ChunkWriter::ChunkWriter(const LssConfig& config, GroupId group_count,
+                         SegmentPool& pool, BlockMap& map,
+                         PlacementPolicy& policy, LssMetrics& metrics,
+                         const VTime& vtime, array::SsdArray* array)
+    : config_(config),
+      pool_(pool),
+      map_(map),
+      policy_(policy),
+      metrics_(metrics),
+      vtime_(vtime),
+      array_(array) {
+  groups_.resize(group_count);
+}
+
+std::uint32_t ChunkWriter::pending_blocks(GroupId g) const {
+  const GroupState& gs = groups_.at(g);
+  if (gs.open_seg == kInvalidSegment) return 0;
+  return pool_.segment(gs.open_seg).write_ptr - gs.flushed_slots;
+}
+
+std::uint32_t ChunkWriter::pending_unshadowed_valid(GroupId g) const {
+  const GroupState& gs = groups_.at(g);
+  if (gs.open_seg == kInvalidSegment) return 0;
+  const Segment& seg = pool_.segment(gs.open_seg);
+  std::uint32_t n = 0;
+  for (std::uint32_t slot = gs.flushed_slots; slot < seg.write_ptr; ++slot) {
+    if (!seg.slot_valid.test(slot)) continue;
+    const Lba lba = seg.slot_lba[slot];
+    // Skip shadow copies hosted here and already-shadowed primaries.
+    if (!map_.primary_is(lba, BlockLocation{gs.open_seg, slot})) continue;
+    if (map_.has_shadow(lba)) continue;
+    ++n;
+  }
+  return n;
+}
+
+void ChunkWriter::append(GroupId g, Lba lba, AppendSource source,
+                         TimeUs now_us) {
+  GroupState& gs = groups_[g];
+  if (gs.open_seg == kInvalidSegment) open_group_segment(g);
+  const SegmentId seg_id = gs.open_seg;
+  Segment& seg = pool_.segment_mut(seg_id);
+
+  const std::uint32_t slot = seg.write_ptr++;
+  seg.slot_lba[slot] = lba;
+  seg.slot_valid.set(slot);
+  ++seg.valid_count;
+
+  const BlockLocation loc{seg_id, slot};
+  GroupTraffic& gt = metrics_.groups[g];
+  switch (source) {
+    case AppendSource::kUser:
+      map_.set_primary(lba, loc);
+      ++gt.user_blocks;
+      ++metrics_.user_blocks;
+      break;
+    case AppendSource::kGc:
+      map_.set_primary(lba, loc);
+      ++gt.gc_blocks;
+      ++metrics_.gc_blocks;
+      break;
+    case AppendSource::kShadow:
+      map_.set_shadow(lba, loc);
+      ++gt.shadow_blocks;
+      ++metrics_.shadow_blocks;
+      break;
+  }
+
+  if (seg.write_ptr % config_.chunk_blocks == 0) {
+    flush_boundary(g);
+  } else if (source == AppendSource::kUser && !gs.deadline_armed) {
+    gs.deadline_armed = true;
+    gs.chunk_deadline = now_us + config_.coalesce_window_us;
+  }
+}
+
+void ChunkWriter::flush_boundary(GroupId g) {
+  GroupState& gs = groups_[g];
+  const Segment& seg = pool_.segment(gs.open_seg);
+  const std::uint32_t pending = seg.write_ptr - gs.flushed_slots;
+  if (pending == config_.chunk_blocks) {
+    flush_chunk(g, /*fill_blocks=*/config_.chunk_blocks, /*padded=*/false);
+  } else {
+    // Earlier sub-chunk RMW flushes persisted part of this chunk; the
+    // completing tail is another RMW write.
+    rmw_flush(g);
+  }
+}
+
+void ChunkWriter::open_group_segment(GroupId g) {
+  GroupState& gs = groups_[g];
+  gs.open_seg = pool_.allocate(g, vtime_);
+  gs.flushed_slots = 0;
+}
+
+void ChunkWriter::seal_group_segment(GroupId g) {
+  GroupState& gs = groups_[g];
+  ++metrics_.groups[g].segments_sealed;
+  policy_.note_segment_sealed(g, vtime_);
+  pool_.seal(gs.open_seg, vtime_);
+  gs.open_seg = kInvalidSegment;
+  gs.flushed_slots = 0;
+  gs.deadline_armed = false;
+}
+
+void ChunkWriter::trim_segment(SegmentId id) {
+  if (addressed_array_ != nullptr) {
+    addressed_array_->trim_chunks(global_chunk_index(id, 0),
+                                  config_.segment_chunks);
+  }
+}
+
+void ChunkWriter::expire_shadows_in_range(GroupId g, std::uint32_t begin,
+                                          std::uint32_t end) {
+  const GroupState& gs = groups_[g];
+  const Segment& seg = pool_.segment(gs.open_seg);
+  for (std::uint32_t slot = begin; slot < end; ++slot) {
+    if (!seg.slot_valid.test(slot)) continue;
+    const Lba lba = seg.slot_lba[slot];
+    if (lba == kInvalidLba) continue;
+    if (map_.primary_is(lba, BlockLocation{gs.open_seg, slot}) &&
+        map_.has_shadow(lba)) {
+      map_.expire_shadow(lba, pool_);
+    }
+  }
+}
+
+void ChunkWriter::flush_chunk(GroupId g, std::uint32_t fill_blocks,
+                              bool padded) {
+  GroupState& gs = groups_[g];
+  const SegmentId seg_id = gs.open_seg;
+  const Segment& seg = pool_.segment(seg_id);
+  const std::uint32_t chunk_begin = gs.flushed_slots;
+  const std::uint32_t chunk_end = chunk_begin + config_.chunk_blocks;
+
+  // Lazy-append originals in this chunk are now durable: expire shadows.
+  expire_shadows_in_range(g, chunk_begin, chunk_end);
+
+  gs.flushed_slots = chunk_end;
+  GroupTraffic& gt = metrics_.groups[g];
+  if (padded) {
+    ++gt.padded_flushes;
+    gt.padded_fill_blocks += fill_blocks;
+    const std::uint32_t pad = config_.chunk_blocks - fill_blocks;
+    gt.padding_blocks += pad;
+    metrics_.padding_blocks += pad;
+  } else {
+    ++gt.full_flushes;
+  }
+  ++chunks_flushed_;
+  if (array_ != nullptr) {
+    array_->write_chunk(g, static_cast<std::uint64_t>(fill_blocks) *
+                               config_.block_bytes);
+  }
+  if (addressed_array_ != nullptr) {
+    addressed_array_->write_chunk(global_chunk_index(seg_id, chunk_begin),
+                                  g);
+  }
+  if (seg.write_ptr == config_.segment_blocks()) {
+    seal_group_segment(g);
+  } else {
+    gs.deadline_armed = false;
+  }
+}
+
+void ChunkWriter::rmw_flush(GroupId g) {
+  GroupState& gs = groups_[g];
+  const Segment& seg = pool_.segment(gs.open_seg);
+  const std::uint32_t pending = seg.write_ptr - gs.flushed_slots;
+  if (pending == 0) return;
+  if (pending >= config_.chunk_blocks) {
+    throw std::logic_error("rmw_flush with a full chunk pending");
+  }
+  expire_shadows_in_range(g, gs.flushed_slots, seg.write_ptr);
+
+  const std::uint32_t chunk_begin_slot = gs.flushed_slots;
+  const std::uint32_t offset_in_chunk =
+      chunk_begin_slot % config_.chunk_blocks;
+  GroupTraffic& gt = metrics_.groups[g];
+  ++gt.rmw_flushes;
+  ++metrics_.rmw_flushes;
+  gt.rmw_blocks += pending;
+  metrics_.rmw_blocks += pending;
+  // Small-write parity update reads the old data chunk and old parity.
+  metrics_.rmw_read_blocks += 2ull * config_.chunk_blocks;
+  if (array_ != nullptr) {
+    array_->write_partial(g, static_cast<std::uint64_t>(pending) *
+                                 config_.block_bytes);
+  }
+  if (addressed_array_ != nullptr) {
+    addressed_array_->write_partial(
+        global_chunk_index(gs.open_seg, chunk_begin_slot), offset_in_chunk,
+        pending, g);
+  }
+  gs.flushed_slots = seg.write_ptr;
+  if (seg.write_ptr == config_.segment_blocks()) {
+    seal_group_segment(g);
+  } else {
+    gs.deadline_armed = false;
+  }
+}
+
+void ChunkWriter::pad_flush(GroupId g) {
+  GroupState& gs = groups_[g];
+  Segment& seg = pool_.segment_mut(gs.open_seg);
+  const std::uint32_t pending = seg.write_ptr - gs.flushed_slots;
+  if (pending == 0 || pending >= config_.chunk_blocks) {
+    throw std::logic_error("pad_flush with no partial chunk");
+  }
+  const std::uint32_t chunk_end = gs.flushed_slots + config_.chunk_blocks;
+  // Dead padding slots: allocated, never valid.
+  for (std::uint32_t slot = seg.write_ptr; slot < chunk_end; ++slot) {
+    seg.slot_lba[slot] = kInvalidLba;
+    seg.slot_valid.reset(slot);
+  }
+  seg.write_ptr = chunk_end;
+  flush_chunk(g, /*fill_blocks=*/pending, /*padded=*/true);
+}
+
+void ChunkWriter::shadow_append(GroupId g, GroupId host, TimeUs now_us) {
+  GroupState& gs = groups_[g];
+  if (gs.open_seg == kInvalidSegment) return;  // donor has nothing pending
+  const Segment& seg = pool_.segment(gs.open_seg);
+
+  // Collect pending primaries of g that are valid and not yet shadowed.
+  std::vector<Lba> to_shadow;
+  to_shadow.reserve(seg.write_ptr - gs.flushed_slots);
+  for (std::uint32_t slot = gs.flushed_slots; slot < seg.write_ptr; ++slot) {
+    if (!seg.slot_valid.test(slot)) continue;
+    const Lba lba = seg.slot_lba[slot];
+    if (!map_.primary_is(lba, BlockLocation{gs.open_seg, slot})) continue;
+    if (map_.has_shadow(lba)) continue;
+    to_shadow.push_back(lba);
+  }
+
+  for (const Lba lba : to_shadow) {
+    append(host, lba, AppendSource::kShadow, now_us);
+  }
+  // Originals stay pending without a deadline (they are durable via their
+  // shadows); a future user append re-arms the timer.
+  gs.deadline_armed = false;
+}
+
+void ChunkWriter::check_counters() const {
+  GroupTraffic totals;
+  std::uint64_t flushes = 0;
+  std::uint64_t pending = 0;
+  for (GroupId g = 0; g < group_count(); ++g) {
+    const GroupTraffic& gt = metrics_.groups[g];
+    totals.user_blocks += gt.user_blocks;
+    totals.gc_blocks += gt.gc_blocks;
+    totals.shadow_blocks += gt.shadow_blocks;
+    totals.padding_blocks += gt.padding_blocks;
+    totals.rmw_blocks += gt.rmw_blocks;
+    totals.rmw_flushes += gt.rmw_flushes;
+    flushes += gt.full_flushes + gt.padded_flushes;
+
+    const GroupState& gs = groups_[g];
+    if (gs.deadline_armed && gs.open_seg == kInvalidSegment) {
+      throw std::logic_error("deadline armed without an open segment");
+    }
+    if (gs.open_seg == kInvalidSegment) continue;
+    const Segment& seg = pool_.segment(gs.open_seg);
+    if (seg.free || seg.sealed || seg.group != g) {
+      throw std::logic_error("open segment in an inconsistent state");
+    }
+    if (gs.flushed_slots > seg.write_ptr ||
+        seg.write_ptr > config_.segment_blocks()) {
+      throw std::logic_error("open segment pointers out of order");
+    }
+    if (config_.partial_write_mode == PartialWriteMode::kZeroPad &&
+        gs.flushed_slots % config_.chunk_blocks != 0) {
+      throw std::logic_error("zero-pad flush boundary not chunk-aligned");
+    }
+    pending += seg.write_ptr - gs.flushed_slots;
+  }
+  if (totals.user_blocks != metrics_.user_blocks ||
+      totals.gc_blocks != metrics_.gc_blocks ||
+      totals.shadow_blocks != metrics_.shadow_blocks ||
+      totals.padding_blocks != metrics_.padding_blocks ||
+      totals.rmw_blocks != metrics_.rmw_blocks ||
+      totals.rmw_flushes != metrics_.rmw_flushes) {
+    throw std::logic_error("per-group traffic != global traffic counters");
+  }
+  if (flushes != chunks_flushed_) {
+    throw std::logic_error("chunks_flushed counter out of sync");
+  }
+  // The write-accounting identity: every block the metrics claim was
+  // appended either reached the media (full/padded chunks + RMW partials)
+  // or is still pending in an open chunk.
+  const std::uint64_t appended = metrics_.total_blocks();
+  const std::uint64_t media =
+      chunks_flushed_ * config_.chunk_blocks + metrics_.rmw_blocks;
+  if (appended != media + pending) {
+    throw std::logic_error("write-accounting identity broken");
+  }
+}
+
+}  // namespace adapt::lss

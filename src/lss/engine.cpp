@@ -6,44 +6,42 @@
 
 namespace adapt::lss {
 namespace {
-constexpr std::uint64_t kUnmapped = std::numeric_limits<std::uint64_t>::max();
+
+LssConfig validated(LssConfig config, GroupId group_count) {
+  config.validate(group_count);
+  return config;
+}
+
+array::SsdArray* checked_array(array::SsdArray* array, const LssConfig& config,
+                               GroupId group_count) {
+  if (array != nullptr && array->config().num_streams < group_count) {
+    throw std::invalid_argument("array has fewer streams than groups");
+  }
+  if (array != nullptr &&
+      array->config().chunk_bytes != config.chunk_blocks * config.block_bytes) {
+    throw std::invalid_argument("array chunk size mismatch");
+  }
+  return array;
+}
+
 }  // namespace
 
 LssEngine::LssEngine(const LssConfig& config, PlacementPolicy& policy,
                      VictimPolicy& victim, array::SsdArray* array,
                      std::uint64_t seed)
-    : config_(config),
+    : config_(validated(config, policy.group_count())),
       policy_(policy),
       victim_(victim),
-      array_(array),
+      array_(checked_array(array, config_, policy.group_count())),
       rng_(seed),
-      audit_level_(audit::level_from_env(config.audit_level)) {
-  config_.validate(policy.group_count());
-  if (array_ != nullptr &&
-      array_->config().num_streams < policy.group_count()) {
-    throw std::invalid_argument("array has fewer streams than groups");
-  }
-  if (array_ != nullptr &&
-      array_->config().chunk_bytes !=
-          config_.chunk_blocks * config_.block_bytes) {
-    throw std::invalid_argument("array chunk size mismatch");
-  }
-
-  const std::uint32_t total = config_.total_segments();
-  segments_.resize(total);
-  free_list_.reserve(total);
-  for (std::uint32_t i = 0; i < total; ++i) {
-    segments_[i].reset(config_.segment_blocks());
-    // Push in reverse so allocation order is 0, 1, 2, ...
-    free_list_.push_back(total - 1 - i);
-  }
-  free_count_ = total;
-  victim_.bind_pool(total, config_.segment_blocks());
-
-  groups_.resize(policy.group_count());
-  group_segments_.assign(policy.group_count(), 0);
+      audit_level_(audit::level_from_env(config.audit_level)),
+      pool_(config_, policy.group_count(), victim),
+      map_(config_.logical_blocks),
+      writer_(config_, policy.group_count(), pool_, map_, policy, metrics_,
+              vtime_, array_),
+      gc_(config_, pool_, map_, writer_, policy, victim, metrics_, rng_,
+          vtime_) {
   metrics_.groups.resize(policy.group_count());
-  primary_.assign(config_.logical_blocks, kUnmapped);
 }
 
 void LssEngine::attach_addressed_array(array::AddressedArray* addressed) {
@@ -62,22 +60,7 @@ void LssEngine::attach_addressed_array(array::AddressedArray* addressed) {
           "addressed array smaller than the LSS physical space");
     }
   }
-  addressed_array_ = addressed;
-}
-
-std::uint64_t LssEngine::global_chunk_index(
-    SegmentId seg, std::uint32_t slot) const noexcept {
-  return static_cast<std::uint64_t>(seg) * config_.segment_chunks +
-         slot / config_.chunk_blocks;
-}
-
-std::uint64_t LssEngine::pack(BlockLocation loc) noexcept {
-  return (static_cast<std::uint64_t>(loc.segment) << 32) | loc.slot;
-}
-
-BlockLocation LssEngine::unpack(std::uint64_t packed) const noexcept {
-  return BlockLocation{static_cast<SegmentId>(packed >> 32),
-                       static_cast<std::uint32_t>(packed & 0xffffffffu)};
+  writer_.set_addressed_array(addressed);
 }
 
 void LssEngine::write(Lba lba, std::uint32_t blocks, TimeUs now_us) {
@@ -98,10 +81,10 @@ void LssEngine::write_block(Lba lba, TimeUs now_us) {
   if (g >= group_count()) {
     throw std::logic_error("placement policy returned bad group");
   }
-  invalidate(lba);
-  append(g, lba, Source::kUser, now_us);
+  map_.invalidate(lba, pool_);
+  writer_.append(g, lba, AppendSource::kUser, now_us);
   ++vtime_;
-  maybe_gc(now_us);
+  gc_.maybe_gc(now_us);
   audit_point();
   if (observer_ != nullptr) observer_->on_user_block(*this, now_us);
 }
@@ -116,19 +99,18 @@ void LssEngine::read(Lba lba, std::uint32_t blocks, TimeUs now_us) {
   std::uint64_t last_chunk = std::numeric_limits<std::uint64_t>::max();
   for (std::uint32_t i = 0; i < blocks; ++i) {
     ++metrics_.read_blocks;
-    const std::uint64_t packed = primary_[lba + i];
-    if (packed == kUnmapped) {
+    if (!map_.is_mapped(lba + i)) {
       ++metrics_.read_unmapped;
       continue;
     }
-    const BlockLocation loc = unpack(packed);
-    const GroupId group = segments_[loc.segment].group;
-    const GroupState& gs = groups_[group];
-    if (gs.open_seg == loc.segment && loc.slot >= gs.flushed_slots) {
+    const BlockLocation loc = map_.locate(lba + i);
+    const GroupId group = pool_.segment(loc.segment).group;
+    if (writer_.slot_pending(group, loc)) {
       ++metrics_.read_buffer_hits;  // still pending in the open chunk
       continue;
     }
-    const std::uint64_t chunk = global_chunk_index(loc.segment, loc.slot);
+    const std::uint64_t chunk =
+        writer_.global_chunk_index(loc.segment, loc.slot);
     if (chunk != last_chunk) {
       ++metrics_.read_chunk_fetches;
       last_chunk = chunk;
@@ -144,10 +126,10 @@ void LssEngine::advance_time(TimeUs now_us) {
     GroupId next = kInvalidGroup;
     TimeUs earliest = std::numeric_limits<TimeUs>::max();
     for (GroupId g = 0; g < group_count(); ++g) {
-      const GroupState& gs = groups_[g];
-      if (gs.deadline_armed && gs.chunk_deadline <= wall_us_ &&
-          gs.chunk_deadline < earliest) {
-        earliest = gs.chunk_deadline;
+      if (writer_.deadline_armed(g) &&
+          writer_.chunk_deadline(g) <= wall_us_ &&
+          writer_.chunk_deadline(g) < earliest) {
+        earliest = writer_.chunk_deadline(g);
         next = g;
       }
     }
@@ -158,281 +140,38 @@ void LssEngine::advance_time(TimeUs now_us) {
 
 void LssEngine::flush_all() {
   for (GroupId g = 0; g < group_count(); ++g) {
-    if (pending_blocks(g) > 0) {
+    if (writer_.pending_blocks(g) > 0) {
       if (config_.partial_write_mode == PartialWriteMode::kZeroPad) {
-        pad_flush(g);
+        writer_.pad_flush(g);
       } else {
-        rmw_flush(g);
+        writer_.rmw_flush(g);
       }
     }
-    groups_[g].deadline_armed = false;
+    writer_.disarm_deadline(g);
   }
   audit_point();
 }
 
-std::uint32_t LssEngine::pending_blocks(GroupId g) const {
-  const GroupState& gs = groups_.at(g);
-  if (gs.open_seg == kInvalidSegment) return 0;
-  return segments_[gs.open_seg].write_ptr - gs.flushed_slots;
-}
-
-std::uint32_t LssEngine::pending_unshadowed_valid(GroupId g) const {
-  const GroupState& gs = groups_.at(g);
-  if (gs.open_seg == kInvalidSegment) return 0;
-  const Segment& seg = segments_[gs.open_seg];
-  std::uint32_t n = 0;
-  for (std::uint32_t slot = gs.flushed_slots; slot < seg.write_ptr; ++slot) {
-    if (!seg.slot_valid.test(slot)) continue;
-    const Lba lba = seg.slot_lba[slot];
-    // Skip shadow copies hosted here and already-shadowed primaries.
-    if (primary_[lba] != pack(BlockLocation{gs.open_seg, slot})) continue;
-    if (shadow_.contains(lba)) continue;
-    ++n;
-  }
-  return n;
-}
-
-std::vector<std::uint32_t> LssEngine::segments_per_group() const {
-  // Maintained at open/free instead of scanning the pool.
-  return group_segments_;
-}
-
-BlockLocation LssEngine::locate(Lba lba) const {
-  if (lba >= primary_.size() || primary_[lba] == kUnmapped) return kNowhere;
-  return unpack(primary_[lba]);
-}
-
-BlockLocation LssEngine::shadow_location(Lba lba) const {
-  const auto it = shadow_.find(lba);
-  return it == shadow_.end() ? kNowhere : it->second;
-}
-
 bool LssEngine::is_pending(Lba lba) const {
-  const BlockLocation loc = locate(lba);
+  const BlockLocation loc = map_.locate(lba);
   if (loc == kNowhere) return false;
-  const GroupId g = segments_[loc.segment].group;
-  const GroupState& gs = groups_[g];
-  return gs.open_seg == loc.segment && loc.slot >= gs.flushed_slots;
-}
-
-void LssEngine::append(GroupId g, Lba lba, Source source, TimeUs now_us) {
-  GroupState& gs = groups_[g];
-  if (gs.open_seg == kInvalidSegment) open_new_segment(g);
-  const SegmentId seg_id = gs.open_seg;
-  Segment& seg = segments_[seg_id];
-
-  const std::uint32_t slot = seg.write_ptr++;
-  seg.slot_lba[slot] = lba;
-  seg.slot_valid.set(slot);
-  ++seg.valid_count;
-
-  const BlockLocation loc{seg_id, slot};
-  GroupTraffic& gt = metrics_.groups[g];
-  switch (source) {
-    case Source::kUser:
-      primary_[lba] = pack(loc);
-      ++gt.user_blocks;
-      ++metrics_.user_blocks;
-      break;
-    case Source::kGc:
-      primary_[lba] = pack(loc);
-      ++gt.gc_blocks;
-      ++metrics_.gc_blocks;
-      break;
-    case Source::kShadow:
-      shadow_[lba] = loc;
-      ++gt.shadow_blocks;
-      ++metrics_.shadow_blocks;
-      break;
-  }
-
-  if (seg.write_ptr % config_.chunk_blocks == 0) {
-    flush_boundary(g);
-  } else if (source == Source::kUser && !gs.deadline_armed) {
-    gs.deadline_armed = true;
-    gs.chunk_deadline = now_us + config_.coalesce_window_us;
-  }
-}
-
-void LssEngine::flush_boundary(GroupId g) {
-  GroupState& gs = groups_[g];
-  const Segment& seg = segments_[gs.open_seg];
-  const std::uint32_t pending = seg.write_ptr - gs.flushed_slots;
-  if (pending == config_.chunk_blocks) {
-    flush_chunk(g, /*fill_blocks=*/config_.chunk_blocks, /*padded=*/false);
-  } else {
-    // Earlier sub-chunk RMW flushes persisted part of this chunk; the
-    // completing tail is another RMW write.
-    rmw_flush(g);
-  }
-}
-
-void LssEngine::open_new_segment(GroupId g) {
-  if (free_list_.empty()) {
-    throw std::runtime_error(
-        "LssEngine: segment pool exhausted (GC could not keep up)");
-  }
-  const SegmentId id = free_list_.back();
-  free_list_.pop_back();
-  --free_count_;
-  Segment& seg = segments_[id];
-  seg.reset(config_.segment_blocks());
-  seg.free = false;
-  seg.group = g;
-  seg.create_vtime = vtime_;
-  groups_[g].open_seg = id;
-  groups_[g].flushed_slots = 0;
-  ++group_segments_[g];
-}
-
-void LssEngine::seal_segment(GroupId g) {
-  GroupState& gs = groups_[g];
-  Segment& seg = segments_[gs.open_seg];
-  seg.sealed = true;
-  seg.seal_vtime = vtime_;
-  ++metrics_.groups[g].segments_sealed;
-  policy_.note_segment_sealed(g, vtime_);
-  victim_.on_seal(gs.open_seg, seg.valid_count, seg.seal_vtime);
-  gs.open_seg = kInvalidSegment;
-  gs.flushed_slots = 0;
-  gs.deadline_armed = false;
-}
-
-void LssEngine::free_segment(SegmentId id) {
-  Segment& seg = segments_[id];
-  ++metrics_.groups[seg.group].segments_reclaimed;
-  if (seg.sealed) victim_.on_free(id);
-  --group_segments_[seg.group];
-  if (addressed_array_ != nullptr) {
-    addressed_array_->trim_chunks(global_chunk_index(id, 0),
-                                  config_.segment_chunks);
-  }
-  seg.reset(config_.segment_blocks());
-  free_list_.push_back(id);
-  ++free_count_;
-}
-
-void LssEngine::expire_shadows_in_range(GroupId g, std::uint32_t begin,
-                                        std::uint32_t end) {
-  const GroupState& gs = groups_[g];
-  const Segment& seg = segments_[gs.open_seg];
-  for (std::uint32_t slot = begin; slot < end; ++slot) {
-    if (!seg.slot_valid.test(slot)) continue;
-    const Lba lba = seg.slot_lba[slot];
-    if (lba == kInvalidLba) continue;
-    if (primary_[lba] == pack(BlockLocation{gs.open_seg, slot}) &&
-        shadow_.contains(lba)) {
-      expire_shadow(lba);
-    }
-  }
-}
-
-void LssEngine::flush_chunk(GroupId g, std::uint32_t fill_blocks,
-                            bool padded) {
-  GroupState& gs = groups_[g];
-  Segment& seg = segments_[gs.open_seg];
-  const SegmentId seg_id = gs.open_seg;
-  const std::uint32_t chunk_begin = gs.flushed_slots;
-  const std::uint32_t chunk_end = chunk_begin + config_.chunk_blocks;
-
-  // Lazy-append originals in this chunk are now durable: expire shadows.
-  expire_shadows_in_range(g, chunk_begin, chunk_end);
-
-  gs.flushed_slots = chunk_end;
-  GroupTraffic& gt = metrics_.groups[g];
-  if (padded) {
-    ++gt.padded_flushes;
-    gt.padded_fill_blocks += fill_blocks;
-    const std::uint32_t pad = config_.chunk_blocks - fill_blocks;
-    gt.padding_blocks += pad;
-    metrics_.padding_blocks += pad;
-  } else {
-    ++gt.full_flushes;
-  }
-  ++chunks_flushed_;
-  if (array_ != nullptr) {
-    array_->write_chunk(g, static_cast<std::uint64_t>(fill_blocks) *
-                               config_.block_bytes);
-  }
-  if (addressed_array_ != nullptr) {
-    addressed_array_->write_chunk(global_chunk_index(seg_id, chunk_begin),
-                                  g);
-  }
-  if (seg.write_ptr == config_.segment_blocks()) {
-    seal_segment(g);
-  } else {
-    gs.deadline_armed = false;
-  }
-}
-
-void LssEngine::rmw_flush(GroupId g) {
-  GroupState& gs = groups_[g];
-  Segment& seg = segments_[gs.open_seg];
-  const std::uint32_t pending = seg.write_ptr - gs.flushed_slots;
-  if (pending == 0) return;
-  if (pending >= config_.chunk_blocks) {
-    throw std::logic_error("rmw_flush with a full chunk pending");
-  }
-  expire_shadows_in_range(g, gs.flushed_slots, seg.write_ptr);
-
-  const std::uint32_t chunk_begin_slot = gs.flushed_slots;
-  const std::uint32_t offset_in_chunk =
-      chunk_begin_slot % config_.chunk_blocks;
-  GroupTraffic& gt = metrics_.groups[g];
-  ++gt.rmw_flushes;
-  ++metrics_.rmw_flushes;
-  gt.rmw_blocks += pending;
-  metrics_.rmw_blocks += pending;
-  // Small-write parity update reads the old data chunk and old parity.
-  metrics_.rmw_read_blocks += 2ull * config_.chunk_blocks;
-  if (array_ != nullptr) {
-    array_->write_partial(g, static_cast<std::uint64_t>(pending) *
-                                 config_.block_bytes);
-  }
-  if (addressed_array_ != nullptr) {
-    addressed_array_->write_partial(
-        global_chunk_index(gs.open_seg, chunk_begin_slot), offset_in_chunk,
-        pending, g);
-  }
-  gs.flushed_slots = seg.write_ptr;
-  if (seg.write_ptr == config_.segment_blocks()) {
-    seal_segment(g);
-  } else {
-    gs.deadline_armed = false;
-  }
-}
-
-void LssEngine::pad_flush(GroupId g) {
-  GroupState& gs = groups_[g];
-  Segment& seg = segments_[gs.open_seg];
-  const std::uint32_t pending = seg.write_ptr - gs.flushed_slots;
-  if (pending == 0 || pending >= config_.chunk_blocks) {
-    throw std::logic_error("pad_flush with no partial chunk");
-  }
-  const std::uint32_t chunk_end = gs.flushed_slots + config_.chunk_blocks;
-  // Dead padding slots: allocated, never valid.
-  for (std::uint32_t slot = seg.write_ptr; slot < chunk_end; ++slot) {
-    seg.slot_lba[slot] = kInvalidLba;
-    seg.slot_valid.reset(slot);
-  }
-  seg.write_ptr = chunk_end;
-  flush_chunk(g, /*fill_blocks=*/pending, /*padded=*/true);
+  const GroupId g = pool_.segment(loc.segment).group;
+  return writer_.slot_pending(g, loc);
 }
 
 void LssEngine::fire_deadline(GroupId g, TimeUs now_us) {
-  GroupState& gs = groups_[g];
-  gs.deadline_armed = false;
-  const std::uint32_t pending = pending_blocks(g);
+  writer_.disarm_deadline(g);
+  const std::uint32_t pending = writer_.pending_blocks(g);
   if (pending == 0) return;
   // Only live, not-yet-shadowed blocks carry a durability obligation:
   // overwritten pending blocks are stale and shadowed ones are already on
   // disk, so a chunk with none of either can keep waiting for more data.
-  if (pending_unshadowed_valid(g) == 0) return;
+  if (writer_.pending_unshadowed_valid(g) == 0) return;
 
   if (config_.partial_write_mode == PartialWriteMode::kReadModifyWrite) {
     // RMW persists sub-chunks directly; aggregation targets padding and
     // does not apply.
-    rmw_flush(g);
+    writer_.rmw_flush(g);
     return;
   }
 
@@ -443,222 +182,30 @@ void LssEngine::fire_deadline(GroupId g, TimeUs now_us) {
   if (decision.aggregate() && decision.donor != decision.host &&
       decision.donor < group_count() && decision.host < group_count() &&
       (g == decision.donor || g == decision.host)) {
-    shadow_append(decision.donor, decision.host, now_us);
+    writer_.shadow_append(decision.donor, decision.host, now_us);
     // The constructed chunk must persist now: it carries either the shadow
     // copies (g == donor) or g's own pending blocks (g == host).
-    if (pending_blocks(decision.host) > 0) pad_flush(decision.host);
+    if (writer_.pending_blocks(decision.host) > 0) {
+      writer_.pad_flush(decision.host);
+    }
   } else {
-    pad_flush(g);
+    writer_.pad_flush(g);
   }
-}
-
-void LssEngine::shadow_append(GroupId g, GroupId host, TimeUs now_us) {
-  GroupState& gs = groups_[g];
-  if (gs.open_seg == kInvalidSegment) return;  // donor has nothing pending
-  const Segment& seg = segments_[gs.open_seg];
-
-  // Collect pending primaries of g that are valid and not yet shadowed.
-  std::vector<Lba> to_shadow;
-  to_shadow.reserve(seg.write_ptr - gs.flushed_slots);
-  for (std::uint32_t slot = gs.flushed_slots; slot < seg.write_ptr; ++slot) {
-    if (!seg.slot_valid.test(slot)) continue;
-    const Lba lba = seg.slot_lba[slot];
-    if (primary_[lba] != pack(BlockLocation{gs.open_seg, slot})) continue;
-    if (shadow_.contains(lba)) continue;
-    to_shadow.push_back(lba);
-  }
-
-  for (const Lba lba : to_shadow) {
-    append(host, lba, Source::kShadow, now_us);
-  }
-  // Originals stay pending without a deadline (they are durable via their
-  // shadows); a future user append re-arms the timer.
-  gs.deadline_armed = false;
-}
-
-void LssEngine::invalidate(Lba lba) {
-  if (primary_[lba] != kUnmapped) {
-    invalidate_slot(unpack(primary_[lba]));
-    primary_[lba] = kUnmapped;
-  }
-  const auto it = shadow_.find(lba);
-  if (it != shadow_.end()) {
-    invalidate_slot(it->second);
-    shadow_.erase(it);
-  }
-}
-
-void LssEngine::invalidate_slot(BlockLocation loc) {
-  Segment& seg = segments_[loc.segment];
-  if (!seg.slot_valid.test(loc.slot)) {
-    throw std::logic_error("double invalidation of a slot");
-  }
-  seg.slot_valid.reset(loc.slot);
-  --seg.valid_count;
-  if (seg.sealed) {
-    victim_.on_valid_delta(loc.segment, seg.valid_count + 1,
-                           seg.valid_count);
-  }
-}
-
-void LssEngine::expire_shadow(Lba lba) {
-  const auto it = shadow_.find(lba);
-  if (it == shadow_.end()) return;
-  invalidate_slot(it->second);
-  shadow_.erase(it);
 }
 
 bool LssEngine::gc_step(TimeUs now_us, std::uint32_t watermark) {
-  if (free_count_ >= watermark) return false;
-  run_gc_once(now_us);
+  if (!gc_.step(now_us, watermark)) return false;
   audit_point();
   return true;
 }
 
-std::uint64_t LssEngine::chunks_flushed() const noexcept {
-  // Running counter maintained in flush_chunk; cross-checked against the
-  // per-group flush totals in check_invariants.
-  return chunks_flushed_;
-}
-
-void LssEngine::maybe_gc(TimeUs now_us) {
-  const std::uint32_t watermark = config_.free_segment_reserve + group_count();
-  std::uint32_t spins = 0;
-  while (free_count_ < watermark) {
-    run_gc_once(now_us);
-    if (++spins > segments_.size() * 4) {
-      throw std::runtime_error("LssEngine: GC made no progress");
-    }
-  }
-}
-
-void LssEngine::run_gc_once(TimeUs now_us) {
-  // The victim index is maintained incrementally through seal / valid-delta
-  // / free notifications, so selection needs no candidate rebuild or pool
-  // scan.
-  const SegmentId victim = victim_.select(segments_, vtime_, rng_);
-  if (victim == kInvalidSegment) {
-    throw std::runtime_error("LssEngine: no GC victim available");
-  }
-  ++metrics_.gc_runs;
-  Segment& v = segments_[victim];
-
-  for (std::uint32_t slot = 0; slot < v.write_ptr; ++slot) {
-    // Skip fully dead 64-slot words in one comparison. Re-checked at every
-    // word boundary because forced flushes below can clear later bits.
-    if ((slot % PackedBitmap::kWordBits) == 0 &&
-        v.slot_valid.word(slot / PackedBitmap::kWordBits) == 0) {
-      slot += PackedBitmap::kWordBits - 1;
-      continue;
-    }
-    if (!v.slot_valid.test(slot)) continue;
-    const Lba lba = v.slot_lba[slot];
-    const BlockLocation here{victim, slot};
-    const auto sh = shadow_.find(lba);
-    if (sh != shadow_.end() && sh->second == here) {
-      // A live shadow inside a sealed victim: the lazy original is still
-      // pending in some open chunk. Force that chunk out (padded), which
-      // expires this shadow, then skip the now-dead slot.
-      const BlockLocation prim = unpack(primary_[lba]);
-      const GroupId prim_group = segments_[prim.segment].group;
-      ++metrics_.forced_lazy_flushes;
-      pad_flush(prim_group);
-      if (v.slot_valid.test(slot)) {
-        throw std::logic_error("forced flush did not expire shadow");
-      }
-      continue;
-    }
-    if (primary_[lba] != pack(here)) {
-      throw std::logic_error("valid slot not referenced by block map");
-    }
-    const GroupId target = policy_.place_gc_rewrite(lba, v.group, vtime_);
-    if (target >= group_count()) {
-      throw std::logic_error("placement policy returned bad GC group");
-    }
-    // Invalidate the victim copy, then append the migrated one. The victim
-    // stays in the index (its buckets track the drain) until free_segment
-    // reports on_free.
-    v.slot_valid.reset(slot);
-    --v.valid_count;
-    victim_.on_valid_delta(victim, v.valid_count + 1, v.valid_count);
-    primary_[lba] = kUnmapped;
-    append(target, lba, Source::kGc, now_us);
-    ++metrics_.gc_migrated_blocks;
-  }
-
-  if (v.valid_count != 0) {
-    throw std::logic_error("victim still has valid blocks after GC");
-  }
-  policy_.note_segment_reclaimed(v.group, v.create_vtime, vtime_);
-  free_segment(victim);
-}
-
 void LssEngine::check_counters() const {
-  if (free_list_.size() != free_count_) {
-    throw std::logic_error("free list size != free counter");
-  }
-  std::uint64_t in_use = 0;
-  for (const std::uint32_t n : group_segments_) in_use += n;
-  if (in_use + free_count_ != segments_.size()) {
-    throw std::logic_error("per-group + free segment counters != pool size");
-  }
+  pool_.check_counters();
+  map_.check_counters();
+  writer_.check_counters();
+  gc_.check_counters();
   if (vtime_ != metrics_.user_blocks) {
     throw std::logic_error("vtime desynchronised from user block counter");
-  }
-  if (metrics_.gc_blocks != metrics_.gc_migrated_blocks) {
-    throw std::logic_error("gc append and migration counters disagree");
-  }
-  GroupTraffic totals;
-  std::uint64_t flushes = 0;
-  std::uint64_t pending = 0;
-  for (GroupId g = 0; g < group_count(); ++g) {
-    const GroupTraffic& gt = metrics_.groups[g];
-    totals.user_blocks += gt.user_blocks;
-    totals.gc_blocks += gt.gc_blocks;
-    totals.shadow_blocks += gt.shadow_blocks;
-    totals.padding_blocks += gt.padding_blocks;
-    totals.rmw_blocks += gt.rmw_blocks;
-    totals.rmw_flushes += gt.rmw_flushes;
-    flushes += gt.full_flushes + gt.padded_flushes;
-
-    const GroupState& gs = groups_[g];
-    if (gs.deadline_armed && gs.open_seg == kInvalidSegment) {
-      throw std::logic_error("deadline armed without an open segment");
-    }
-    if (gs.open_seg == kInvalidSegment) continue;
-    const Segment& seg = segments_[gs.open_seg];
-    if (seg.free || seg.sealed || seg.group != g) {
-      throw std::logic_error("open segment in an inconsistent state");
-    }
-    if (gs.flushed_slots > seg.write_ptr ||
-        seg.write_ptr > config_.segment_blocks()) {
-      throw std::logic_error("open segment pointers out of order");
-    }
-    if (config_.partial_write_mode == PartialWriteMode::kZeroPad &&
-        gs.flushed_slots % config_.chunk_blocks != 0) {
-      throw std::logic_error("zero-pad flush boundary not chunk-aligned");
-    }
-    pending += seg.write_ptr - gs.flushed_slots;
-  }
-  if (totals.user_blocks != metrics_.user_blocks ||
-      totals.gc_blocks != metrics_.gc_blocks ||
-      totals.shadow_blocks != metrics_.shadow_blocks ||
-      totals.padding_blocks != metrics_.padding_blocks ||
-      totals.rmw_blocks != metrics_.rmw_blocks ||
-      totals.rmw_flushes != metrics_.rmw_flushes) {
-    throw std::logic_error("per-group traffic != global traffic counters");
-  }
-  if (flushes != chunks_flushed_) {
-    throw std::logic_error("chunks_flushed counter out of sync");
-  }
-  // The write-accounting identity: every block the metrics claim was
-  // appended either reached the media (full/padded chunks + RMW partials)
-  // or is still pending in an open chunk.
-  const std::uint64_t appended = metrics_.total_blocks();
-  const std::uint64_t media =
-      chunks_flushed_ * config_.chunk_blocks + metrics_.rmw_blocks;
-  if (appended != media + pending) {
-    throw std::logic_error("write-accounting identity broken");
   }
 }
 
@@ -666,12 +213,16 @@ void LssEngine::check_invariants(audit::Level level) const {
   if (level == audit::Level::kOff) return;
   check_counters();
   if (level != audit::Level::kFull) return;
+  const std::span<const Segment> segments = pool_.segments();
   std::uint64_t live_primaries = 0;
-  for (Lba lba = 0; lba < primary_.size(); ++lba) {
-    if (primary_[lba] == kUnmapped) continue;
+  for (Lba lba = 0; lba < map_.logical_blocks(); ++lba) {
+    if (!map_.is_mapped(lba)) continue;
     ++live_primaries;
-    const BlockLocation loc = unpack(primary_[lba]);
-    const Segment& seg = segments_.at(loc.segment);
+    const BlockLocation loc = map_.locate(lba);
+    if (loc.segment >= segments.size()) {
+      throw std::logic_error("primary maps outside the segment pool");
+    }
+    const Segment& seg = segments[loc.segment];
     if (seg.free) throw std::logic_error("primary maps into a free segment");
     if (loc.slot >= seg.write_ptr) {
       throw std::logic_error("primary maps past the write pointer");
@@ -683,19 +234,22 @@ void LssEngine::check_invariants(audit::Level level) const {
       throw std::logic_error("primary maps to an invalid slot");
     }
   }
-  for (const auto& [lba, loc] : shadow_) {
-    const Segment& seg = segments_.at(loc.segment);
+  for (const auto& [lba, loc] : map_.shadows()) {
+    if (loc.segment >= segments.size()) {
+      throw std::logic_error("shadow maps outside the segment pool");
+    }
+    const Segment& seg = segments[loc.segment];
     if (seg.free) throw std::logic_error("shadow maps into a free segment");
     if (seg.slot_lba[loc.slot] != lba || !seg.slot_valid.test(loc.slot)) {
       throw std::logic_error("shadow slot inconsistent");
     }
-    if (primary_[lba] == kUnmapped) {
+    if (!map_.is_mapped(lba)) {
       throw std::logic_error("shadow without a live primary");
     }
     // §3.3 pairing rules: the shadow lives in another group's chunk, and
     // only while its lazy-append original is still pending.
-    const BlockLocation prim = unpack(primary_[lba]);
-    if (segments_.at(prim.segment).group == seg.group) {
+    const BlockLocation prim = map_.locate(lba);
+    if (segments[prim.segment].group == seg.group) {
       throw std::logic_error("shadow hosted by its original's own group");
     }
     if (!is_pending(lba)) {
@@ -705,8 +259,8 @@ void LssEngine::check_invariants(audit::Level level) const {
   std::uint64_t valid_total = 0;
   std::uint32_t free_seen = 0;
   std::vector<std::uint32_t> group_counts(group_count(), 0);
-  for (SegmentId id = 0; id < segments_.size(); ++id) {
-    const Segment& seg = segments_[id];
+  for (SegmentId id = 0; id < segments.size(); ++id) {
+    const Segment& seg = segments[id];
     // Victim-index membership must mirror pool state exactly: sealed
     // in-use segments are candidates, everything else is not.
     const bool should_be_candidate = !seg.free && seg.sealed;
@@ -728,13 +282,13 @@ void LssEngine::check_invariants(audit::Level level) const {
     }
     valid_total += valid_here;
   }
-  if (free_seen != free_count_) {
+  if (free_seen != pool_.free_count()) {
     throw std::logic_error("free segment count out of sync");
   }
-  if (valid_total != live_primaries + shadow_.size()) {
+  if (valid_total != live_primaries + map_.live_shadow_count()) {
     throw std::logic_error("valid slots != primaries + shadows");
   }
-  if (group_counts != group_segments_) {
+  if (group_counts != pool_.group_segments()) {
     throw std::logic_error("per-group segment counters out of sync");
   }
 }

@@ -1,20 +1,25 @@
 // LssEngine: the log-structured store running on top of the SSD array.
 //
-// Responsibilities:
-//   * segment pool management (open/seal/reclaim, per-group open segments);
-//   * chunk-granularity persistence with the SLA coalescing window —
-//     a group's partial chunk is zero-padded and flushed when the window
-//     since its first pending *user* block expires (GC appends are bulk and
-//     carry no deadline, matching the paper's Observation 2);
-//   * garbage collection driven by a pluggable victim policy, with valid
-//     blocks re-placed through the placement policy;
-//   * ADAPT's cross-group aggregation: an optional hook may redirect a
-//     deadline-expired partial chunk into *shadow appends* hosted by a
-//     colder group instead of padding (§3.3). Original blocks stay pending
-//     ("lazy append") and their shadow copies expire when the original
-//     chunk persists.
-//
-// Lifespan/age bookkeeping uses virtual time (user blocks written).
+// The engine is an orchestrator over four cohesive components, so the
+// write path reads as a pipeline instead of a tangle of private methods:
+//   * SegmentPool — segment lifecycle (open/seal/free, free list,
+//     per-group in-use counts) and victim-index notifications;
+//   * BlockMap — logical-to-physical mapping (packed primary map + shadow
+//     map, locate/invalidate);
+//   * ChunkWriter — chunk-granularity persistence with the SLA coalescing
+//     window: a group's partial chunk is zero-padded and flushed when the
+//     window since its first pending *user* block expires (GC appends are
+//     bulk and carry no deadline, matching the paper's Observation 2);
+//     RMW sub-chunk flushes; array mirroring; shadow appends;
+//   * GcController — watermark logic, victim selection through the
+//     incremental index, live-block migration.
+// The engine itself keeps the clocks (virtual time = user blocks written,
+// wall time), the metrics, and the decision points that need the whole
+// picture: deadline firing with ADAPT's cross-group aggregation hook
+// (an optional hook may redirect a deadline-expired partial chunk into
+// *shadow appends* hosted by a colder group instead of padding, §3.3 —
+// originals stay pending ("lazy append") and their shadow copies expire
+// when the original chunk persists), and the tiered self-audit.
 #pragma once
 
 #include <cstdint>
@@ -27,13 +32,15 @@
 #include "audit/audit.h"
 #include "common/rng.h"
 #include "common/types.h"
+#include "lss/block_map.h"
+#include "lss/chunk_writer.h"
 #include "lss/config.h"
+#include "lss/gc_controller.h"
 #include "lss/metrics.h"
 #include "lss/placement_policy.h"
 #include "lss/segment.h"
+#include "lss/segment_pool.h"
 #include "lss/victim_policy.h"
-
-#include <unordered_map>
 
 namespace adapt::lss {
 
@@ -129,96 +136,81 @@ class LssEngine {
   bool gc_step(TimeUs now_us, std::uint32_t watermark);
 
   /// Total chunks flushed so far (full + padded), for bandwidth accounting.
-  std::uint64_t chunks_flushed() const noexcept;
+  std::uint64_t chunks_flushed() const noexcept {
+    return writer_.chunks_flushed();
+  }
 
   // -- observers -----------------------------------------------------------
 
   const LssConfig& config() const noexcept { return config_; }
   VTime vtime() const noexcept { return vtime_; }
-  GroupId group_count() const noexcept { return static_cast<GroupId>(groups_.size()); }
+  GroupId group_count() const noexcept { return writer_.group_count(); }
   const LssMetrics& metrics() const noexcept { return metrics_; }
   const GroupTraffic& group_traffic(GroupId g) const {
     return metrics_.groups.at(g);
   }
 
   /// Blocks appended to `g`'s open segment but not yet flushed to a chunk.
-  std::uint32_t pending_blocks(GroupId g) const;
+  std::uint32_t pending_blocks(GroupId g) const {
+    return writer_.pending_blocks(g);
+  }
 
   /// Of the pending blocks, how many are still valid and not yet shadowed.
-  std::uint32_t pending_unshadowed_valid(GroupId g) const;
+  std::uint32_t pending_unshadowed_valid(GroupId g) const {
+    return writer_.pending_unshadowed_valid(g);
+  }
 
   /// Number of in-use (non-free) segments currently owned by each group.
   /// O(groups): maintained incrementally at segment open/free.
-  std::vector<std::uint32_t> segments_per_group() const;
+  std::vector<std::uint32_t> segments_per_group() const {
+    return pool_.group_segments();
+  }
 
-  std::uint32_t free_segments() const noexcept { return free_count_; }
+  /// Allocation-free variant for per-sample observer paths: assigns into
+  /// `out`, reusing its capacity across calls.
+  void segments_per_group(std::vector<std::uint32_t>& out) const {
+    const std::vector<std::uint32_t>& src = pool_.group_segments();
+    out.assign(src.begin(), src.end());
+  }
+
+  std::uint32_t free_segments() const noexcept { return pool_.free_count(); }
 
   /// Where lba currently lives (primary copy), or kNowhere.
-  BlockLocation locate(Lba lba) const;
-  bool has_live_shadow(Lba lba) const { return shadow_.contains(lba); }
+  BlockLocation locate(Lba lba) const { return map_.locate(lba); }
+  bool has_live_shadow(Lba lba) const { return map_.has_shadow(lba); }
 
   /// Where lba's live shadow copy sits, or kNowhere when it has none.
-  BlockLocation shadow_location(Lba lba) const;
-  std::size_t live_shadow_count() const noexcept { return shadow_.size(); }
+  BlockLocation shadow_location(Lba lba) const {
+    return map_.shadow_location(lba);
+  }
+  std::size_t live_shadow_count() const noexcept {
+    return map_.live_shadow_count();
+  }
 
   /// True while lba's primary copy sits in its group's open chunk, appended
   /// but not yet persisted to the array.
   bool is_pending(Lba lba) const;
 
-  std::span<const Segment> segments() const noexcept { return segments_; }
+  std::span<const Segment> segments() const noexcept {
+    return pool_.segments();
+  }
 
   /// Effective self-audit tier (config value + ADAPT_AUDIT override).
   audit::Level audit_level() const noexcept { return audit_level_; }
 
   /// Consistency checks; throws std::logic_error on violation.
-  /// kCounters cross-checks the incrementally maintained counters in
-  /// O(groups); kFull additionally re-derives them with O(n) structural
-  /// walks (bitmap popcounts, mapping walk, victim-index membership).
+  /// kCounters runs each component's O(groups) counter cross-checks;
+  /// kFull additionally re-derives them with O(n) structural walks
+  /// (bitmap popcounts, mapping walk, victim-index membership).
   void check_invariants(audit::Level level) const;
   void check_invariants() const { check_invariants(audit::Level::kFull); }
 
   /// Test-only mutable access for auditor failure-detection tests: lets a
   /// test corrupt a segment on purpose and assert the audit catches it.
-  Segment& corrupt_segment_for_test(SegmentId id) { return segments_.at(id); }
+  Segment& corrupt_segment_for_test(SegmentId id) { return pool_.at(id); }
 
  private:
-  enum class Source { kUser, kGc, kShadow };
-
-  struct GroupState {
-    SegmentId open_seg = kInvalidSegment;
-    std::uint32_t flushed_slots = 0;  ///< slots of open seg already on disk
-    bool deadline_armed = false;
-    TimeUs chunk_deadline = 0;
-  };
-
-  static std::uint64_t pack(BlockLocation loc) noexcept;
-  BlockLocation unpack(std::uint64_t packed) const noexcept;
-
-  void append(GroupId g, Lba lba, Source source, TimeUs now_us);
-  void open_new_segment(GroupId g);
-  void seal_segment(GroupId g);
-  void free_segment(SegmentId id);
-  /// Flushes the open chunk of `g`; `fill_blocks` real payload, rest pad.
-  void flush_chunk(GroupId g, std::uint32_t fill_blocks, bool padded);
-  void pad_flush(GroupId g);
-  /// RMW mode: persists the pending sub-chunk without padding; the chunk
-  /// stays open for further appends.
-  void rmw_flush(GroupId g);
-  /// Called when write_ptr reaches a chunk boundary: full flush, or the
-  /// completing RMW partial if earlier sub-chunk flushes happened.
-  void flush_boundary(GroupId g);
-  /// Expires shadows of primaries in slots [begin, end) of g's open seg.
-  void expire_shadows_in_range(GroupId g, std::uint32_t begin,
-                               std::uint32_t end);
-  std::uint64_t global_chunk_index(SegmentId seg,
-                                   std::uint32_t slot) const noexcept;
   void fire_deadline(GroupId g, TimeUs now_us);
-  void shadow_append(GroupId g, GroupId host, TimeUs now_us);
-  void invalidate(Lba lba);
-  void invalidate_slot(BlockLocation loc);
-  void maybe_gc(TimeUs now_us);
-  void run_gc_once(TimeUs now_us);
-  void expire_shadow(Lba lba);
   void check_counters() const;
   /// Per-op self-audit hook (no-op at Level::kOff).
   void audit_point() const {
@@ -229,29 +221,21 @@ class LssEngine {
   PlacementPolicy& policy_;
   VictimPolicy& victim_;
   array::SsdArray* array_;
-  array::AddressedArray* addressed_array_ = nullptr;
   AggregationHook* hook_ = nullptr;
   EngineObserver* observer_ = nullptr;
   Rng rng_;
   audit::Level audit_level_ = audit::Level::kOff;
 
-  std::vector<Segment> segments_;
-  std::vector<SegmentId> free_list_;
-  std::uint32_t free_count_ = 0;
-  std::vector<GroupState> groups_;
-  /// In-use segments per group, maintained at open/free.
-  std::vector<std::uint32_t> group_segments_;
-  /// primary_[lba] = packed BlockLocation or kUnmapped.
-  std::vector<std::uint64_t> primary_;
-  /// Live shadow copies (lazy-append originals still pending).
-  std::unordered_map<Lba, BlockLocation> shadow_;
-
   VTime vtime_ = 0;
   TimeUs wall_us_ = 0;
   LssMetrics metrics_;
-  /// Full + padded chunk flushes, kept as a running counter so the
-  /// per-write bandwidth accounting does not walk metrics_.groups.
-  std::uint64_t chunks_flushed_ = 0;
+
+  // Components (construction order matters: writer and gc hold references
+  // to the pool/map and to vtime_/metrics_ above).
+  SegmentPool pool_;
+  BlockMap map_;
+  ChunkWriter writer_;
+  GcController gc_;
 };
 
 }  // namespace adapt::lss

@@ -1,0 +1,107 @@
+#include "lss/gc_controller.h"
+
+#include <stdexcept>
+
+#include "common/packed_bitmap.h"
+
+namespace adapt::lss {
+
+GcController::GcController(const LssConfig& config, SegmentPool& pool,
+                           BlockMap& map, ChunkWriter& writer,
+                           PlacementPolicy& policy, VictimPolicy& victim,
+                           LssMetrics& metrics, Rng& rng, const VTime& vtime)
+    : config_(config),
+      pool_(pool),
+      map_(map),
+      writer_(writer),
+      policy_(policy),
+      victim_(victim),
+      metrics_(metrics),
+      rng_(rng),
+      vtime_(vtime) {}
+
+void GcController::maybe_gc(TimeUs now_us) {
+  const std::uint32_t watermark =
+      config_.free_segment_reserve + writer_.group_count();
+  std::uint32_t spins = 0;
+  while (pool_.free_count() < watermark) {
+    run_once(now_us);
+    if (++spins > pool_.size() * 4) {
+      throw std::runtime_error("LssEngine: GC made no progress");
+    }
+  }
+}
+
+bool GcController::step(TimeUs now_us, std::uint32_t watermark) {
+  if (pool_.free_count() >= watermark) return false;
+  run_once(now_us);
+  return true;
+}
+
+void GcController::run_once(TimeUs now_us) {
+  // The victim index is maintained incrementally through seal / valid-delta
+  // / free notifications, so selection needs no candidate rebuild or pool
+  // scan.
+  const SegmentId victim = victim_.select(pool_.segments(), vtime_, rng_);
+  if (victim == kInvalidSegment) {
+    throw std::runtime_error("LssEngine: no GC victim available");
+  }
+  ++metrics_.gc_runs;
+  Segment& v = pool_.segment_mut(victim);
+
+  for (std::uint32_t slot = 0; slot < v.write_ptr; ++slot) {
+    // Skip fully dead 64-slot words in one comparison. Re-checked at every
+    // word boundary because forced flushes below can clear later bits.
+    if ((slot % PackedBitmap::kWordBits) == 0 &&
+        v.slot_valid.word(slot / PackedBitmap::kWordBits) == 0) {
+      slot += PackedBitmap::kWordBits - 1;
+      continue;
+    }
+    if (!v.slot_valid.test(slot)) continue;
+    const Lba lba = v.slot_lba[slot];
+    const BlockLocation here{victim, slot};
+    if (map_.shadow_location(lba) == here) {
+      // A live shadow inside a sealed victim: the lazy original is still
+      // pending in some open chunk. Force that chunk out (padded), which
+      // expires this shadow, then skip the now-dead slot.
+      const BlockLocation prim = map_.locate(lba);
+      const GroupId prim_group = pool_.segment(prim.segment).group;
+      ++metrics_.forced_lazy_flushes;
+      writer_.pad_flush(prim_group);
+      if (v.slot_valid.test(slot)) {
+        throw std::logic_error("forced flush did not expire shadow");
+      }
+      continue;
+    }
+    if (!map_.primary_is(lba, here)) {
+      throw std::logic_error("valid slot not referenced by block map");
+    }
+    const GroupId target = policy_.place_gc_rewrite(lba, v.group, vtime_);
+    if (target >= writer_.group_count()) {
+      throw std::logic_error("placement policy returned bad GC group");
+    }
+    // Invalidate the victim copy, then append the migrated one. The victim
+    // stays in the index (its buckets track the drain) until release
+    // reports on_free.
+    pool_.invalidate_slot(here);
+    map_.clear_primary(lba);
+    writer_.append(target, lba, AppendSource::kGc, now_us);
+    ++metrics_.gc_migrated_blocks;
+  }
+
+  if (v.valid_count != 0) {
+    throw std::logic_error("victim still has valid blocks after GC");
+  }
+  policy_.note_segment_reclaimed(v.group, v.create_vtime, vtime_);
+  ++metrics_.groups[v.group].segments_reclaimed;
+  writer_.trim_segment(victim);
+  pool_.release(victim);
+}
+
+void GcController::check_counters() const {
+  if (metrics_.gc_blocks != metrics_.gc_migrated_blocks) {
+    throw std::logic_error("gc append and migration counters disagree");
+  }
+}
+
+}  // namespace adapt::lss

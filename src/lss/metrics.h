@@ -33,6 +33,21 @@ struct GroupTraffic {
   std::uint64_t total_blocks() const noexcept {
     return user_blocks + gc_blocks + shadow_blocks + padding_blocks;
   }
+
+  /// Element-wise accumulation (shard-merge).
+  void merge_from(const GroupTraffic& other) noexcept {
+    user_blocks += other.user_blocks;
+    gc_blocks += other.gc_blocks;
+    shadow_blocks += other.shadow_blocks;
+    padding_blocks += other.padding_blocks;
+    full_flushes += other.full_flushes;
+    padded_flushes += other.padded_flushes;
+    padded_fill_blocks += other.padded_fill_blocks;
+    rmw_flushes += other.rmw_flushes;
+    rmw_blocks += other.rmw_blocks;
+    segments_sealed += other.segments_sealed;
+    segments_reclaimed += other.segments_reclaimed;
+  }
 };
 
 struct LssMetrics {
@@ -80,6 +95,31 @@ struct LssMetrics {
     return total == 0 ? 0.0
                       : static_cast<double>(padding_blocks) /
                             static_cast<double>(total);
+  }
+
+  /// Accumulates `other` into this (shard-merge: counters sum element-wise;
+  /// per-group vectors merge index-wise, growing to the larger size).
+  void merge_from(const LssMetrics& other) {
+    user_blocks += other.user_blocks;
+    gc_blocks += other.gc_blocks;
+    shadow_blocks += other.shadow_blocks;
+    padding_blocks += other.padding_blocks;
+    gc_runs += other.gc_runs;
+    gc_migrated_blocks += other.gc_migrated_blocks;
+    forced_lazy_flushes += other.forced_lazy_flushes;
+    rmw_flushes += other.rmw_flushes;
+    rmw_blocks += other.rmw_blocks;
+    rmw_read_blocks += other.rmw_read_blocks;
+    read_blocks += other.read_blocks;
+    read_chunk_fetches += other.read_chunk_fetches;
+    read_buffer_hits += other.read_buffer_hits;
+    read_unmapped += other.read_unmapped;
+    if (groups.size() < other.groups.size()) {
+      groups.resize(other.groups.size());
+    }
+    for (std::size_t g = 0; g < other.groups.size(); ++g) {
+      groups[g].merge_from(other.groups[g]);
+    }
   }
 };
 

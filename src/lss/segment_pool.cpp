@@ -1,0 +1,80 @@
+#include "lss/segment_pool.h"
+
+#include <stdexcept>
+
+namespace adapt::lss {
+
+SegmentPool::SegmentPool(const LssConfig& config, GroupId group_count,
+                         VictimPolicy& victim)
+    : config_(config), victim_(victim) {
+  const std::uint32_t total = config_.total_segments();
+  segments_.resize(total);
+  free_list_.reserve(total);
+  for (std::uint32_t i = 0; i < total; ++i) {
+    segments_[i].reset(config_.segment_blocks());
+    // Push in reverse so allocation order is 0, 1, 2, ...
+    free_list_.push_back(total - 1 - i);
+  }
+  free_count_ = total;
+  victim_.bind_pool(total, config_.segment_blocks());
+  group_segments_.assign(group_count, 0);
+}
+
+SegmentId SegmentPool::allocate(GroupId g, VTime vtime) {
+  if (free_list_.empty()) {
+    throw std::runtime_error(
+        "LssEngine: segment pool exhausted (GC could not keep up)");
+  }
+  const SegmentId id = free_list_.back();
+  free_list_.pop_back();
+  --free_count_;
+  Segment& seg = segments_[id];
+  seg.reset(config_.segment_blocks());
+  seg.free = false;
+  seg.group = g;
+  seg.create_vtime = vtime;
+  ++group_segments_[g];
+  return id;
+}
+
+void SegmentPool::seal(SegmentId id, VTime vtime) {
+  Segment& seg = segments_[id];
+  seg.sealed = true;
+  seg.seal_vtime = vtime;
+  victim_.on_seal(id, seg.valid_count, seg.seal_vtime);
+}
+
+void SegmentPool::release(SegmentId id) {
+  Segment& seg = segments_[id];
+  if (seg.sealed) victim_.on_free(id);
+  --group_segments_[seg.group];
+  seg.reset(config_.segment_blocks());
+  free_list_.push_back(id);
+  ++free_count_;
+}
+
+void SegmentPool::invalidate_slot(BlockLocation loc) {
+  Segment& seg = segments_[loc.segment];
+  if (!seg.slot_valid.test(loc.slot)) {
+    throw std::logic_error("double invalidation of a slot");
+  }
+  seg.slot_valid.reset(loc.slot);
+  --seg.valid_count;
+  if (seg.sealed) {
+    victim_.on_valid_delta(loc.segment, seg.valid_count + 1,
+                           seg.valid_count);
+  }
+}
+
+void SegmentPool::check_counters() const {
+  if (free_list_.size() != free_count_) {
+    throw std::logic_error("free list size != free counter");
+  }
+  std::uint64_t in_use = 0;
+  for (const std::uint32_t n : group_segments_) in_use += n;
+  if (in_use + free_count_ != segments_.size()) {
+    throw std::logic_error("per-group + free segment counters != pool size");
+  }
+}
+
+}  // namespace adapt::lss

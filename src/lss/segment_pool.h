@@ -1,0 +1,74 @@
+// SegmentPool: physical segment lifecycle for the LSS.
+//
+// Owns the segment array, the free list, and the per-group in-use counts,
+// and drives the victim policy's incremental index notifications
+// (on_seal / on_valid_delta / on_free) so the index can never drift from
+// pool state. Allocation order is deterministic: segment ids are handed
+// out ascending from a reverse-filled free stack, and reclaimed ids are
+// reused LIFO — both load-bearing for the pinned fixed-seed regressions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "lss/config.h"
+#include "lss/segment.h"
+#include "lss/victim_policy.h"
+
+namespace adapt::lss {
+
+class SegmentPool {
+ public:
+  /// Builds the pool and re-binds `victim`'s index to it; `victim` must
+  /// outlive the pool and cannot be shared by two live pools.
+  SegmentPool(const LssConfig& config, GroupId group_count,
+              VictimPolicy& victim);
+
+  SegmentPool(const SegmentPool&) = delete;
+  SegmentPool& operator=(const SegmentPool&) = delete;
+
+  /// Pops a free segment, opens it for `g` at `vtime`, and returns its id.
+  /// Throws std::runtime_error when the pool is exhausted.
+  SegmentId allocate(GroupId g, VTime vtime);
+
+  /// Seals `id` (fully written) and registers it as a GC candidate.
+  void seal(SegmentId id, VTime vtime);
+
+  /// Returns a fully drained segment to the free list, removing it from
+  /// the victim index if it was sealed.
+  void release(SegmentId id);
+
+  /// Kills the live block in `loc`, notifying the victim index when the
+  /// segment is sealed. Throws std::logic_error on double invalidation.
+  void invalidate_slot(BlockLocation loc);
+
+  std::span<const Segment> segments() const noexcept { return segments_; }
+  const Segment& segment(SegmentId id) const { return segments_[id]; }
+  Segment& segment_mut(SegmentId id) { return segments_[id]; }
+  /// Bounds-checked mutable access (test-only corruption hooks).
+  Segment& at(SegmentId id) { return segments_.at(id); }
+
+  std::uint32_t free_count() const noexcept { return free_count_; }
+  std::size_t size() const noexcept { return segments_.size(); }
+
+  /// In-use segments per group, maintained at allocate/release.
+  const std::vector<std::uint32_t>& group_segments() const noexcept {
+    return group_segments_;
+  }
+
+  /// Counters-tier self-audit; throws std::logic_error on violation.
+  void check_counters() const;
+
+ private:
+  const LssConfig& config_;
+  VictimPolicy& victim_;
+  std::vector<Segment> segments_;
+  std::vector<SegmentId> free_list_;
+  std::uint32_t free_count_ = 0;
+  /// In-use segments per group, maintained at allocate/release.
+  std::vector<std::uint32_t> group_segments_;
+};
+
+}  // namespace adapt::lss

@@ -1,0 +1,263 @@
+#include "lss/sharded_engine.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace adapt::lss {
+
+std::uint32_t parse_shard_count(std::string_view text) {
+  if (text.empty() || text.size() > 10) {
+    throw std::invalid_argument("shard count: expected 1..10 decimal digits");
+  }
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      throw std::invalid_argument("shard count: non-digit character");
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (value == 0 || value > kMaxShards) {
+    throw std::invalid_argument("shard count: must be in [1, " +
+                                std::to_string(kMaxShards) + "]");
+  }
+  return static_cast<std::uint32_t>(value);
+}
+
+LssConfig shard_config(const LssConfig& global, std::uint32_t shard_count) {
+  if (shard_count == 0 || shard_count > kMaxShards) {
+    throw std::invalid_argument("shard_config: shard count must be in [1, " +
+                                std::to_string(kMaxShards) + "]");
+  }
+  if (global.logical_blocks < shard_count) {
+    throw std::invalid_argument(
+        "shard_config: more shards than logical blocks");
+  }
+  LssConfig per_shard = global;
+  // Uniform ceil-division: every shard gets the same logical size (the
+  // remainder shards simply never see their top addresses), so one
+  // validate() covers all shards and shard 0 at N == 1 is exact.
+  per_shard.logical_blocks =
+      (global.logical_blocks + shard_count - 1) / shard_count;
+  return per_shard;
+}
+
+ShardedEngine::ShardedEngine(const LssConfig& config,
+                             std::uint32_t shard_count,
+                             std::uint64_t base_seed,
+                             const ShardFactory& factory)
+    : shard_config_(shard_config(config, shard_count)),
+      logical_blocks_(config.logical_blocks) {
+  if (!factory) {
+    throw std::invalid_argument("ShardedEngine: null shard factory");
+  }
+  shards_.reserve(shard_count);
+  for (std::uint32_t i = 0; i < shard_count; ++i) {
+    Shard shard;
+    shard.parts = factory(i, shard_config_);
+    if (shard.parts.policy == nullptr || shard.parts.victim == nullptr) {
+      throw std::invalid_argument(
+          "ShardedEngine: factory returned a null policy or victim");
+    }
+    shard.engine = std::make_unique<LssEngine>(
+        shard_config_, *shard.parts.policy, *shard.parts.victim,
+        shard.parts.array.get(), base_seed + i);
+    if (shard.parts.hook != nullptr) {
+      shard.engine->set_aggregation_hook(shard.parts.hook);
+    }
+    shards_.push_back(std::move(shard));
+  }
+}
+
+template <typename Fn>
+void ShardedEngine::for_each_subspan(Lba lba, std::uint32_t blocks,
+                                     Fn&& fn) const {
+  const auto n = static_cast<std::uint32_t>(shards_.size());
+  const auto first_shard = static_cast<std::uint32_t>(lba % n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    // Offset within the span of the first block landing on shard s.
+    const std::uint32_t i0 = (s + n - first_shard) % n;
+    if (i0 >= blocks) continue;
+    const std::uint32_t count = (blocks - i0 + n - 1) / n;
+    fn(s, (lba + i0) / n, count);
+  }
+}
+
+void ShardedEngine::write(Lba lba, std::uint32_t blocks, TimeUs now_us) {
+  if (lba + blocks > logical_blocks_) {
+    throw std::out_of_range("write beyond logical capacity");
+  }
+  for_each_subspan(lba, blocks,
+                   [&](std::uint32_t s, Lba local, std::uint32_t count) {
+                     shards_[s].engine->write(local, count, now_us);
+                   });
+}
+
+void ShardedEngine::read(Lba lba, std::uint32_t blocks, TimeUs now_us) {
+  if (lba + blocks > logical_blocks_) {
+    throw std::out_of_range("read beyond logical capacity");
+  }
+  for_each_subspan(lba, blocks,
+                   [&](std::uint32_t s, Lba local, std::uint32_t count) {
+                     shards_[s].engine->read(local, count, now_us);
+                   });
+}
+
+void ShardedEngine::advance_time(TimeUs now_us) {
+  for (Shard& shard : shards_) shard.engine->advance_time(now_us);
+}
+
+void ShardedEngine::flush_all() {
+  for (Shard& shard : shards_) shard.engine->flush_all();
+}
+
+bool ShardedEngine::gc_step(TimeUs now_us, std::uint32_t watermark,
+                            ThreadPool* pool) {
+  std::vector<char> did_work(shards_.size(), 0);
+  if (pool == nullptr || shards_.size() == 1) {
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      did_work[i] = shards_[i].engine->gc_step(now_us, watermark) ? 1 : 0;
+    }
+  } else {
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      Shard& shard = shards_[i];
+      char* flag = &did_work[i];
+      pool->submit([&shard, flag, now_us, watermark] {
+        try {
+          *flag = shard.engine->gc_step(now_us, watermark) ? 1 : 0;
+        } catch (...) {
+          shard.error = std::current_exception();
+        }
+      });
+    }
+    pool->wait_idle();
+    for (Shard& shard : shards_) {
+      if (shard.error != nullptr) {
+        const std::exception_ptr err = shard.error;
+        shard.error = nullptr;
+        std::rethrow_exception(err);
+      }
+    }
+  }
+  for (const char w : did_work) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+void ShardedEngine::enqueue(Lba lba, std::uint32_t blocks, TimeUs now_us,
+                            bool is_write) {
+  if (lba + blocks > logical_blocks_) {
+    throw std::out_of_range(is_write ? "write beyond logical capacity"
+                                     : "read beyond logical capacity");
+  }
+  for_each_subspan(lba, blocks,
+                   [&](std::uint32_t s, Lba local, std::uint32_t count) {
+                     shards_[s].queue.push_back(
+                         QueuedOp{local, count, now_us, is_write});
+                   });
+}
+
+void ShardedEngine::enqueue_write(Lba lba, std::uint32_t blocks,
+                                  TimeUs now_us) {
+  enqueue(lba, blocks, now_us, /*is_write=*/true);
+}
+
+void ShardedEngine::enqueue_read(Lba lba, std::uint32_t blocks,
+                                 TimeUs now_us) {
+  enqueue(lba, blocks, now_us, /*is_write=*/false);
+}
+
+std::size_t ShardedEngine::queued_ops() const noexcept {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) total += shard.queue.size();
+  return total;
+}
+
+void ShardedEngine::replay_queue(Shard& shard) noexcept {
+  try {
+    for (const QueuedOp& op : shard.queue) {
+      if (op.is_write) {
+        shard.engine->write(op.local_lba, op.blocks, op.ts_us);
+      } else {
+        shard.engine->read(op.local_lba, op.blocks, op.ts_us);
+      }
+    }
+  } catch (...) {
+    shard.error = std::current_exception();
+  }
+  shard.queue.clear();
+}
+
+void ShardedEngine::run_queued(ThreadPool* pool) {
+  if (pool == nullptr || shards_.size() == 1) {
+    for (Shard& shard : shards_) replay_queue(shard);
+  } else {
+    for (Shard& shard : shards_) {
+      pool->submit([&shard] { replay_queue(shard); });
+    }
+    pool->wait_idle();
+  }
+  for (Shard& shard : shards_) {
+    if (shard.error != nullptr) {
+      const std::exception_ptr err = shard.error;
+      shard.error = nullptr;
+      std::rethrow_exception(err);
+    }
+  }
+}
+
+LssMetrics ShardedEngine::merged_metrics() const {
+  LssMetrics merged;
+  for (const Shard& shard : shards_) {
+    merged.merge_from(shard.engine->metrics());
+  }
+  return merged;
+}
+
+std::vector<std::uint32_t> ShardedEngine::merged_segments_per_group() const {
+  std::vector<std::uint32_t> merged;
+  std::vector<std::uint32_t> scratch;
+  for (const Shard& shard : shards_) {
+    shard.engine->segments_per_group(scratch);
+    if (merged.size() < scratch.size()) merged.resize(scratch.size(), 0);
+    for (std::size_t g = 0; g < scratch.size(); ++g) {
+      merged[g] += scratch[g];
+    }
+  }
+  return merged;
+}
+
+array::StreamStats ShardedEngine::merged_array_totals() const {
+  array::StreamStats merged;
+  for (const Shard& shard : shards_) {
+    if (shard.parts.array == nullptr) continue;
+    const array::StreamStats t = shard.parts.array->totals();
+    merged.chunks_written += t.chunks_written;
+    merged.data_bytes += t.data_bytes;
+    merged.padding_bytes += t.padding_bytes;
+    merged.parity_bytes += t.parity_bytes;
+    merged.rmw_writes += t.rmw_writes;
+    merged.rmw_read_bytes += t.rmw_read_bytes;
+  }
+  return merged;
+}
+
+std::uint64_t ShardedEngine::chunks_flushed() const noexcept {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) total += shard.engine->chunks_flushed();
+  return total;
+}
+
+std::size_t ShardedEngine::policy_memory_bytes() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.parts.policy->memory_usage_bytes();
+  }
+  return total;
+}
+
+void ShardedEngine::check_invariants(audit::Level level) const {
+  for (const Shard& shard : shards_) shard.engine->check_invariants(level);
+}
+
+}  // namespace adapt::lss

@@ -1,0 +1,179 @@
+// ShardedEngine: an LBA-sharded parallel front-end over N independent
+// LssEngine shards.
+//
+// The LBA space is modulo-partitioned: lba `l` lives on shard `l % N` at
+// local address `l / N`, so a contiguous global span maps to one contiguous
+// local span per shard and hot/cold mixes spread evenly across shards.
+// Each shard is a complete, independent log-structured store — its own
+// placement policy, victim index, segment pool, and (optionally) SSD array
+// — so shards share no mutable state and a shard's behaviour depends only
+// on its own (op, lba, timestamp) sequence. That makes parallel replay
+// deterministic regardless of thread scheduling: enqueue ops in trace
+// order, then run_queued() replays every shard's queue on a ThreadPool.
+//
+// N == 1 is an exact pass-through: a 1-shard ShardedEngine reproduces the
+// single-engine pinned fixed-seed regression metrics bit-identically.
+//
+// Cross-shard results merge through LssMetrics::merge_from (counters),
+// obs::Registry::merge_from (manifests), and obs::merge_series (sampled
+// time series); see DESIGN.md "Engine decomposition & sharding".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "lss/engine.h"
+
+namespace adapt::lss {
+
+/// Everything one shard needs besides its engine. Built per shard by the
+/// caller's ShardFactory; owned by the ShardedEngine for the engines'
+/// lifetime. `hook` is non-owning and normally points into `policy`.
+struct ShardParts {
+  std::unique_ptr<PlacementPolicy> policy;
+  std::unique_ptr<VictimPolicy> victim;
+  std::unique_ptr<array::SsdArray> array;  ///< optional
+  AggregationHook* hook = nullptr;         ///< optional, non-owning
+};
+
+/// Builds the placement/victim/array stack for shard `shard_index`, sized
+/// for `shard_config` (the already-divided per-shard geometry).
+using ShardFactory =
+    std::function<ShardParts(std::uint32_t shard_index,
+                             const LssConfig& shard_config)>;
+
+/// Upper bound on shard counts accepted by parse_shard_count /
+/// shard_config — far above any sensible core count, low enough that a
+/// typo cannot allocate absurd per-shard state.
+inline constexpr std::uint32_t kMaxShards = 4096;
+
+/// Parses a shard count from CLI/config text: strict decimal digits, no
+/// sign or whitespace, value in [1, kMaxShards]. Throws
+/// std::invalid_argument on anything else (including overflow).
+std::uint32_t parse_shard_count(std::string_view text);
+
+/// Derives the per-shard geometry: the logical space divides evenly-as-
+/// possible (ceil(logical_blocks / shard_count), uniform across shards so
+/// every shard validates the same way). Throws std::invalid_argument when
+/// shard_count is 0, exceeds kMaxShards, or exceeds logical_blocks.
+LssConfig shard_config(const LssConfig& global, std::uint32_t shard_count);
+
+class ShardedEngine {
+ public:
+  /// Builds `shard_count` independent engines over `config`'s logical
+  /// space. Shard i's engine seeds with `base_seed + i` (shard 0 keeps the
+  /// single-engine seed, preserving 1-shard bit-identity). The factory is
+  /// called once per shard, in shard order, on the constructing thread.
+  ShardedEngine(const LssConfig& config, std::uint32_t shard_count,
+                std::uint64_t base_seed, const ShardFactory& factory);
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  std::uint32_t shard_count() const noexcept {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  std::uint64_t logical_blocks() const noexcept { return logical_blocks_; }
+  const LssConfig& per_shard_config() const noexcept { return shard_config_; }
+
+  std::uint32_t shard_of(Lba lba) const noexcept {
+    return static_cast<std::uint32_t>(lba % shards_.size());
+  }
+  Lba local_of(Lba lba) const noexcept { return lba / shards_.size(); }
+
+  LssEngine& shard(std::uint32_t i) { return *shards_.at(i).engine; }
+  const LssEngine& shard(std::uint32_t i) const {
+    return *shards_.at(i).engine;
+  }
+  PlacementPolicy& shard_policy(std::uint32_t i) {
+    return *shards_.at(i).parts.policy;
+  }
+  const array::SsdArray* shard_array(std::uint32_t i) const {
+    return shards_.at(i).parts.array.get();
+  }
+
+  // -- synchronous ops (route to shards on the calling thread) -------------
+
+  /// Applies a user write of `blocks` consecutive global blocks at `lba`:
+  /// each shard receiving part of the span gets one contiguous local write.
+  void write(Lba lba, std::uint32_t blocks, TimeUs now_us);
+
+  /// Applies a user read of `blocks` consecutive global blocks at `lba`.
+  void read(Lba lba, std::uint32_t blocks, TimeUs now_us);
+
+  /// Advances wall time on every shard, firing expired deadlines.
+  void advance_time(TimeUs now_us);
+
+  /// Force-pads every partial chunk on every shard (end-of-trace drain).
+  void flush_all();
+
+  /// One proactive GC pass per shard, run in parallel on `pool` when given
+  /// (nullptr runs inline). Returns true if any shard did work.
+  bool gc_step(TimeUs now_us, std::uint32_t watermark,
+               ThreadPool* pool = nullptr);
+
+  // -- batched parallel replay ---------------------------------------------
+
+  /// Queues a write/read for run_queued. Ops are split per shard at
+  /// enqueue time; each shard's queue preserves trace order.
+  void enqueue_write(Lba lba, std::uint32_t blocks, TimeUs now_us);
+  void enqueue_read(Lba lba, std::uint32_t blocks, TimeUs now_us);
+
+  std::size_t queued_ops() const noexcept;
+
+  /// Replays every shard's queued ops — on `pool` when given (one task per
+  /// shard), inline otherwise — then clears the queues. Deterministic for
+  /// any pool size: shards are independent and each queue is ordered. The
+  /// first shard exception (if any) is rethrown after all shards finish.
+  void run_queued(ThreadPool* pool);
+
+  // -- merged observers ----------------------------------------------------
+
+  /// Element-wise sum of per-shard metrics (see LssMetrics::merge_from).
+  LssMetrics merged_metrics() const;
+
+  /// Element-wise sum of per-shard per-group in-use segment counts.
+  std::vector<std::uint32_t> merged_segments_per_group() const;
+
+  /// Sum of per-shard array totals (zero stats when no shard has an array).
+  array::StreamStats merged_array_totals() const;
+
+  std::uint64_t chunks_flushed() const noexcept;
+  std::size_t policy_memory_bytes() const;
+
+  /// Audits every shard at `level`.
+  void check_invariants(audit::Level level) const;
+
+ private:
+  struct QueuedOp {
+    Lba local_lba = 0;
+    std::uint32_t blocks = 0;
+    TimeUs ts_us = 0;
+    bool is_write = false;
+  };
+
+  struct Shard {
+    ShardParts parts;
+    std::unique_ptr<LssEngine> engine;
+    std::vector<QueuedOp> queue;
+    std::exception_ptr error;
+  };
+
+  /// Invokes fn(shard_index, local_lba, local_blocks) for every shard
+  /// receiving part of the global span [lba, lba + blocks).
+  template <typename Fn>
+  void for_each_subspan(Lba lba, std::uint32_t blocks, Fn&& fn) const;
+
+  void enqueue(Lba lba, std::uint32_t blocks, TimeUs now_us, bool is_write);
+  static void replay_queue(Shard& shard) noexcept;
+
+  LssConfig shard_config_;
+  std::uint64_t logical_blocks_ = 0;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace adapt::lss

@@ -2,14 +2,83 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <stdexcept>
 
 #include "adapt/adapt_policy.h"
 #include "adapt/aggregation_wrapper.h"
+#include "common/thread_pool.h"
 #include "common/types.h"
+#include "lss/sharded_engine.h"
 #include "placement/factory.h"
 
 namespace adapt::sim {
+namespace {
+
+/// Per-shard policy pointers recorded by the shard factory: the
+/// aggregation hook is wired at engine construction, and the adapt pointer
+/// feeds the sampler's live-threshold probe.
+struct ShardPolicyRefs {
+  core::AdaptPolicy* adapt = nullptr;
+};
+
+/// Builds one shard's placement policy (plus hook) for `policy_name`. A
+/// "+agg" suffix wraps a baseline with the cross-group aggregation
+/// extension (see adapt/aggregation_wrapper.h).
+lss::ShardParts make_shard_parts(std::string_view policy_name,
+                                 const SimConfig& config,
+                                 const lss::LssConfig& shard_lss,
+                                 std::uint64_t shard_seed,
+                                 ShardPolicyRefs& refs) {
+  lss::ShardParts parts;
+  constexpr std::string_view kAggSuffix = "+agg";
+  if (policy_name.size() > kAggSuffix.size() &&
+      policy_name.ends_with(kAggSuffix)) {
+    placement::PolicyConfig pc;
+    pc.logical_blocks = shard_lss.logical_blocks;
+    pc.segment_blocks = shard_lss.segment_blocks();
+    pc.seed = shard_seed;
+    auto inner = placement::make_baseline_policy(
+        policy_name.substr(0, policy_name.size() - kAggSuffix.size()), pc);
+    core::AggregationWrapperConfig wc;
+    wc.chunk_blocks = shard_lss.chunk_blocks;
+    auto wrapped = core::wrap_with_aggregation(std::move(inner), wc);
+    parts.hook = wrapped.get();
+    parts.policy = std::move(wrapped);
+  } else if (policy_name == "adapt") {
+    core::AdaptConfig ac;
+    ac.logical_blocks = shard_lss.logical_blocks;
+    ac.segment_blocks = shard_lss.segment_blocks();
+    ac.chunk_blocks = shard_lss.chunk_blocks;
+    ac.over_provision = shard_lss.over_provision;
+    ac.enable_threshold_adaptation = config.adapt_threshold_adaptation;
+    ac.enable_cross_group_aggregation =
+        config.adapt_cross_group_aggregation;
+    ac.enable_proactive_demotion = config.adapt_proactive_demotion;
+    auto p = core::make_adapt_policy(ac);
+    refs.adapt = p.get();
+    parts.hook = p.get();
+    parts.policy = std::move(p);
+  } else {
+    placement::PolicyConfig pc;
+    pc.logical_blocks = shard_lss.logical_blocks;
+    pc.segment_blocks = shard_lss.segment_blocks();
+    pc.seed = shard_seed;
+    parts.policy = placement::make_baseline_policy(policy_name, pc);
+  }
+
+  parts.victim = lss::make_victim_policy(config.victim_policy);
+
+  if (config.with_array) {
+    array::SsdArrayConfig arr;
+    arr.chunk_bytes = shard_lss.chunk_blocks * shard_lss.block_bytes;
+    arr.num_streams = parts.policy->group_count();
+    parts.array = std::make_unique<array::SsdArray>(arr);
+  }
+  return parts;
+}
+
+}  // namespace
 
 const std::vector<std::string_view>& all_policy_names() {
   static const std::vector<std::string_view> names = {
@@ -20,80 +89,42 @@ const std::vector<std::string_view>& all_policy_names() {
 VolumeResult run_volume(const trace::Volume& volume,
                         std::string_view policy_name,
                         const SimConfig& config) {
+  if (config.shards == 0 || config.shards > lss::kMaxShards) {
+    throw std::invalid_argument("SimConfig: shards out of range");
+  }
+  const std::uint32_t shards = config.shards;
+
   lss::LssConfig lss_config = config.lss;
   // Floor the logical space so that even an 8-group policy has enough
-  // over-provisioned segments for its GC watermark (see LssConfig::validate).
+  // over-provisioned segments for its GC watermark (see
+  // LssConfig::validate); with sharding the floor applies per shard.
   lss_config.logical_blocks =
-      std::max<std::uint64_t>(volume.capacity_blocks, 1u << 15);
+      std::max<std::uint64_t>(volume.capacity_blocks,
+                              (std::uint64_t{1} << 15) * shards);
 
-  // Build the policy. A "+agg" suffix wraps a baseline with the
-  // cross-group aggregation extension (see adapt/aggregation_wrapper.h).
-  std::unique_ptr<lss::PlacementPolicy> policy;
-  core::AdaptPolicy* adapt_policy = nullptr;
-  core::AggregatingPolicy* wrapper = nullptr;
-  constexpr std::string_view kAggSuffix = "+agg";
-  if (policy_name.size() > kAggSuffix.size() &&
-      policy_name.ends_with(kAggSuffix)) {
-    placement::PolicyConfig pc;
-    pc.logical_blocks = lss_config.logical_blocks;
-    pc.segment_blocks = lss_config.segment_blocks();
-    pc.seed = config.seed;
-    auto inner = placement::make_baseline_policy(
-        policy_name.substr(0, policy_name.size() - kAggSuffix.size()), pc);
-    core::AggregationWrapperConfig wc;
-    wc.chunk_blocks = lss_config.chunk_blocks;
-    auto wrapped = core::wrap_with_aggregation(std::move(inner), wc);
-    wrapper = wrapped.get();
-    policy = std::move(wrapped);
-  } else if (policy_name == "adapt") {
-    core::AdaptConfig ac;
-    ac.logical_blocks = lss_config.logical_blocks;
-    ac.segment_blocks = lss_config.segment_blocks();
-    ac.chunk_blocks = lss_config.chunk_blocks;
-    ac.over_provision = lss_config.over_provision;
-    ac.enable_threshold_adaptation = config.adapt_threshold_adaptation;
-    ac.enable_cross_group_aggregation =
-        config.adapt_cross_group_aggregation;
-    ac.enable_proactive_demotion = config.adapt_proactive_demotion;
-    auto p = core::make_adapt_policy(ac);
-    adapt_policy = p.get();
-    policy = std::move(p);
-  } else {
-    placement::PolicyConfig pc;
-    pc.logical_blocks = lss_config.logical_blocks;
-    pc.segment_blocks = lss_config.segment_blocks();
-    pc.seed = config.seed;
-    policy = placement::make_baseline_policy(policy_name, pc);
-  }
-
-  auto victim = lss::make_victim_policy(config.victim_policy);
-
-  std::unique_ptr<array::SsdArray> ssd_array;
-  if (config.with_array) {
-    array::SsdArrayConfig arr;
-    arr.chunk_bytes = lss_config.chunk_blocks * lss_config.block_bytes;
-    arr.num_streams = policy->group_count();
-    ssd_array = std::make_unique<array::SsdArray>(arr);
-  }
-
-  lss::LssEngine engine(lss_config, *policy, *victim, ssd_array.get(),
-                        config.seed);
-  if (adapt_policy != nullptr) {
-    engine.set_aggregation_hook(adapt_policy);
-  } else if (wrapper != nullptr) {
-    engine.set_aggregation_hook(wrapper);
-  }
+  std::vector<ShardPolicyRefs> policy_refs(shards);
+  const auto factory = [&](std::uint32_t shard_index,
+                           const lss::LssConfig& shard_lss) {
+    return make_shard_parts(policy_name, config, shard_lss,
+                            config.seed + shard_index,
+                            policy_refs[shard_index]);
+  };
+  lss::ShardedEngine engine(lss_config, shards, config.seed, factory);
 
   const auto wall_start = std::chrono::steady_clock::now();
-  std::unique_ptr<obs::EngineSampler> sampler;
+  std::vector<std::unique_ptr<obs::EngineSampler>> samplers;
   if (config.sampling_enabled) {
-    std::function<double()> probe;
-    if (adapt_policy != nullptr) {
-      probe = [adapt_policy] { return adapt_policy->threshold(); };
+    samplers.reserve(shards);
+    for (std::uint32_t i = 0; i < shards; ++i) {
+      std::function<double()> probe;
+      if (core::AdaptPolicy* adapt_policy = policy_refs[i].adapt;
+          adapt_policy != nullptr) {
+        probe = [adapt_policy] { return adapt_policy->threshold(); };
+      }
+      samplers.push_back(std::make_unique<obs::EngineSampler>(
+          config.sampling, std::move(probe)));
+      engine.shard(i).set_observer(samplers[i].get());
     }
-    sampler = std::make_unique<obs::EngineSampler>(config.sampling,
-                                                   std::move(probe));
-    engine.set_observer(sampler.get());
   }
 
   // Requests past the volume's declared capacity are trace noise: clamp.
@@ -114,23 +145,30 @@ VolumeResult run_volume(const trace::Volume& volume,
     if (r.lba >= end) continue;
     const auto span = static_cast<std::uint32_t>(end - r.lba);
     if (r.op == trace::OpType::kWrite) {
-      engine.write(r.lba, span, r.ts_us);
+      engine.enqueue_write(r.lba, span, r.ts_us);
     } else {
-      engine.read(r.lba, span, r.ts_us);
+      engine.enqueue_read(r.lba, span, r.ts_us);
     }
   }
+  // One replay thread per shard; a single shard runs on this thread.
+  std::unique_ptr<ThreadPool> pool;
+  if (shards > 1) pool = std::make_unique<ThreadPool>(shards);
+  engine.run_queued(pool.get());
   engine.flush_all();
-  if (sampler != nullptr) sampler->finalize(engine, last_ts);
+  for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(samplers.size());
+       ++i) {
+    samplers[i]->finalize(engine.shard(i), last_ts);
+  }
   if (config.progress) config.progress(total_records, total_records);
 
   VolumeResult result;
   result.volume_id = volume.id;
   result.policy = std::string(policy_name);
   result.victim = config.victim_policy;
-  result.metrics = engine.metrics();
-  result.segments_per_group = engine.segments_per_group();
-  result.policy_memory_bytes = policy->memory_usage_bytes();
-  if (ssd_array != nullptr) result.array_totals = ssd_array->totals();
+  result.metrics = engine.merged_metrics();
+  result.segments_per_group = engine.merged_segments_per_group();
+  result.policy_memory_bytes = engine.policy_memory_bytes();
+  if (config.with_array) result.array_totals = engine.merged_array_totals();
 
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -153,9 +191,12 @@ VolumeResult run_volume(const trace::Volume& volume,
   man.logical_blocks = lss_config.logical_blocks;
   man.over_provision = lss_config.over_provision;
   obs::register_lss_metrics(man.counters, result.metrics);
-  if (sampler != nullptr) {
-    result.series =
-        std::make_shared<const obs::TimeSeries>(sampler->take());
+  if (!samplers.empty()) {
+    std::vector<obs::TimeSeries> parts;
+    parts.reserve(samplers.size());
+    for (auto& sampler : samplers) parts.push_back(sampler->take());
+    result.series = std::make_shared<const obs::TimeSeries>(
+        obs::merge_series(std::move(parts)));
   }
   return result;
 }

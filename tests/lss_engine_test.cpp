@@ -310,6 +310,129 @@ TEST(LssEngineTest, ChunksFlushedCounter) {
 }
 
 // ---------------------------------------------------------------------------
+// flush_all / gc_step interplay
+// ---------------------------------------------------------------------------
+
+/// Redirects every group-0 deadline into a shadow append hosted by group 1
+/// (the §3.3 cross-group aggregation shape, without the full ADAPT policy).
+class AggregateIntoGroupOne final : public AggregationHook {
+ public:
+  AggregationDecision on_chunk_deadline(GroupId group,
+                                        const LssEngine&) override {
+    if (group != 0) return {};
+    return AggregationDecision{/*donor=*/0, /*host=*/1};
+  }
+};
+
+/// The identity every drain/GC test below re-derives from public counters:
+/// every appended block either reached the media or is still pending.
+void expect_write_accounting_identity(const LssEngine& engine) {
+  const LssMetrics& m = engine.metrics();
+  std::uint64_t pending = 0;
+  for (GroupId g = 0; g < engine.group_count(); ++g) {
+    pending += engine.pending_blocks(g);
+  }
+  EXPECT_EQ(m.user_blocks + m.gc_blocks + m.shadow_blocks + m.padding_blocks,
+            engine.config().chunk_blocks * engine.chunks_flushed() +
+                m.rmw_blocks + pending);
+}
+
+TEST(LssEngineInterplayTest, FlushAllExpiresOutstandingShadows) {
+  EngineFixture f;
+  AggregateIntoGroupOne hook;
+  f.engine.set_aggregation_hook(&hook);
+
+  f.engine.write_block(1, 0);
+  f.engine.advance_time(150);  // deadline fires -> shadow into group 1
+
+  // Lazy append: the original stays pending in group 0 while its shadow
+  // copy sits in group 1's already-persisted chunk.
+  EXPECT_EQ(f.engine.pending_blocks(0), 1u);
+  EXPECT_EQ(f.engine.live_shadow_count(), 1u);
+  EXPECT_TRUE(f.engine.has_live_shadow(1));
+  EXPECT_EQ(f.engine.metrics().shadow_blocks, 1u);
+  EXPECT_EQ(f.engine.group_traffic(1).padded_flushes, 1u);
+  EXPECT_EQ(f.engine.group_traffic(0).padding_blocks, 0u);
+  expect_write_accounting_identity(f.engine);
+
+  // The drain pads group 0's partial chunk; persisting the original must
+  // expire its shadow copy.
+  f.engine.flush_all();
+  EXPECT_EQ(f.engine.pending_blocks(0), 0u);
+  EXPECT_EQ(f.engine.live_shadow_count(), 0u);
+  EXPECT_FALSE(f.engine.has_live_shadow(1));
+  expect_write_accounting_identity(f.engine);
+  f.engine.check_invariants();
+}
+
+TEST(LssEngineInterplayTest, ShadowExpiresWhenOriginalChunkFills) {
+  EngineFixture f;
+  AggregateIntoGroupOne hook;
+  f.engine.set_aggregation_hook(&hook);
+
+  f.engine.write_block(1, 0);
+  f.engine.advance_time(150);
+  ASSERT_EQ(f.engine.live_shadow_count(), 1u);
+
+  // Three more writes complete the original's 4-block chunk: it persists
+  // on its own, so the shadow must be gone before any flush_all.
+  for (Lba lba = 2; lba <= 4; ++lba) f.engine.write_block(lba, 200);
+  EXPECT_EQ(f.engine.pending_blocks(0), 0u);
+  EXPECT_EQ(f.engine.live_shadow_count(), 0u);
+  expect_write_accounting_identity(f.engine);
+  f.engine.flush_all();  // nothing left: must be a no-op
+  EXPECT_EQ(f.engine.metrics().padding_blocks, 3u);  // host pad only
+  expect_write_accounting_identity(f.engine);
+  f.engine.check_invariants();
+}
+
+TEST(LssEngineInterplayTest, GcStepWatermarkBoundaryIsExact) {
+  EngineFixture f;
+  Rng rng(149);
+  for (int i = 0; i < 3000; ++i) {
+    f.engine.write_block(rng.below(256), 0);
+  }
+  const std::uint32_t free_now = f.engine.free_segments();
+  const std::uint64_t runs_before = f.engine.metrics().gc_runs;
+
+  // Exactly at the watermark (free == watermark): no work, nothing moves.
+  EXPECT_FALSE(f.engine.gc_step(0, free_now));
+  EXPECT_EQ(f.engine.free_segments(), free_now);
+  EXPECT_EQ(f.engine.metrics().gc_runs, runs_before);
+  expect_write_accounting_identity(f.engine);
+
+  // One segment below (free == watermark - 1): exactly one reclaim.
+  EXPECT_TRUE(f.engine.gc_step(0, free_now + 1));
+  EXPECT_EQ(f.engine.metrics().gc_runs, runs_before + 1);
+  EXPECT_GE(f.engine.free_segments(), free_now);
+  expect_write_accounting_identity(f.engine);
+  f.engine.check_invariants();
+}
+
+TEST(LssEngineInterplayTest, GcThenDrainKeepsAccountingIdentity) {
+  EngineFixture f;
+  AggregateIntoGroupOne hook;
+  f.engine.set_aggregation_hook(&hook);
+  Rng rng(151);
+  TimeUs now = 0;
+  for (int i = 0; i < 5000; ++i) {
+    now += rng.below(120);
+    f.engine.write_block(rng.below(256), now);
+    if (i % 640 == 0 && i > 0) {  // warm-up first: GC needs a sealed victim
+      // Proactive GC with a partial chunk (possibly shadow-hosting)
+      // outstanding.
+      f.engine.gc_step(now, f.engine.free_segments() + 1);
+      expect_write_accounting_identity(f.engine);
+    }
+  }
+  f.engine.flush_all();
+  EXPECT_EQ(f.engine.live_shadow_count(), 0u);
+  EXPECT_GT(f.engine.metrics().shadow_blocks, 0u);
+  expect_write_accounting_identity(f.engine);
+  f.engine.check_invariants();
+}
+
+// ---------------------------------------------------------------------------
 // Randomized invariants (property-style, parameterized over seeds)
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,410 @@
+// ShardedEngine tests: shard-count parsing, per-shard geometry derivation,
+// the LBA modulo span-split, the 1-shard pass-through identity against a
+// direct LssEngine, scheduling-independence of the batched parallel replay,
+// merged-observer accounting, and the per-shard series merge.
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "lss/sharded_engine.h"
+#include "lss/victim_policy.h"
+#include "obs/series.h"
+#include "test_support.h"
+
+namespace adapt::lss {
+namespace {
+
+using testing::TwoGroupPolicy;
+using testing::small_config;
+
+/// small_config with a logical space big enough that a 4-way split still
+/// validates (each shard needs op segments >= reserve + 2*groups + 2).
+LssConfig sharded_config() {
+  LssConfig c = small_config();
+  c.logical_blocks = 2048;
+  return c;
+}
+
+/// Factory building the same deterministic TwoGroupPolicy + greedy stack a
+/// direct-engine test would use.
+ShardParts two_group_parts(std::uint32_t /*shard_index*/,
+                           const LssConfig& /*shard_config*/) {
+  ShardParts parts;
+  parts.policy = std::make_unique<TwoGroupPolicy>();
+  parts.victim = make_greedy();
+  return parts;
+}
+
+void expect_group_traffic_eq(const GroupTraffic& a, const GroupTraffic& b) {
+  EXPECT_EQ(a.user_blocks, b.user_blocks);
+  EXPECT_EQ(a.gc_blocks, b.gc_blocks);
+  EXPECT_EQ(a.shadow_blocks, b.shadow_blocks);
+  EXPECT_EQ(a.padding_blocks, b.padding_blocks);
+  EXPECT_EQ(a.full_flushes, b.full_flushes);
+  EXPECT_EQ(a.padded_flushes, b.padded_flushes);
+  EXPECT_EQ(a.padded_fill_blocks, b.padded_fill_blocks);
+  EXPECT_EQ(a.rmw_flushes, b.rmw_flushes);
+  EXPECT_EQ(a.rmw_blocks, b.rmw_blocks);
+  EXPECT_EQ(a.segments_sealed, b.segments_sealed);
+  EXPECT_EQ(a.segments_reclaimed, b.segments_reclaimed);
+}
+
+void expect_metrics_eq(const LssMetrics& a, const LssMetrics& b) {
+  EXPECT_EQ(a.user_blocks, b.user_blocks);
+  EXPECT_EQ(a.gc_blocks, b.gc_blocks);
+  EXPECT_EQ(a.shadow_blocks, b.shadow_blocks);
+  EXPECT_EQ(a.padding_blocks, b.padding_blocks);
+  EXPECT_EQ(a.gc_runs, b.gc_runs);
+  EXPECT_EQ(a.gc_migrated_blocks, b.gc_migrated_blocks);
+  EXPECT_EQ(a.forced_lazy_flushes, b.forced_lazy_flushes);
+  EXPECT_EQ(a.rmw_flushes, b.rmw_flushes);
+  EXPECT_EQ(a.rmw_blocks, b.rmw_blocks);
+  EXPECT_EQ(a.rmw_read_blocks, b.rmw_read_blocks);
+  EXPECT_EQ(a.read_blocks, b.read_blocks);
+  EXPECT_EQ(a.read_chunk_fetches, b.read_chunk_fetches);
+  EXPECT_EQ(a.read_buffer_hits, b.read_buffer_hits);
+  EXPECT_EQ(a.read_unmapped, b.read_unmapped);
+  ASSERT_EQ(a.groups.size(), b.groups.size());
+  for (std::size_t g = 0; g < a.groups.size(); ++g) {
+    expect_group_traffic_eq(a.groups[g], b.groups[g]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// parse_shard_count / shard_config
+// ---------------------------------------------------------------------------
+
+TEST(ParseShardCountTest, AcceptsDecimalCounts) {
+  EXPECT_EQ(parse_shard_count("1"), 1u);
+  EXPECT_EQ(parse_shard_count("4"), 4u);
+  EXPECT_EQ(parse_shard_count("42"), 42u);
+  EXPECT_EQ(parse_shard_count("4096"), kMaxShards);
+}
+
+TEST(ParseShardCountTest, RejectsMalformedText) {
+  EXPECT_THROW(parse_shard_count(""), std::invalid_argument);
+  EXPECT_THROW(parse_shard_count("0"), std::invalid_argument);
+  EXPECT_THROW(parse_shard_count("4097"), std::invalid_argument);
+  EXPECT_THROW(parse_shard_count("-1"), std::invalid_argument);
+  EXPECT_THROW(parse_shard_count("+4"), std::invalid_argument);
+  EXPECT_THROW(parse_shard_count(" 4"), std::invalid_argument);
+  EXPECT_THROW(parse_shard_count("4x"), std::invalid_argument);
+  EXPECT_THROW(parse_shard_count("4.0"), std::invalid_argument);
+  // 11 digits: rejected by length before any overflow can occur.
+  EXPECT_THROW(parse_shard_count("99999999999"), std::invalid_argument);
+}
+
+TEST(ShardConfigTest, DividesLogicalSpaceCeil) {
+  LssConfig global = sharded_config();
+  EXPECT_EQ(shard_config(global, 1).logical_blocks, 2048u);
+  EXPECT_EQ(shard_config(global, 4).logical_blocks, 512u);
+  global.logical_blocks = 2049;  // remainder: every shard gets the ceiling
+  EXPECT_EQ(shard_config(global, 4).logical_blocks, 513u);
+}
+
+TEST(ShardConfigTest, PreservesEverythingButLogicalBlocks) {
+  const LssConfig global = sharded_config();
+  const LssConfig per_shard = shard_config(global, 4);
+  EXPECT_EQ(per_shard.chunk_blocks, global.chunk_blocks);
+  EXPECT_EQ(per_shard.segment_chunks, global.segment_chunks);
+  EXPECT_EQ(per_shard.free_segment_reserve, global.free_segment_reserve);
+  EXPECT_DOUBLE_EQ(per_shard.over_provision, global.over_provision);
+}
+
+TEST(ShardConfigTest, RejectsBadShardCounts) {
+  const LssConfig global = sharded_config();
+  EXPECT_THROW(shard_config(global, 0), std::invalid_argument);
+  EXPECT_THROW(shard_config(global, kMaxShards + 1), std::invalid_argument);
+  LssConfig tiny = global;
+  tiny.logical_blocks = 3;
+  EXPECT_THROW(shard_config(tiny, 4), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// 1-shard pass-through identity
+// ---------------------------------------------------------------------------
+
+TEST(ShardedEngineTest, OneShardMatchesDirectEngineBitIdentically) {
+  const LssConfig config = sharded_config();
+  TwoGroupPolicy direct_policy;
+  auto direct_victim = make_greedy();
+  LssEngine direct(config, direct_policy, *direct_victim, nullptr,
+                   /*seed=*/1);
+  ShardedEngine sharded(config, 1, /*base_seed=*/1, two_group_parts);
+
+  Rng rng(211);
+  TimeUs now = 0;
+  for (int i = 0; i < 12000; ++i) {
+    now += rng.below(250);
+    const std::uint64_t kind = rng.below(100);
+    const Lba lba = rng.below(config.logical_blocks - 4);
+    const auto blocks = static_cast<std::uint32_t>(1 + rng.below(4));
+    if (kind < 70) {
+      direct.write(lba, blocks, now);
+      sharded.write(lba, blocks, now);
+    } else if (kind < 85) {
+      direct.read(lba, blocks, now);
+      sharded.read(lba, blocks, now);
+    } else if (kind < 95) {
+      now += 200;
+      direct.advance_time(now);
+      sharded.advance_time(now);
+    } else {
+      const std::uint32_t watermark = config.free_segment_reserve + 3;
+      direct.gc_step(now, watermark);
+      sharded.gc_step(now, watermark);
+    }
+  }
+  direct.flush_all();
+  sharded.flush_all();
+
+  expect_metrics_eq(sharded.merged_metrics(), direct.metrics());
+  EXPECT_EQ(sharded.chunks_flushed(), direct.chunks_flushed());
+  EXPECT_EQ(sharded.merged_segments_per_group(),
+            direct.segments_per_group());
+  // Same mapping, block by block: shard 0 at N == 1 is the whole space.
+  for (Lba lba = 0; lba < config.logical_blocks; ++lba) {
+    ASSERT_EQ(sharded.shard(0).locate(lba), direct.locate(lba))
+        << "lba " << lba;
+  }
+  sharded.check_invariants(audit::Level::kFull);
+}
+
+// ---------------------------------------------------------------------------
+// Span-split routing
+// ---------------------------------------------------------------------------
+
+TEST(ShardedEngineTest, SpanSplitCoversEveryBlockExactlyOnce) {
+  const LssConfig config = sharded_config();
+  ShardedEngine sharded(config, 4, /*base_seed=*/1, two_group_parts);
+  EXPECT_EQ(sharded.per_shard_config().logical_blocks, 512u);
+
+  // Spans chosen to start on every shard phase and to wrap several times.
+  std::vector<bool> written(config.logical_blocks, false);
+  Rng rng(223);
+  std::uint64_t blocks_issued = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const Lba lba = rng.below(config.logical_blocks - 9);
+    const auto blocks = static_cast<std::uint32_t>(1 + rng.below(9));
+    sharded.write(lba, blocks, 0);
+    blocks_issued += blocks;
+    for (Lba l = lba; l < lba + blocks; ++l) written[l] = true;
+  }
+  sharded.flush_all();
+
+  // Every written global block is mapped on exactly the shard the modulo
+  // partition assigns it; untouched blocks stay unmapped everywhere.
+  for (Lba lba = 0; lba < config.logical_blocks; ++lba) {
+    const LssEngine& owner = sharded.shard(sharded.shard_of(lba));
+    ASSERT_EQ(owner.locate(sharded.local_of(lba)) != kNowhere, written[lba])
+        << "lba " << lba;
+  }
+  EXPECT_EQ(sharded.merged_metrics().user_blocks, blocks_issued);
+  sharded.check_invariants(audit::Level::kFull);
+}
+
+TEST(ShardedEngineTest, OutOfRangeOpsThrow) {
+  ShardedEngine sharded(sharded_config(), 4, 1, two_group_parts);
+  EXPECT_THROW(sharded.write(2047, 2, 0), std::out_of_range);
+  EXPECT_THROW(sharded.read(2048, 1, 0), std::out_of_range);
+  EXPECT_THROW(sharded.enqueue_write(2040, 16, 0), std::out_of_range);
+}
+
+TEST(ShardedEngineTest, FactoryContractEnforced) {
+  EXPECT_THROW(ShardedEngine(sharded_config(), 2, 1, ShardFactory{}),
+               std::invalid_argument);
+  const auto null_policy = [](std::uint32_t, const LssConfig&) {
+    ShardParts parts;
+    parts.victim = make_greedy();
+    return parts;  // policy left null
+  };
+  EXPECT_THROW(ShardedEngine(sharded_config(), 2, 1, null_policy),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Batched replay: queue split + scheduling independence
+// ---------------------------------------------------------------------------
+
+/// Drives one engine synchronously and two batched engines (inline replay
+/// and a 4-thread pool) with the same op stream; all three must agree.
+TEST(ShardedEngineTest, RunQueuedMatchesSyncReplayAnyScheduling) {
+  const LssConfig config = sharded_config();
+  ShardedEngine sync_engine(config, 4, 1, two_group_parts);
+  ShardedEngine inline_engine(config, 4, 1, two_group_parts);
+  ShardedEngine pooled_engine(config, 4, 1, two_group_parts);
+
+  Rng rng(227);
+  TimeUs now = 0;
+  for (int i = 0; i < 8000; ++i) {
+    now += rng.below(300);
+    const Lba lba = rng.below(config.logical_blocks - 6);
+    const auto blocks = static_cast<std::uint32_t>(1 + rng.below(6));
+    if (rng.below(100) < 80) {
+      sync_engine.write(lba, blocks, now);
+      inline_engine.enqueue_write(lba, blocks, now);
+      pooled_engine.enqueue_write(lba, blocks, now);
+    } else {
+      sync_engine.read(lba, blocks, now);
+      inline_engine.enqueue_read(lba, blocks, now);
+      pooled_engine.enqueue_read(lba, blocks, now);
+    }
+  }
+  EXPECT_GT(inline_engine.queued_ops(), 0u);
+  inline_engine.run_queued(nullptr);
+  {
+    ThreadPool pool(4);
+    pooled_engine.run_queued(&pool);
+  }
+  EXPECT_EQ(inline_engine.queued_ops(), 0u);
+  EXPECT_EQ(pooled_engine.queued_ops(), 0u);
+  sync_engine.flush_all();
+  inline_engine.flush_all();
+  pooled_engine.flush_all();
+
+  expect_metrics_eq(inline_engine.merged_metrics(),
+                    sync_engine.merged_metrics());
+  expect_metrics_eq(pooled_engine.merged_metrics(),
+                    sync_engine.merged_metrics());
+  EXPECT_EQ(pooled_engine.chunks_flushed(), sync_engine.chunks_flushed());
+  pooled_engine.check_invariants(audit::Level::kFull);
+}
+
+TEST(ShardedEngineTest, MergedObserversSumShards) {
+  const LssConfig config = sharded_config();
+  ShardedEngine sharded(config, 4, 1, two_group_parts);
+  Rng rng(229);
+  for (int i = 0; i < 6000; ++i) {
+    sharded.write(rng.below(config.logical_blocks), 1,
+                  static_cast<TimeUs>(i) * 20);
+  }
+  sharded.flush_all();
+
+  LssMetrics expected;
+  std::vector<std::uint32_t> expected_segments;
+  std::uint64_t expected_chunks = 0;
+  for (std::uint32_t s = 0; s < sharded.shard_count(); ++s) {
+    const LssEngine& shard = sharded.shard(s);
+    expected.merge_from(shard.metrics());
+    const auto counts = shard.segments_per_group();
+    if (expected_segments.size() < counts.size()) {
+      expected_segments.resize(counts.size(), 0);
+    }
+    for (std::size_t g = 0; g < counts.size(); ++g) {
+      expected_segments[g] += counts[g];
+    }
+    expected_chunks += shard.chunks_flushed();
+    // Every shard saw real traffic: the modulo partition spreads the load.
+    EXPECT_GT(shard.metrics().user_blocks, 0u) << "shard " << s;
+  }
+  expect_metrics_eq(sharded.merged_metrics(), expected);
+  EXPECT_EQ(sharded.merged_segments_per_group(), expected_segments);
+  EXPECT_EQ(sharded.chunks_flushed(), expected_chunks);
+}
+
+// ---------------------------------------------------------------------------
+// merge_series (the per-shard time-series merge used by run_volume)
+// ---------------------------------------------------------------------------
+
+obs::SeriesRow make_row(std::uint64_t vtime, TimeUs wall_us,
+                        std::uint64_t user_blocks, double threshold) {
+  obs::SeriesRow row;
+  row.vtime = vtime;
+  row.wall_us = wall_us;
+  row.user_blocks = user_blocks;
+  row.gc_blocks = user_blocks / 2;
+  row.threshold = threshold;
+  return row;
+}
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+TEST(MergeSeriesTest, EmptyInputThrows) {
+  EXPECT_THROW(obs::merge_series({}), std::invalid_argument);
+}
+
+TEST(MergeSeriesTest, SinglePartPassesThrough) {
+  obs::TimeSeries part;
+  part.window_blocks = 64;
+  part.rows.push_back(make_row(64, 10, 64, 0.5));
+  const obs::TimeSeries merged = obs::merge_series({std::move(part)});
+  EXPECT_EQ(merged.window_blocks, 64u);
+  ASSERT_EQ(merged.rows.size(), 1u);
+  EXPECT_EQ(merged.rows[0].user_blocks, 64u);
+}
+
+TEST(MergeSeriesTest, SumsCountersMaxesWallAveragesThreshold) {
+  obs::TimeSeries a;
+  a.window_blocks = 64;
+  a.rows.push_back(make_row(64, 10, 64, 0.25));
+  a.rows.push_back(make_row(128, 20, 128, 0.75));
+  obs::TimeSeries b;
+  b.window_blocks = 64;
+  b.rows.push_back(make_row(64, 15, 60, kNaN));
+  b.rows.push_back(make_row(128, 18, 120, kNaN));
+
+  const obs::TimeSeries merged =
+      obs::merge_series({std::move(a), std::move(b)});
+  EXPECT_EQ(merged.window_blocks, 128u);  // per-shard stride * shard count
+  EXPECT_EQ(merged.downsamples, 0u);
+  ASSERT_EQ(merged.rows.size(), 2u);
+  EXPECT_EQ(merged.rows[0].user_blocks, 124u);
+  EXPECT_EQ(merged.rows[0].gc_blocks, 62u);
+  EXPECT_EQ(merged.rows[0].wall_us, 15u);   // max across shards
+  EXPECT_DOUBLE_EQ(merged.rows[0].threshold, 0.25);  // NaN shard skipped
+  EXPECT_EQ(merged.rows[1].wall_us, 20u);
+  EXPECT_DOUBLE_EQ(merged.rows[1].threshold, 0.75);
+}
+
+TEST(MergeSeriesTest, AlignsStridesByRedownsampling) {
+  // Part a never downsampled (stride 64, 4 rows); part b downsampled once
+  // (stride 128, 2 rows). The merge must re-downsample a to rows 0 and 2.
+  obs::TimeSeries a;
+  a.window_blocks = 64;
+  a.downsamples = 0;
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    a.rows.push_back(make_row(64 * i, 10 * i, 64 * i, kNaN));
+  }
+  obs::TimeSeries b;
+  b.window_blocks = 128;
+  b.downsamples = 1;
+  b.rows.push_back(make_row(128, 11, 128, kNaN));
+  b.rows.push_back(make_row(256, 22, 256, kNaN));
+
+  const obs::TimeSeries merged =
+      obs::merge_series({std::move(a), std::move(b)});
+  EXPECT_EQ(merged.downsamples, 1u);
+  EXPECT_EQ(merged.window_blocks, 256u);  // (64 << 1) * 2 parts
+  ASSERT_EQ(merged.rows.size(), 2u);
+  // Kept rows of a are vtime 64 and 192 (indices 0 and 2).
+  EXPECT_EQ(merged.rows[0].user_blocks, 64u + 128u);
+  EXPECT_EQ(merged.rows[1].user_blocks, 192u + 256u);
+  EXPECT_TRUE(std::isnan(merged.rows[0].threshold));
+}
+
+TEST(MergeSeriesTest, RejectsMisalignedOrCorruptParts) {
+  obs::TimeSeries a;
+  a.window_blocks = 64;
+  obs::TimeSeries mismatched;
+  mismatched.window_blocks = 96;  // different base stride: cannot align
+  EXPECT_THROW(obs::merge_series({a, mismatched}), std::invalid_argument);
+
+  obs::TimeSeries corrupt;
+  corrupt.window_blocks = 8;
+  corrupt.downsamples = 5;  // 8 >> 5 == 0: impossible header
+  EXPECT_THROW(obs::merge_series({a, corrupt}), std::invalid_argument);
+
+  obs::TimeSeries zero;
+  zero.window_blocks = 0;
+  EXPECT_THROW(obs::merge_series({a, zero}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adapt::lss

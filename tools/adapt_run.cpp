@@ -19,6 +19,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "lss/sharded_engine.h"
 #include "obs/export.h"
 #include "sim/simulator.h"
 #include "trace/reader.h"
@@ -38,6 +39,7 @@ struct Options {
   std::uint64_t seed = 42;
   std::uint64_t window = 4096;
   std::uint64_t max_rows = 512;
+  std::uint32_t shards = 1;
   bool rmw = false;
   bool no_array = false;
   bool no_per_group = false;
@@ -61,6 +63,10 @@ void usage(std::FILE* to) {
                "(default 4096)\n"
                "  --max-rows N       series memory bound in rows "
                "(default 512)\n"
+               "  --shards N         LBA-sharded parallel replay across N "
+               "engine shards\n"
+               "                     (default 1 = single engine, "
+               "bit-identical)\n"
                "  --out DIR          output directory (default "
                "adapt_run_out)\n"
                "  --rmw              read-modify-write partial flushes\n"
@@ -106,6 +112,8 @@ Options parse_args(int argc, char** argv) {
       opt.window = std::strtoull(need_value(i++), nullptr, 10);
     } else if (arg == "--max-rows") {
       opt.max_rows = std::strtoull(need_value(i++), nullptr, 10);
+    } else if (arg == "--shards") {
+      opt.shards = adapt::lss::parse_shard_count(need_value(i++));
     } else if (arg == "--rmw") {
       opt.rmw = true;
     } else if (arg == "--no-array") {
@@ -175,6 +183,7 @@ int run(const Options& opt) {
   config.victim_policy = opt.victim;
   config.seed = opt.seed;
   config.with_array = !opt.no_array;
+  config.shards = opt.shards;
   if (opt.rmw) {
     config.lss.partial_write_mode =
         adapt::lss::PartialWriteMode::kReadModifyWrite;
@@ -214,9 +223,10 @@ int run(const Options& opt) {
     out << obs::manifest_json(result.manifest) << '\n';
   }
 
-  std::printf("policy=%s victim=%s workload=%s records=%llu\n",
+  std::printf("policy=%s victim=%s workload=%s records=%llu shards=%u\n",
               result.policy.c_str(), result.victim.c_str(), workload.c_str(),
-              static_cast<unsigned long long>(result.manifest.records));
+              static_cast<unsigned long long>(result.manifest.records),
+              opt.shards);
   std::printf(
       "WA=%.4f padding_ratio=%.4f gc_runs=%llu samples=%zu window=%llu "
       "downsamples=%u\n",
