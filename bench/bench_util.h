@@ -78,8 +78,11 @@ inline std::string fmt(double v) {
 }
 
 /// Writes `BENCH_<name>.json` into the working directory and tells the
-/// operator; validate with tools/check_bench_json.
+/// operator. The JSON is self-validated through the adapt-bench-v1 schema
+/// checker before it hits disk, so a bench can never publish an artifact
+/// that tools/check_bench_json (or the adapt_compare gate) would reject.
 inline void write_report(const obs::BenchReport& report) {
+  obs::validate_bench_json(report.json());
   std::printf("\nwrote %s (%zu rows)\n", report.write_file().c_str(),
               report.row_count());
 }

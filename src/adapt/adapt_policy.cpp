@@ -35,7 +35,13 @@ double AdaptPolicy::threshold() const noexcept {
 }
 
 GroupId AdaptPolicy::place_user_write(Lba lba, VTime now) {
-  if (adapter_ != nullptr) adapter_->on_user_write(lba, now);
+  if (adapter_ != nullptr && adapter_->on_user_write(lba, now)) {
+    // The adapter just adopted a new threshold (§3.2 re-adaptation).
+    lss::emit(trace_,
+              lss::TraceEvent{lss::TraceEventKind::kThresholdAdapt,
+                              kInvalidGroup, now, 0, adapter_->threshold(),
+                              adapter_->adoptions(), 0});
+  }
 
   // §3.4: long-lived blocks skip the user groups entirely when the
   // re-access identifier is confident about their destination. Demotion is

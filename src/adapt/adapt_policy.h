@@ -84,6 +84,13 @@ class AdaptPolicy final : public lss::PlacementPolicy,
   lss::AggregationDecision on_chunk_deadline(
       GroupId group, const lss::LssEngine& engine) override;
 
+  // -- tracing ---------------------------------------------------------------
+  /// Attaches a trace sink for threshold re-adaptation events (nullptr
+  /// detaches). Emitted events carry the adopted threshold and total
+  /// adoptions; their clock is vtime only (the policy never sees the wall
+  /// clock, so wall_us is 0).
+  void set_trace_sink(lss::TraceSink* sink) noexcept { trace_ = sink; }
+
   // -- introspection ---------------------------------------------------------
   const AdaptConfig& config() const noexcept { return config_; }
   double threshold() const noexcept;
@@ -96,6 +103,7 @@ class AdaptPolicy final : public lss::PlacementPolicy,
   static constexpr VTime kNeverWritten = ~VTime{0};
 
   AdaptConfig config_;
+  lss::TraceSink* trace_ = nullptr;
   std::unique_ptr<ThresholdAdapter> adapter_;
   std::vector<CascadeDiscriminator> discriminators_;  // one per GC group
   std::vector<VTime> last_write_;

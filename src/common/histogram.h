@@ -1,14 +1,64 @@
 // Simple value-accumulating histogram with exact percentile queries, plus a
-// CDF builder used by the figure-reproduction benches.
+// CDF builder used by the figure-reproduction benches, and a fixed-footprint
+// power-of-two histogram for hot-path distributions (block lifetimes,
+// GC pause durations).
 #pragma once
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 namespace adapt {
+
+/// Constant-time, fixed-memory histogram over unsigned values: bucket b
+/// counts values whose bit width is b (bucket 0 holds zeros, bucket b >= 1
+/// covers [2^(b-1), 2^b)), plus exact count/sum/max. Suitable for per-block
+/// hot paths — add() is a shift, three adds, and a max — and mergeable
+/// across shards like the other LssMetrics counters.
+class Log2Histogram {
+ public:
+  /// bit_width of a uint64 ranges over [0, 64].
+  static constexpr std::size_t kBuckets = 65;
+
+  void add(std::uint64_t v) noexcept {
+    ++buckets_[std::bit_width(v)];
+    ++count_;
+    sum_ += v;
+    max_ = std::max(max_, v);
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t sum() const noexcept { return sum_; }
+  std::uint64_t max_value() const noexcept { return max_; }
+  bool empty() const noexcept { return count_ == 0; }
+
+  std::uint64_t bucket(std::size_t b) const { return buckets_.at(b); }
+
+  /// Smallest value bucket `b` can hold (0 for the zero bucket).
+  static constexpr std::uint64_t bucket_floor(std::size_t b) noexcept {
+    return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+  }
+
+  /// Element-wise accumulation (shard-merge).
+  void merge_from(const Log2Histogram& other) noexcept {
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      buckets_[b] += other.buckets_[b];
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    max_ = std::max(max_, other.max_);
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
 
 /// Stores every sample; suitable for per-volume metric distributions (tens
 /// of thousands of points), not per-I/O hot paths.

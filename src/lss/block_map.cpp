@@ -8,7 +8,12 @@ namespace adapt::lss {
 
 void BlockMap::invalidate(Lba lba, SegmentPool& pool) {
   if (primary_[lba] != kUnmappedLocation) {
-    pool.invalidate_slot(unpack_location(primary_[lba]));
+    const BlockLocation loc = unpack_location(primary_[lba]);
+    if (lifetime_ != nullptr) {
+      lifetime_->add(*lifetime_vtime_ -
+                     pool.segment(loc.segment).create_vtime);
+    }
+    pool.invalidate_slot(loc);
     primary_[lba] = kUnmappedLocation;
   }
   const auto it = shadow_.find(lba);

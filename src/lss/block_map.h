@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/histogram.h"
 #include "common/types.h"
 #include "lss/segment.h"
 
@@ -39,6 +40,16 @@ class BlockMap {
   }
 
   std::uint64_t logical_blocks() const noexcept { return primary_.size(); }
+
+  /// Attaches the block-lifetime histogram: every primary-copy death in
+  /// invalidate() records `vtime - segment create_vtime` (residence time of
+  /// the physical copy, in user blocks written — an approximation of
+  /// logical lifetime that resets when GC relocates the block). Both
+  /// references must outlive the map; nullptr detaches.
+  void bind_lifetime(const VTime& vtime, Log2Histogram* lifetime) noexcept {
+    lifetime_vtime_ = &vtime;
+    lifetime_ = lifetime;
+  }
 
   /// Where lba currently lives (primary copy), or kNowhere.
   BlockLocation locate(Lba lba) const {
@@ -89,6 +100,8 @@ class BlockMap {
   void check_counters() const;
 
  private:
+  const VTime* lifetime_vtime_ = nullptr;
+  Log2Histogram* lifetime_ = nullptr;
   /// primary_[lba] = packed BlockLocation or kUnmappedLocation.
   std::vector<std::uint64_t> primary_;
   /// Live shadow copies (lazy-append originals still pending).

@@ -7,13 +7,15 @@ namespace adapt::lss {
 ChunkWriter::ChunkWriter(const LssConfig& config, GroupId group_count,
                          SegmentPool& pool, BlockMap& map,
                          PlacementPolicy& policy, LssMetrics& metrics,
-                         const VTime& vtime, array::SsdArray* array)
+                         const VTime& vtime, const TimeUs& wall_us,
+                         array::SsdArray* array)
     : config_(config),
       pool_(pool),
       map_(map),
       policy_(policy),
       metrics_(metrics),
       vtime_(vtime),
+      wall_us_(wall_us),
       array_(array) {
   groups_.resize(group_count);
 }
@@ -41,7 +43,7 @@ std::uint32_t ChunkWriter::pending_unshadowed_valid(GroupId g) const {
 }
 
 void ChunkWriter::append(GroupId g, Lba lba, AppendSource source,
-                         TimeUs now_us) {
+                         TimeUs now_us, GroupId from_group) {
   GroupState& gs = groups_[g];
   if (gs.open_seg == kInvalidSegment) open_group_segment(g);
   const SegmentId seg_id = gs.open_seg;
@@ -64,6 +66,10 @@ void ChunkWriter::append(GroupId g, Lba lba, AppendSource source,
       map_.set_primary(lba, loc);
       ++gt.gc_blocks;
       ++metrics_.gc_blocks;
+      if (from_group >= group_count()) {
+        throw std::logic_error("GC append without a valid source group");
+      }
+      gt.count_gc_from(from_group, group_count());
       break;
     case AppendSource::kShadow:
       map_.set_shadow(lba, loc);
@@ -120,6 +126,7 @@ void ChunkWriter::expire_shadows_in_range(GroupId g, std::uint32_t begin,
                                           std::uint32_t end) {
   const GroupState& gs = groups_[g];
   const Segment& seg = pool_.segment(gs.open_seg);
+  std::uint64_t expired = 0;
   for (std::uint32_t slot = begin; slot < end; ++slot) {
     if (!seg.slot_valid.test(slot)) continue;
     const Lba lba = seg.slot_lba[slot];
@@ -127,7 +134,12 @@ void ChunkWriter::expire_shadows_in_range(GroupId g, std::uint32_t begin,
     if (map_.primary_is(lba, BlockLocation{gs.open_seg, slot}) &&
         map_.has_shadow(lba)) {
       map_.expire_shadow(lba, pool_);
+      ++expired;
     }
+  }
+  if (expired > 0) {
+    emit(trace_, TraceEvent{TraceEventKind::kShadowExpire, g, vtime_,
+                            wall_us_, expired, 0, 0});
   }
 }
 
@@ -154,6 +166,9 @@ void ChunkWriter::flush_chunk(GroupId g, std::uint32_t fill_blocks,
     ++gt.full_flushes;
   }
   ++chunks_flushed_;
+  emit(trace_, TraceEvent{TraceEventKind::kChunkFlush, g, vtime_, wall_us_,
+                          fill_blocks, padded ? 1u : 0u,
+                          global_chunk_index(seg_id, chunk_begin)});
   if (array_ != nullptr) {
     array_->write_chunk(g, static_cast<std::uint64_t>(fill_blocks) *
                                config_.block_bytes);
@@ -189,6 +204,9 @@ void ChunkWriter::rmw_flush(GroupId g) {
   metrics_.rmw_blocks += pending;
   // Small-write parity update reads the old data chunk and old parity.
   metrics_.rmw_read_blocks += 2ull * config_.chunk_blocks;
+  emit(trace_, TraceEvent{TraceEventKind::kRmwFlush, g, vtime_, wall_us_,
+                          pending, 0,
+                          global_chunk_index(gs.open_seg, chunk_begin_slot)});
   if (array_ != nullptr) {
     array_->write_partial(g, static_cast<std::uint64_t>(pending) *
                                  config_.block_bytes);
@@ -239,6 +257,10 @@ void ChunkWriter::shadow_append(GroupId g, GroupId host, TimeUs now_us) {
     to_shadow.push_back(lba);
   }
 
+  if (!to_shadow.empty()) {
+    emit(trace_, TraceEvent{TraceEventKind::kShadowAppend, host, vtime_,
+                            wall_us_, g, to_shadow.size(), 0});
+  }
   for (const Lba lba : to_shadow) {
     append(host, lba, AppendSource::kShadow, now_us);
   }
@@ -253,6 +275,13 @@ void ChunkWriter::check_counters() const {
   std::uint64_t pending = 0;
   for (GroupId g = 0; g < group_count(); ++g) {
     const GroupTraffic& gt = metrics_.groups[g];
+    // Provenance rows must tile the group's GC traffic exactly: every
+    // migrated block is attributed to exactly one source group.
+    std::uint64_t gc_from_total = 0;
+    for (const std::uint64_t n : gt.gc_from) gc_from_total += n;
+    if (gc_from_total != gt.gc_blocks) {
+      throw std::logic_error("gc_from provenance != group gc traffic");
+    }
     totals.user_blocks += gt.user_blocks;
     totals.gc_blocks += gt.gc_blocks;
     totals.shadow_blocks += gt.shadow_blocks;

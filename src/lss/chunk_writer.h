@@ -20,6 +20,7 @@
 #include "lss/placement_policy.h"
 #include "lss/segment.h"
 #include "lss/segment_pool.h"
+#include "lss/trace_sink.h"
 
 namespace adapt::lss {
 
@@ -30,11 +31,13 @@ enum class AppendSource { kUser, kGc, kShadow };
 class ChunkWriter {
  public:
   /// All references must outlive the writer. `vtime` is the engine's
-  /// virtual clock, read at segment open/seal. `array` is optional
+  /// virtual clock, read at segment open/seal; `wall_us` its simulated
+  /// wall clock, read when stamping trace events. `array` is optional
   /// (bandwidth mirroring); an addressed array attaches later.
   ChunkWriter(const LssConfig& config, GroupId group_count, SegmentPool& pool,
               BlockMap& map, PlacementPolicy& policy, LssMetrics& metrics,
-              const VTime& vtime, array::SsdArray* array);
+              const VTime& vtime, const TimeUs& wall_us,
+              array::SsdArray* array);
 
   ChunkWriter(const ChunkWriter&) = delete;
   ChunkWriter& operator=(const ChunkWriter&) = delete;
@@ -43,9 +46,15 @@ class ChunkWriter {
     addressed_array_ = addressed;
   }
 
+  /// Attaches a trace sink for flush/shadow events (nullptr detaches).
+  void set_trace_sink(TraceSink* sink) noexcept { trace_ = sink; }
+
   /// Appends one block to `g`'s open chunk, flushing at chunk boundaries
   /// and arming the coalescing deadline on the first pending user block.
-  void append(GroupId g, Lba lba, AppendSource source, TimeUs now_us);
+  /// GC migrations pass the victim's group as `from_group` so the block is
+  /// attributed in the destination group's gc_from provenance row.
+  void append(GroupId g, Lba lba, AppendSource source, TimeUs now_us,
+              GroupId from_group = kInvalidGroup);
 
   /// Zero-pads and persists `g`'s partial chunk.
   void pad_flush(GroupId g);
@@ -122,6 +131,8 @@ class ChunkWriter {
   PlacementPolicy& policy_;
   LssMetrics& metrics_;
   const VTime& vtime_;
+  const TimeUs& wall_us_;
+  TraceSink* trace_ = nullptr;
   array::SsdArray* array_;
   array::AddressedArray* addressed_array_ = nullptr;
 

@@ -38,10 +38,11 @@ LssEngine::LssEngine(const LssConfig& config, PlacementPolicy& policy,
       pool_(config_, policy.group_count(), victim),
       map_(config_.logical_blocks),
       writer_(config_, policy.group_count(), pool_, map_, policy, metrics_,
-              vtime_, array_),
+              vtime_, wall_us_, array_),
       gc_(config_, pool_, map_, writer_, policy, victim, metrics_, rng_,
           vtime_) {
   metrics_.groups.resize(policy.group_count());
+  map_.bind_lifetime(vtime_, &metrics_.block_lifetime);
 }
 
 void LssEngine::attach_addressed_array(array::AddressedArray* addressed) {
@@ -81,6 +82,8 @@ void LssEngine::write_block(Lba lba, TimeUs now_us) {
   if (g >= group_count()) {
     throw std::logic_error("placement policy returned bad group");
   }
+  emit(trace_, TraceEvent{TraceEventKind::kUserWrite, g, vtime_, wall_us_,
+                          lba, 0, 0});
   map_.invalidate(lba, pool_);
   writer_.append(g, lba, AppendSource::kUser, now_us);
   ++vtime_;

@@ -40,6 +40,7 @@
 #include "lss/placement_policy.h"
 #include "lss/segment.h"
 #include "lss/segment_pool.h"
+#include "lss/trace_sink.h"
 #include "lss/victim_policy.h"
 
 namespace adapt::lss {
@@ -102,6 +103,17 @@ class LssEngine {
   /// metrics are bit-identical with and without an observer.
   void set_observer(EngineObserver* observer) noexcept {
     observer_ = observer;
+  }
+
+  /// Attaches a trace sink (nullptr detaches) and forwards it to every
+  /// component hook point. Like observers, tracing is passive: engine
+  /// behaviour and metrics are bit-identical with and without a sink.
+  /// No-op in builds configured with -DADAPT_TRACING=OFF.
+  void set_trace_sink(TraceSink* sink) noexcept {
+    trace_ = sink;
+    pool_.set_trace_sink(sink, &wall_us_);
+    writer_.set_trace_sink(sink);
+    gc_.set_trace_sink(sink);
   }
 
   /// Attaches an address-mapped array with flash-backed devices: every
@@ -223,6 +235,7 @@ class LssEngine {
   array::SsdArray* array_;
   AggregationHook* hook_ = nullptr;
   EngineObserver* observer_ = nullptr;
+  TraceSink* trace_ = nullptr;
   Rng rng_;
   audit::Level audit_level_ = audit::Level::kOff;
 

@@ -1,5 +1,6 @@
 #include "lss/gc_controller.h"
 
+#include <chrono>
 #include <stdexcept>
 
 #include "common/packed_bitmap.h"
@@ -39,6 +40,9 @@ bool GcController::step(TimeUs now_us, std::uint32_t watermark) {
 }
 
 void GcController::run_once(TimeUs now_us) {
+  // Host-clock pause timing only (nondeterministic); everything the trace
+  // records below uses the simulated clocks.
+  const auto pause_begin = std::chrono::steady_clock::now();
   // The victim index is maintained incrementally through seal / valid-delta
   // / free notifications, so selection needs no candidate rebuild or pool
   // scan.
@@ -47,6 +51,8 @@ void GcController::run_once(TimeUs now_us) {
     throw std::runtime_error("LssEngine: no GC victim available");
   }
   ++metrics_.gc_runs;
+  const std::uint64_t forced_before = metrics_.forced_lazy_flushes;
+  const std::uint64_t migrated_before = metrics_.gc_migrated_blocks;
   Segment& v = pool_.segment_mut(victim);
 
   for (std::uint32_t slot = 0; slot < v.write_ptr; ++slot) {
@@ -85,7 +91,7 @@ void GcController::run_once(TimeUs now_us) {
     // reports on_free.
     pool_.invalidate_slot(here);
     map_.clear_primary(lba);
-    writer_.append(target, lba, AppendSource::kGc, now_us);
+    writer_.append(target, lba, AppendSource::kGc, now_us, v.group);
     ++metrics_.gc_migrated_blocks;
   }
 
@@ -94,8 +100,15 @@ void GcController::run_once(TimeUs now_us) {
   }
   policy_.note_segment_reclaimed(v.group, v.create_vtime, vtime_);
   ++metrics_.groups[v.group].segments_reclaimed;
+  emit(trace_,
+       TraceEvent{TraceEventKind::kGcRun, v.group, vtime_, now_us, victim,
+                  metrics_.gc_migrated_blocks - migrated_before,
+                  metrics_.forced_lazy_flushes - forced_before});
   writer_.trim_segment(victim);
   pool_.release(victim);
+  const auto pause_us = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - pause_begin);
+  metrics_.gc_pause_us.add(static_cast<std::uint64_t>(pause_us.count()));
 }
 
 void GcController::check_counters() const {

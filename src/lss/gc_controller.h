@@ -17,6 +17,7 @@
 #include "lss/metrics.h"
 #include "lss/placement_policy.h"
 #include "lss/segment_pool.h"
+#include "lss/trace_sink.h"
 #include "lss/victim_policy.h"
 
 namespace adapt::lss {
@@ -32,6 +33,9 @@ class GcController {
 
   GcController(const GcController&) = delete;
   GcController& operator=(const GcController&) = delete;
+
+  /// Attaches a trace sink for per-run GC events (nullptr detaches).
+  void set_trace_sink(TraceSink* sink) noexcept { trace_ = sink; }
 
   /// Reactive GC after a user write: reclaims until the free pool is back
   /// above the watermark (free_segment_reserve + group count). Throws when
@@ -57,6 +61,7 @@ class GcController {
   LssMetrics& metrics_;
   Rng& rng_;
   const VTime& vtime_;
+  TraceSink* trace_ = nullptr;
 };
 
 }  // namespace adapt::lss

@@ -6,8 +6,11 @@
 // padding over total physical writes.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
+
+#include "common/histogram.h"
 
 namespace adapt::lss {
 
@@ -29,13 +32,25 @@ struct GroupTraffic {
   std::uint64_t rmw_blocks = 0;
   std::uint64_t segments_sealed = 0;
   std::uint64_t segments_reclaimed = 0;
+  /// Provenance: gc_from[g] = GC-migrated blocks that landed in this group
+  /// whose victim segment belonged to group g. Sums to gc_blocks. Sized
+  /// lazily on first migration (stays empty for groups that never receive
+  /// GC traffic).
+  std::vector<std::uint64_t> gc_from;
 
   std::uint64_t total_blocks() const noexcept {
     return user_blocks + gc_blocks + shadow_blocks + padding_blocks;
   }
 
+  void count_gc_from(std::size_t source_group, std::size_t group_count) {
+    if (gc_from.size() < group_count) {
+      gc_from.resize(group_count);
+    }
+    ++gc_from[source_group];
+  }
+
   /// Element-wise accumulation (shard-merge).
-  void merge_from(const GroupTraffic& other) noexcept {
+  void merge_from(const GroupTraffic& other) {
     user_blocks += other.user_blocks;
     gc_blocks += other.gc_blocks;
     shadow_blocks += other.shadow_blocks;
@@ -47,6 +62,12 @@ struct GroupTraffic {
     rmw_blocks += other.rmw_blocks;
     segments_sealed += other.segments_sealed;
     segments_reclaimed += other.segments_reclaimed;
+    if (gc_from.size() < other.gc_from.size()) {
+      gc_from.resize(other.gc_from.size());
+    }
+    for (std::size_t g = 0; g < other.gc_from.size(); ++g) {
+      gc_from[g] += other.gc_from[g];
+    }
   }
 };
 
@@ -69,6 +90,14 @@ struct LssMetrics {
   std::uint64_t read_chunk_fetches = 0;  ///< whole-chunk array fetches
   std::uint64_t read_buffer_hits = 0;    ///< served from pending chunks
   std::uint64_t read_unmapped = 0;       ///< reads of never-written blocks
+  /// Lifetime (in vtime = user blocks written) between a primary copy's
+  /// segment birth and its invalidation. Deterministic; exported in the
+  /// manifest for SepBIT-style invalidation-time analysis.
+  Log2Histogram block_lifetime;
+  /// Host-clock microseconds per GcController::run_once. Nondeterministic
+  /// (wall time): reported in the manifest but excluded from the
+  /// adapt_compare regression gate.
+  Log2Histogram gc_pause_us;
   std::vector<GroupTraffic> groups;
 
   std::uint64_t total_blocks() const noexcept {
@@ -114,6 +143,8 @@ struct LssMetrics {
     read_chunk_fetches += other.read_chunk_fetches;
     read_buffer_hits += other.read_buffer_hits;
     read_unmapped += other.read_unmapped;
+    block_lifetime.merge_from(other.block_lifetime);
+    gc_pause_us.merge_from(other.gc_pause_us);
     if (groups.size() < other.groups.size()) {
       groups.resize(other.groups.size());
     }

@@ -34,6 +34,9 @@ SegmentId SegmentPool::allocate(GroupId g, VTime vtime) {
   seg.group = g;
   seg.create_vtime = vtime;
   ++group_segments_[g];
+  emit(trace_, TraceEvent{TraceEventKind::kSegmentAlloc, g, vtime,
+                          trace_wall_us_ != nullptr ? *trace_wall_us_ : 0, id,
+                          0, 0});
   return id;
 }
 
@@ -42,6 +45,9 @@ void SegmentPool::seal(SegmentId id, VTime vtime) {
   seg.sealed = true;
   seg.seal_vtime = vtime;
   victim_.on_seal(id, seg.valid_count, seg.seal_vtime);
+  emit(trace_, TraceEvent{TraceEventKind::kSegmentSeal, seg.group, vtime,
+                          trace_wall_us_ != nullptr ? *trace_wall_us_ : 0, id,
+                          seg.valid_count, 0});
 }
 
 void SegmentPool::release(SegmentId id) {

@@ -15,6 +15,7 @@
 #include "common/types.h"
 #include "lss/config.h"
 #include "lss/segment.h"
+#include "lss/trace_sink.h"
 #include "lss/victim_policy.h"
 
 namespace adapt::lss {
@@ -28,6 +29,14 @@ class SegmentPool {
 
   SegmentPool(const SegmentPool&) = delete;
   SegmentPool& operator=(const SegmentPool&) = delete;
+
+  /// Attaches a trace sink for segment alloc/seal events (nullptr
+  /// detaches). `wall_us` points at the owner's simulated wall clock;
+  /// it must outlive the pool (the engine binds its own member).
+  void set_trace_sink(TraceSink* sink, const TimeUs* wall_us) noexcept {
+    trace_ = sink;
+    trace_wall_us_ = wall_us;
+  }
 
   /// Pops a free segment, opens it for `g` at `vtime`, and returns its id.
   /// Throws std::runtime_error when the pool is exhausted.
@@ -64,6 +73,8 @@ class SegmentPool {
  private:
   const LssConfig& config_;
   VictimPolicy& victim_;
+  TraceSink* trace_ = nullptr;
+  const TimeUs* trace_wall_us_ = nullptr;
   std::vector<Segment> segments_;
   std::vector<SegmentId> free_list_;
   std::uint32_t free_count_ = 0;

@@ -92,6 +92,14 @@ class ShardedEngine {
   PlacementPolicy& shard_policy(std::uint32_t i) {
     return *shards_.at(i).parts.policy;
   }
+
+  /// Attaches a trace sink to shard `i`'s engine (nullptr detaches). Each
+  /// shard gets its own sink instance — sinks are not synchronised, and
+  /// run_queued replays shards on different threads; the obs layer merges
+  /// per-shard rings afterwards, exactly like Registry/metrics.
+  void set_trace_sink(std::uint32_t i, TraceSink* sink) {
+    shards_.at(i).engine->set_trace_sink(sink);
+  }
   const array::SsdArray* shard_array(std::uint32_t i) const {
     return shards_.at(i).parts.array.get();
   }

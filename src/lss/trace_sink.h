@@ -1,0 +1,70 @@
+// Engine-side tracing hook: a tiny POD event record and an abstract sink.
+//
+// The engine components (SegmentPool, ChunkWriter, GcController, LssEngine,
+// AdaptPolicy) emit TraceEvents through an optional TraceSink*; the concrete
+// ring buffer lives in src/obs/trace_log.h so the hot path only depends on
+// this header. Tracing is compiled out by default: configure with
+// -DADAPT_TRACING=ON (which defines ADAPT_TRACING_COMPILED=1) to enable the
+// emit path; otherwise emit() is an empty constexpr-if branch and the
+// instrumentation costs nothing.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+#ifndef ADAPT_TRACING_COMPILED
+#define ADAPT_TRACING_COMPILED 1
+#endif
+
+namespace adapt::lss {
+
+inline constexpr bool kTracingCompiled = ADAPT_TRACING_COMPILED != 0;
+
+enum class TraceEventKind : std::uint8_t {
+  kUserWrite,       ///< a = lba
+  kChunkFlush,      ///< a = fill_blocks, b = padded (0/1), c = chunk index
+  kRmwFlush,        ///< a = pending blocks merged, c = chunk index
+  kShadowAppend,    ///< group = host, a = donor group, b = blocks appended
+  kShadowExpire,    ///< group = flushed group, a = shadows expired
+  kSegmentAlloc,    ///< a = segment id
+  kSegmentSeal,     ///< a = segment id, b = valid blocks at seal
+  kGcRun,           ///< group = victim group, a = victim segment,
+                    ///< b = migrated blocks, c = forced lazy flushes
+  kThresholdAdapt,  ///< a = new threshold, b = total adoptions so far
+};
+
+/// POD event record. `ts` is the engine's deterministic virtual clock
+/// (vtime = user blocks written so far) and `wall_us` the simulated
+/// microsecond clock — never the host clock, so traces replay bit-identical.
+struct TraceEvent {
+  TraceEventKind kind = TraceEventKind::kUserWrite;
+  GroupId group = kInvalidGroup;
+  std::uint64_t ts = 0;       ///< vtime at emission
+  TimeUs wall_us = 0;         ///< simulated wall clock at emission
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+};
+
+/// Abstract sink; the obs layer provides the ring-buffer implementation.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void record(const TraceEvent& event) = 0;
+};
+
+/// Single emission point: compiles to nothing when tracing is off, and to a
+/// null check + virtual call when on. Callers pass a possibly-null sink.
+inline void emit(TraceSink* sink, const TraceEvent& event) {
+  if constexpr (kTracingCompiled) {
+    if (sink != nullptr) {
+      sink->record(event);
+    }
+  } else {
+    (void)sink;
+    (void)event;
+  }
+}
+
+}  // namespace adapt::lss

@@ -1,0 +1,337 @@
+#include "obs/compare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "obs/export.h"
+#include "obs/json.h"
+
+namespace adapt::obs {
+
+namespace {
+
+double rel_delta(double a, double b) {
+  const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) / scale;
+}
+
+double number_or(const json::Value& obj, std::string_view key,
+                 double fallback) {
+  const json::Value* v = obj.find(key);
+  return v != nullptr && v->is_number() ? v->as_number() : fallback;
+}
+
+class Comparer {
+ public:
+  Comparer(const CompareOptions& options, CompareReport& report)
+      : options_(options), report_(report) {}
+
+  void tolerance_row(std::string key, double baseline, double candidate) {
+    CompareRow row;
+    row.key = std::move(key);
+    row.baseline = baseline;
+    row.candidate = candidate;
+    // NaN on both sides (e.g. WA of an empty run) counts as equal; NaN on
+    // one side is a real difference.
+    if (std::isnan(baseline) && std::isnan(candidate)) {
+      row.rel_delta = 0.0;
+      row.within = true;
+    } else if (std::isnan(baseline) || std::isnan(candidate)) {
+      row.rel_delta = std::numeric_limits<double>::infinity();
+      row.within = false;
+    } else {
+      row.rel_delta = rel_delta(baseline, candidate);
+      row.within = row.rel_delta <= options_.tolerance;
+    }
+    report_.rows.push_back(std::move(row));
+  }
+
+  void exact_string(const json::Value& base, const json::Value& cand,
+                    std::string_view key) {
+    const json::Value* b = base.find(key);
+    const json::Value* c = cand.find(key);
+    const std::string bs = b != nullptr && b->is_string() ? b->as_string() : "";
+    const std::string cs = c != nullptr && c->is_string() ? c->as_string() : "";
+    if (bs != cs) {
+      report_.errors.push_back(std::string(key) + ": \"" + bs +
+                               "\" != \"" + cs + '"');
+    }
+  }
+
+  void exact_number(const json::Value& base, const json::Value& cand,
+                    std::string_view key) {
+    const double b = number_or(base, key, std::nan(""));
+    const double c = number_or(cand, key, std::nan(""));
+    if (std::isnan(b) && std::isnan(c)) return;
+    if (b != c) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "%.*s: %.10g != %.10g",
+                    static_cast<int>(key.size()), key.data(), b, c);
+      report_.errors.emplace_back(buf);
+    }
+  }
+
+ private:
+  const CompareOptions& options_;
+  CompareReport& report_;
+};
+
+void compare_counters(const json::Value& base, const json::Value& cand,
+                      Comparer& cmp, CompareReport& report,
+                      const CompareOptions& options) {
+  const json::Value* bc = base.find("counters");
+  const json::Value* cc = cand.find("counters");
+  if (bc == nullptr || !bc->is_object() || cc == nullptr ||
+      !cc->is_object()) {
+    report.errors.emplace_back("counters: missing or not an object");
+    return;
+  }
+  std::set<std::string> names;
+  for (const auto& [name, value] : bc->members()) {
+    (void)value;
+    names.insert(name);
+  }
+  for (const auto& [name, value] : cc->members()) {
+    (void)value;
+    names.insert(name);
+  }
+  for (const std::string& name : names) {
+    cmp.tolerance_row("counters." + name, number_or(*bc, name, 0.0),
+                      number_or(*cc, name, 0.0));
+  }
+  // Derived headline ratios: a small absolute drift in large counters can
+  // hide a meaningful WA regression, so gate the ratios directly too.
+  const auto derived = [&](const json::Value& c, const char* num_keys[4],
+                           bool padding) {
+    double user = number_or(c, "lss.user_blocks", 0.0);
+    double total = 0.0;
+    for (int i = 0; i < 4; ++i) total += number_or(c, num_keys[i], 0.0);
+    if (padding) {
+      return total == 0.0 ? 0.0
+                          : number_or(c, "lss.padding_blocks", 0.0) / total;
+    }
+    return user == 0.0 ? 0.0 : total / user;
+  };
+  static const char* kTotalKeys[4] = {"lss.user_blocks", "lss.gc_blocks",
+                                      "lss.shadow_blocks",
+                                      "lss.padding_blocks"};
+  cmp.tolerance_row("derived.wa", derived(*bc, kTotalKeys, false),
+                    derived(*cc, kTotalKeys, false));
+  cmp.tolerance_row("derived.padding_ratio", derived(*bc, kTotalKeys, true),
+                    derived(*cc, kTotalKeys, true));
+  (void)options;
+}
+
+void compare_provenance(const json::Value& base, const json::Value& cand,
+                        Comparer& cmp, CompareReport& report) {
+  const json::Value* bp = base.find("provenance");
+  const json::Value* cp = cand.find("provenance");
+  if (bp == nullptr && cp == nullptr) return;  // pre-provenance manifests
+  if (bp == nullptr || !bp->is_object() || cp == nullptr ||
+      !cp->is_object()) {
+    report.errors.emplace_back("provenance: present on one side only");
+    return;
+  }
+  const json::Value* bg = bp->find("groups");
+  const json::Value* cg = cp->find("groups");
+  if (bg == nullptr || !bg->is_array() || cg == nullptr || !cg->is_array()) {
+    report.errors.emplace_back("provenance.groups: missing or not an array");
+    return;
+  }
+  if (bg->items().size() != cg->items().size()) {
+    report.errors.emplace_back("provenance.groups: group counts differ");
+    return;
+  }
+  cmp.tolerance_row("provenance.pending_blocks",
+                    number_or(*bp, "pending_blocks", 0.0),
+                    number_or(*cp, "pending_blocks", 0.0));
+  for (std::size_t g = 0; g < bg->items().size(); ++g) {
+    const json::Value& b = bg->items()[g];
+    const json::Value& c = cg->items()[g];
+    const std::string prefix = "provenance.group" + std::to_string(g) + '.';
+    for (const char* key : {"user", "gc", "shadow", "padding", "rmw",
+                            "full_flushes", "padded_flushes",
+                            "rmw_flushes"}) {
+      cmp.tolerance_row(prefix + key, number_or(b, key, 0.0),
+                        number_or(c, key, 0.0));
+    }
+    const json::Value* bf = b.find("gc_from");
+    const json::Value* cf = c.find("gc_from");
+    const std::size_t cells =
+        std::max(bf != nullptr && bf->is_array() ? bf->items().size() : 0,
+                 cf != nullptr && cf->is_array() ? cf->items().size() : 0);
+    for (std::size_t s = 0; s < cells; ++s) {
+      const auto cell = [s](const json::Value* arr) {
+        if (arr == nullptr || !arr->is_array() || s >= arr->items().size()) {
+          return 0.0;
+        }
+        const json::Value& v = arr->items()[s];
+        return v.is_number() ? v.as_number() : 0.0;
+      };
+      cmp.tolerance_row(prefix + "gc_from" + std::to_string(s), cell(bf),
+                        cell(cf));
+    }
+  }
+}
+
+void compare_lifetime(const json::Value& base, const json::Value& cand,
+                      Comparer& cmp) {
+  // Deterministic histogram: compare its moments. gc_pause_us is
+  // host-clock data and deliberately not compared.
+  const json::Value* bh = base.find("block_lifetime");
+  const json::Value* ch = cand.find("block_lifetime");
+  if (bh == nullptr && ch == nullptr) return;
+  const auto moment = [](const json::Value* h, const char* key) {
+    return h != nullptr && h->is_object() ? number_or(*h, key, 0.0) : 0.0;
+  };
+  cmp.tolerance_row("block_lifetime.count", moment(bh, "count"),
+                    moment(ch, "count"));
+  cmp.tolerance_row("block_lifetime.sum", moment(bh, "sum"),
+                    moment(ch, "sum"));
+}
+
+void compare_manifests(const json::Value& base, const json::Value& cand,
+                       const CompareOptions& options, CompareReport& report) {
+  Comparer cmp(options, report);
+  // Identity: comparing runs of different configs is a usage error the
+  // gate must surface, not tolerate.
+  for (const char* key : {"policy", "victim", "workload"}) {
+    cmp.exact_string(base, cand, key);
+  }
+  for (const char* key : {"seed", "volume_id", "records"}) {
+    cmp.exact_number(base, cand, key);
+  }
+  const json::Value* bg = base.find("geometry");
+  const json::Value* cg = cand.find("geometry");
+  if (bg != nullptr && bg->is_object() && cg != nullptr && cg->is_object()) {
+    for (const char* key : {"chunk_blocks", "segment_chunks",
+                            "logical_blocks", "over_provision"}) {
+      cmp.exact_number(*bg, *cg, key);
+    }
+  } else {
+    report.errors.emplace_back("geometry: missing or not an object");
+  }
+  cmp.tolerance_row("user_blocks", number_or(base, "user_blocks", 0.0),
+                    number_or(cand, "user_blocks", 0.0));
+  compare_counters(base, cand, cmp, report, options);
+  compare_provenance(base, cand, cmp, report);
+  compare_lifetime(base, cand, cmp);
+  // Skipped on purpose: tool, wall_seconds, records_per_sec,
+  // peak_rss_bytes, gc_pause_us — host-dependent.
+}
+
+void compare_benches(const json::Value& base, const json::Value& cand,
+                     const CompareOptions& options, CompareReport& report) {
+  Comparer cmp(options, report);
+  cmp.exact_string(base, cand, "bench");
+  const auto index_rows = [&report](const json::Value& doc) {
+    std::map<std::string, double> rows;
+    const json::Value* arr = doc.find("rows");
+    if (arr == nullptr || !arr->is_array()) {
+      report.errors.emplace_back("rows: missing or not an array");
+      return rows;
+    }
+    for (const json::Value& row : arr->items()) {
+      if (!row.is_object()) continue;
+      const json::Value* metric = row.find("metric");
+      std::string key =
+          metric != nullptr && metric->is_string() ? metric->as_string() : "?";
+      if (const json::Value* params = row.find("params");
+          params != nullptr && params->is_object()) {
+        for (const auto& [name, value] : params->members()) {
+          key += '|';
+          key += name;
+          key += '=';
+          if (value.is_string()) key += value.as_string();
+        }
+      }
+      rows[key] = number_or(row, "value", std::nan(""));
+    }
+    return rows;
+  };
+  const std::map<std::string, double> brows = index_rows(base);
+  const std::map<std::string, double> crows = index_rows(cand);
+  for (const auto& [key, bvalue] : brows) {
+    const auto it = crows.find(key);
+    if (it == crows.end()) {
+      report.errors.push_back("row missing from candidate: " + key);
+      continue;
+    }
+    cmp.tolerance_row(key, bvalue, it->second);
+  }
+  for (const auto& [key, cvalue] : crows) {
+    (void)cvalue;
+    if (!brows.contains(key)) {
+      report.errors.push_back("row missing from baseline: " + key);
+    }
+  }
+}
+
+std::string schema_of(const json::Value& doc) {
+  if (!doc.is_object()) {
+    throw std::invalid_argument("compare: artifact is not a JSON object");
+  }
+  const json::Value* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string()) {
+    throw std::invalid_argument("compare: artifact has no schema tag");
+  }
+  return schema->as_string();
+}
+
+}  // namespace
+
+CompareReport compare_artifacts(std::string_view baseline,
+                                std::string_view candidate,
+                                const CompareOptions& options) {
+  const json::Value base = json::parse(baseline);
+  const json::Value cand = json::parse(candidate);
+  const std::string base_schema = schema_of(base);
+  const std::string cand_schema = schema_of(cand);
+  if (base_schema != cand_schema) {
+    throw std::invalid_argument("compare: schema mismatch (" + base_schema +
+                                " vs " + cand_schema + ')');
+  }
+  CompareReport report;
+  if (base_schema == kManifestSchema) {
+    compare_manifests(base, cand, options, report);
+  } else if (base_schema == kBenchSchema) {
+    compare_benches(base, cand, options, report);
+  } else {
+    throw std::invalid_argument("compare: unsupported schema \"" +
+                                base_schema + '"');
+  }
+  return report;
+}
+
+std::string format_report(const CompareReport& report,
+                          const CompareOptions& options) {
+  std::string out;
+  for (const std::string& error : report.errors) {
+    out += "MISMATCH ";
+    out += error;
+    out += '\n';
+  }
+  for (const CompareRow& row : report.rows) {
+    if (row.within) continue;
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), " %.10g -> %.10g (rel %.4g > %.4g)\n",
+                  row.baseline, row.candidate, row.rel_delta,
+                  options.tolerance);
+    out += "EXCEEDS  ";
+    out += row.key;
+    out += buf;
+  }
+  char tail[96];
+  std::snprintf(tail, sizeof(tail),
+                "%zu compared, %zu violations, tolerance %.4g\n",
+                report.rows.size(), report.violations(), options.tolerance);
+  out += tail;
+  return out;
+}
+
+}  // namespace adapt::obs

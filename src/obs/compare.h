@@ -1,0 +1,67 @@
+// Run-comparison regression gate: diffs two adapt-manifest-v1 or
+// adapt-bench-v1 artifacts with relative-tolerance gates.
+//
+// Deterministic metrics (counters, provenance cells, derived WA/padding
+// ratio, bench values) are compared with a relative tolerance; identity
+// fields (policy, victim, workload, seed, geometry, ...) must match
+// exactly; host-dependent fields (wall_seconds, records_per_sec,
+// peak_rss_bytes, the gc_pause_us histogram) are ignored — they vary
+// run-to-run and would make the gate flaky. tools/adapt_compare wraps this
+// as the CI gate over committed baselines.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adapt::obs {
+
+struct CompareOptions {
+  /// Maximum relative delta |a-b| / max(1, |a|, |b|) for tolerance rows.
+  double tolerance = 0.01;
+};
+
+struct CompareRow {
+  std::string key;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  double rel_delta = 0.0;
+  bool within = true;
+};
+
+struct CompareReport {
+  /// One row per compared metric (exact fields only appear on mismatch,
+  /// as errors).
+  std::vector<CompareRow> rows;
+  /// Structural problems and exact-field mismatches.
+  std::vector<std::string> errors;
+
+  bool ok() const {
+    if (!errors.empty()) return false;
+    for (const CompareRow& row : rows) {
+      if (!row.within) return false;
+    }
+    return true;
+  }
+  std::size_t violations() const {
+    std::size_t n = errors.size();
+    for (const CompareRow& row : rows) {
+      if (!row.within) ++n;
+    }
+    return n;
+  }
+};
+
+/// Compares two artifacts of the same kind (auto-detected from their
+/// "schema" tag: adapt-manifest-v1 or adapt-bench-v1). Throws
+/// std::invalid_argument when either document is malformed or the kinds
+/// disagree.
+CompareReport compare_artifacts(std::string_view baseline,
+                                std::string_view candidate,
+                                const CompareOptions& options = {});
+
+/// Human-readable rendering of the report (one line per row/error).
+std::string format_report(const CompareReport& report,
+                          const CompareOptions& options);
+
+}  // namespace adapt::obs

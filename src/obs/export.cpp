@@ -190,7 +190,13 @@ std::string manifest_json(const RunManifest& m) {
     first = false;
     append_kv(out, name.c_str(), value);
   }
-  out += "}}";
+  out += "},";
+  append_provenance_json(out, "provenance", m.provenance);
+  out += ',';
+  append_histogram_json(out, "block_lifetime", m.block_lifetime);
+  out += ',';
+  append_histogram_json(out, "gc_pause_us", m.gc_pause_us);
+  out += '}';
   return out;
 }
 
@@ -373,6 +379,11 @@ void validate_manifest_json(std::string_view text) {
                                   "\" must be a number");
     }
   }
+  validate_provenance_json(
+      require(doc, "provenance"),
+      static_cast<std::uint64_t>(require_number(geometry, "chunk_blocks")));
+  validate_histogram_json(require(doc, "block_lifetime"), "block_lifetime");
+  validate_histogram_json(require(doc, "gc_pause_us"), "gc_pause_us");
 }
 
 std::size_t validate_series_jsonl(std::string_view text) {

@@ -20,6 +20,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/histogram.h"
+#include "obs/provenance.h"
 #include "obs/registry.h"
 #include "obs/series.h"
 
@@ -50,6 +52,14 @@ struct RunManifest {
   double over_provision = 0.0;
   /// Merged counter registry (per-engine instances summed at collection).
   Registry counters;
+  /// Per-group write-provenance matrix; validate_manifest_json checks it
+  /// against the write-accounting identity.
+  ManifestProvenance provenance;
+  /// Deterministic block-lifetime distribution (vtime units).
+  Log2Histogram block_lifetime;
+  /// Host-clock GC pause distribution (microseconds). Nondeterministic:
+  /// reported, but skipped by the adapt_compare gate.
+  Log2Histogram gc_pause_us;
 };
 
 /// Peak resident set of this process in bytes (getrusage; 0 if unknown).

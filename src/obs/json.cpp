@@ -59,10 +59,20 @@ class Parser {
   }
 
  private:
+  /// Nesting bound: the recursive descent otherwise turns `[[[[...` into a
+  /// stack overflow. Far above any artifact schema (deepest is 4) and low
+  /// enough to stay within default thread stacks even under sanitizers.
+  static constexpr std::size_t kMaxDepth = 96;
+
   [[noreturn]] void fail(const std::string& why) const {
     throw std::invalid_argument("json: " + why + " at offset " +
                                 std::to_string(pos_));
   }
+
+  void enter() {
+    if (++depth_ > kMaxDepth) fail("nesting too deep");
+  }
+  void leave() noexcept { --depth_; }
 
   void skip_ws() {
     while (pos_ < text_.size()) {
@@ -127,11 +137,13 @@ class Parser {
 
   Value parse_object() {
     expect('{');
+    enter();
     Value v;
     v.type_ = Value::Type::kObject;
     skip_ws();
     if (peek() == '}') {
       ++pos_;
+      leave();
       return v;
     }
     for (;;) {
@@ -150,6 +162,7 @@ class Parser {
       }
       if (c == '}') {
         ++pos_;
+        leave();
         return v;
       }
       fail("expected ',' or '}'");
@@ -158,11 +171,13 @@ class Parser {
 
   Value parse_array() {
     expect('[');
+    enter();
     Value v;
     v.type_ = Value::Type::kArray;
     skip_ws();
     if (peek() == ']') {
       ++pos_;
+      leave();
       return v;
     }
     for (;;) {
@@ -175,6 +190,7 @@ class Parser {
       }
       if (c == ']') {
         ++pos_;
+        leave();
         return v;
       }
       fail("expected ',' or ']'");
@@ -303,6 +319,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 Value parse(std::string_view text) { return Parser(text).parse_document(); }

@@ -50,6 +50,8 @@ class Value {
 
 /// Parses exactly one JSON document (trailing whitespace allowed, trailing
 /// garbage is an error). Throws std::invalid_argument with a byte offset.
+/// Container nesting is bounded (96 levels) so hostile input cannot drive
+/// the recursive descent into a stack overflow.
 Value parse(std::string_view text);
 
 /// Returns `s` quoted and escaped as a JSON string literal.

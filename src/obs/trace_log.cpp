@@ -1,0 +1,339 @@
+#include "obs/trace_log.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <tuple>
+
+#include "obs/json.h"
+
+namespace adapt::obs {
+
+namespace {
+
+/// Display name + category + phase for each event kind.
+struct KindInfo {
+  const char* name;
+  const char* cat;
+  char ph;
+};
+
+KindInfo kind_info(lss::TraceEventKind kind) {
+  using lss::TraceEventKind;
+  switch (kind) {
+    case TraceEventKind::kUserWrite:
+      return {"user_write", "user", 'i'};
+    case TraceEventKind::kChunkFlush:
+      return {"chunk_flush", "flush", 'i'};
+    case TraceEventKind::kRmwFlush:
+      return {"rmw_flush", "flush", 'i'};
+    case TraceEventKind::kShadowAppend:
+      return {"shadow_append", "aggregation", 'i'};
+    case TraceEventKind::kShadowExpire:
+      return {"shadow_expire", "aggregation", 'i'};
+    case TraceEventKind::kSegmentAlloc:
+      return {"segment_alloc", "segment", 'i'};
+    case TraceEventKind::kSegmentSeal:
+      return {"segment_seal", "segment", 'i'};
+    case TraceEventKind::kGcRun:
+      return {"gc_run", "gc", 'X'};
+    case TraceEventKind::kThresholdAdapt:
+      return {"threshold_adapt", "adapt", 'i'};
+  }
+  throw std::logic_error("unknown trace event kind");
+}
+
+void append_kv_u64(std::string& out, const char* key, std::uint64_t v) {
+  out += json::quote(key);
+  out += ':';
+  out += std::to_string(v);
+}
+
+void append_kv_str(std::string& out, const char* key, std::string_view v) {
+  out += json::quote(key);
+  out += ':';
+  out += json::quote(v);
+}
+
+/// The kind-specific payload rendered into the event's args object.
+void append_args(std::string& out, const lss::TraceEvent& e) {
+  using lss::TraceEventKind;
+  append_kv_u64(out, "wall_us", e.wall_us);
+  if (e.group != kInvalidGroup) {
+    out += ',';
+    append_kv_u64(out, "group", e.group);
+  }
+  out += ',';
+  switch (e.kind) {
+    case TraceEventKind::kUserWrite:
+      append_kv_u64(out, "lba", e.a);
+      break;
+    case TraceEventKind::kChunkFlush:
+      append_kv_u64(out, "fill_blocks", e.a);
+      out += ',';
+      append_kv_u64(out, "padded", e.b);
+      out += ',';
+      append_kv_u64(out, "chunk", e.c);
+      break;
+    case TraceEventKind::kRmwFlush:
+      append_kv_u64(out, "blocks", e.a);
+      out += ',';
+      append_kv_u64(out, "chunk", e.c);
+      break;
+    case TraceEventKind::kShadowAppend:
+      append_kv_u64(out, "donor", e.a);
+      out += ',';
+      append_kv_u64(out, "blocks", e.b);
+      break;
+    case TraceEventKind::kShadowExpire:
+      append_kv_u64(out, "count", e.a);
+      break;
+    case TraceEventKind::kSegmentAlloc:
+      append_kv_u64(out, "segment", e.a);
+      break;
+    case TraceEventKind::kSegmentSeal:
+      append_kv_u64(out, "segment", e.a);
+      out += ',';
+      append_kv_u64(out, "valid_blocks", e.b);
+      break;
+    case TraceEventKind::kGcRun:
+      append_kv_u64(out, "victim", e.a);
+      out += ',';
+      append_kv_u64(out, "migrated", e.b);
+      out += ',';
+      append_kv_u64(out, "forced_flushes", e.c);
+      break;
+    case TraceEventKind::kThresholdAdapt:
+      append_kv_u64(out, "threshold", e.a);
+      out += ',';
+      append_kv_u64(out, "adoptions", e.b);
+      break;
+  }
+}
+
+void append_metadata_event(std::string& out, std::uint32_t tid,
+                           std::string_view meta_name,
+                           std::string_view value) {
+  out += '{';
+  append_kv_str(out, "name", meta_name);
+  out += ',';
+  append_kv_str(out, "ph", "M");
+  out += ',';
+  append_kv_u64(out, "pid", 0);
+  out += ',';
+  append_kv_u64(out, "tid", tid);
+  out += ',';
+  out += json::quote("args");
+  out += ":{";
+  append_kv_str(out, "name", value);
+  out += "}}";
+}
+
+}  // namespace
+
+TraceLog::TraceLog(const TraceLogConfig& config)
+    : capacity_(config.capacity) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("TraceLog: capacity must be positive");
+  }
+  ring_.reserve(std::min<std::size_t>(capacity_, 4096));
+}
+
+void TraceLog::record(const lss::TraceEvent& event) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[recorded_ % capacity_] = event;
+  }
+  ++recorded_;
+}
+
+std::vector<lss::TraceEvent> TraceLog::events() const {
+  if (recorded_ <= capacity_) return ring_;
+  // The ring wrapped: the oldest retained event sits at the write cursor.
+  const std::size_t cursor = recorded_ % capacity_;
+  std::vector<lss::TraceEvent> out;
+  out.reserve(capacity_);
+  out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(cursor),
+             ring_.end());
+  out.insert(out.end(), ring_.begin(),
+             ring_.begin() + static_cast<std::ptrdiff_t>(cursor));
+  return out;
+}
+
+TraceData merge_trace_logs(const std::vector<const TraceLog*>& shards) {
+  TraceData data;
+  data.shard_count = static_cast<std::uint32_t>(shards.size());
+  for (std::uint32_t shard = 0; shard < shards.size(); ++shard) {
+    const TraceLog* log = shards[shard];
+    if (log == nullptr) continue;
+    data.recorded += log->recorded();
+    data.dropped += log->dropped();
+    std::uint64_t seq = 0;
+    for (const lss::TraceEvent& event : log->events()) {
+      data.entries.push_back(TraceData::Entry{event, shard, seq++});
+    }
+  }
+  std::stable_sort(data.entries.begin(), data.entries.end(),
+                   [](const TraceData::Entry& l, const TraceData::Entry& r) {
+                     return std::tie(l.event.ts, l.shard, l.seq) <
+                            std::tie(r.event.ts, r.shard, r.seq);
+                   });
+  return data;
+}
+
+std::string chrome_trace_json(const TraceData& data, const TraceMeta& meta) {
+  std::string out = "{";
+  append_kv_str(out, "schema", kTraceSchema);
+  out += ',';
+  append_kv_str(out, "displayTimeUnit", "ms");
+  out += ',';
+  out += json::quote("otherData");
+  out += ":{";
+  append_kv_str(out, "tool", meta.tool);
+  out += ',';
+  append_kv_str(out, "policy", meta.policy);
+  out += ',';
+  append_kv_str(out, "workload", meta.workload);
+  out += ',';
+  append_kv_u64(out, "seed", meta.seed);
+  out += ',';
+  append_kv_u64(out, "shards", data.shard_count);
+  out += ',';
+  append_kv_u64(out, "recorded", data.recorded);
+  out += ',';
+  append_kv_u64(out, "dropped", data.dropped);
+  out += "},";
+  out += json::quote("traceEvents");
+  out += ":[";
+  append_metadata_event(out, 0, "process_name", "adapt-lss");
+  for (std::uint32_t shard = 0; shard < data.shard_count; ++shard) {
+    out += ',';
+    append_metadata_event(out, shard, "thread_name",
+                          "shard " + std::to_string(shard));
+  }
+  for (const TraceData::Entry& entry : data.entries) {
+    const lss::TraceEvent& e = entry.event;
+    const KindInfo info = kind_info(e.kind);
+    out += ",{";
+    append_kv_str(out, "name", info.name);
+    out += ',';
+    append_kv_str(out, "cat", info.cat);
+    out += ',';
+    append_kv_str(out, "ph", std::string_view(&info.ph, 1));
+    out += ',';
+    append_kv_u64(out, "pid", 0);
+    out += ',';
+    append_kv_u64(out, "tid", entry.shard);
+    out += ',';
+    append_kv_u64(out, "ts", e.ts);
+    out += ',';
+    if (info.ph == 'X') {
+      // Pseudo-duration: migrated blocks, so victim quality reads directly
+      // off the span width (vtime units, like ts).
+      append_kv_u64(out, "dur", e.b > 0 ? e.b : 1);
+      out += ',';
+    }
+    if (info.ph == 'i') {
+      append_kv_str(out, "s", "t");
+      out += ',';
+    }
+    out += json::quote("args");
+    out += ":{";
+    append_args(out, e);
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+void validate_trace_json(std::string_view text) {
+  const json::Value doc = json::parse(text);
+  if (!doc.is_object()) {
+    throw std::invalid_argument("schema: trace must be an object");
+  }
+  const json::Value* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kTraceSchema) {
+    throw std::invalid_argument("schema: expected \"" +
+                                std::string(kTraceSchema) + '"');
+  }
+  const json::Value* other = doc.find("otherData");
+  if (other == nullptr || !other->is_object()) {
+    throw std::invalid_argument("schema: otherData must be an object");
+  }
+  for (const char* key : {"tool", "policy", "workload"}) {
+    const json::Value* v = other->find(key);
+    if (v == nullptr || !v->is_string()) {
+      throw std::invalid_argument("schema: otherData." + std::string(key) +
+                                  " must be a string");
+    }
+  }
+  for (const char* key : {"seed", "shards", "recorded", "dropped"}) {
+    const json::Value* v = other->find(key);
+    if (v == nullptr || !v->is_number()) {
+      throw std::invalid_argument("schema: otherData." + std::string(key) +
+                                  " must be a number");
+    }
+  }
+  const json::Value* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    throw std::invalid_argument("schema: traceEvents must be an array");
+  }
+  std::size_t index = 0;
+  for (const json::Value& event : events->items()) {
+    const std::string where = "traceEvents[" + std::to_string(index++) + "]";
+    if (!event.is_object()) {
+      throw std::invalid_argument("schema: " + where + " must be an object");
+    }
+    const json::Value* name = event.find("name");
+    if (name == nullptr || !name->is_string()) {
+      throw std::invalid_argument("schema: " + where +
+                                  ".name must be a string");
+    }
+    const json::Value* ph = event.find("ph");
+    if (ph == nullptr || !ph->is_string()) {
+      throw std::invalid_argument("schema: " + where +
+                                  ".ph must be a string");
+    }
+    const std::string& phase = ph->as_string();
+    if (phase != "M" && phase != "i" && phase != "X" && phase != "C") {
+      throw std::invalid_argument("schema: " + where + " has unknown phase \"" +
+                                  phase + '"');
+    }
+    for (const char* key : {"pid", "tid"}) {
+      const json::Value* v = event.find(key);
+      if (v == nullptr || !v->is_number()) {
+        throw std::invalid_argument("schema: " + where + '.' + key +
+                                    " must be a number");
+      }
+    }
+    if (phase != "M") {
+      const json::Value* ts = event.find("ts");
+      if (ts == nullptr || !ts->is_number()) {
+        throw std::invalid_argument("schema: " + where +
+                                    ".ts must be a number");
+      }
+    }
+    if (phase == "X") {
+      const json::Value* dur = event.find("dur");
+      if (dur == nullptr || !dur->is_number()) {
+        throw std::invalid_argument("schema: " + where +
+                                    ".dur must be a number");
+      }
+    }
+    if (phase == "i") {
+      const json::Value* scope = event.find("s");
+      if (scope == nullptr || !scope->is_string()) {
+        throw std::invalid_argument("schema: " + where +
+                                    ".s must be a string");
+      }
+    }
+    const json::Value* args = event.find("args");
+    if (args == nullptr || !args->is_object()) {
+      throw std::invalid_argument("schema: " + where +
+                                  ".args must be an object");
+    }
+  }
+}
+
+}  // namespace adapt::obs

@@ -56,6 +56,9 @@ obs::RunManifest CellResult::aggregate_manifest() const {
     m.wall_seconds += v.manifest.wall_seconds;
     m.peak_rss_bytes = std::max(m.peak_rss_bytes, v.manifest.peak_rss_bytes);
     m.counters.merge_from(v.manifest.counters);
+    m.provenance.merge_from(v.manifest.provenance);
+    m.block_lifetime.merge_from(v.manifest.block_lifetime);
+    m.gc_pause_us.merge_from(v.manifest.gc_pause_us);
     // Geometry and seed are uniform across a cell; keep the last seen.
     m.seed = v.manifest.seed;
     m.chunk_blocks = v.manifest.chunk_blocks;

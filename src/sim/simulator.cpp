@@ -112,6 +112,20 @@ VolumeResult run_volume(const trace::Volume& volume,
   lss::ShardedEngine engine(lss_config, shards, config.seed, factory);
 
   const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::unique_ptr<obs::TraceLog>> trace_logs;
+  if (config.tracing_enabled) {
+    trace_logs.reserve(shards);
+    for (std::uint32_t i = 0; i < shards; ++i) {
+      trace_logs.push_back(std::make_unique<obs::TraceLog>(config.tracing));
+      engine.set_trace_sink(i, trace_logs[i].get());
+      // The policy's re-adaptation events land in the same shard ring as
+      // its engine's, keeping the merged order deterministic.
+      if (core::AdaptPolicy* adapt_policy = policy_refs[i].adapt;
+          adapt_policy != nullptr) {
+        adapt_policy->set_trace_sink(trace_logs[i].get());
+      }
+    }
+  }
   std::vector<std::unique_ptr<obs::EngineSampler>> samplers;
   if (config.sampling_enabled) {
     samplers.reserve(shards);
@@ -190,7 +204,26 @@ VolumeResult run_volume(const trace::Volume& volume,
   man.segment_chunks = lss_config.segment_chunks;
   man.logical_blocks = lss_config.logical_blocks;
   man.over_provision = lss_config.over_provision;
+  // Pending (appended-but-unflushed) blocks close the write-accounting
+  // identity from the manifest alone; after flush_all this is normally 0.
+  std::uint64_t pending_blocks = 0;
+  for (std::uint32_t i = 0; i < shards; ++i) {
+    const lss::LssEngine& shard = engine.shard(i);
+    for (GroupId g = 0; g < shard.group_count(); ++g) {
+      pending_blocks += shard.pending_blocks(g);
+    }
+  }
+  man.provenance = obs::provenance_of(result.metrics, pending_blocks);
+  man.block_lifetime = result.metrics.block_lifetime;
+  man.gc_pause_us = result.metrics.gc_pause_us;
   obs::register_lss_metrics(man.counters, result.metrics);
+  if (!trace_logs.empty()) {
+    std::vector<const obs::TraceLog*> ptrs;
+    ptrs.reserve(trace_logs.size());
+    for (const auto& log : trace_logs) ptrs.push_back(log.get());
+    result.trace = std::make_shared<const obs::TraceData>(
+        obs::merge_trace_logs(ptrs));
+  }
   if (!samplers.empty()) {
     std::vector<obs::TimeSeries> parts;
     parts.reserve(samplers.size());

@@ -16,6 +16,7 @@
 #include "lss/engine.h"
 #include "lss/metrics.h"
 #include "obs/export.h"
+#include "obs/trace_log.h"
 #include "trace/record.h"
 
 namespace adapt::sim {
@@ -42,6 +43,13 @@ struct SimConfig {
   /// then pays exactly one null check per user block.
   bool sampling_enabled = false;
   obs::SamplerConfig sampling;
+  /// Event tracing: when enabled, run_volume attaches one obs::TraceLog per
+  /// shard, merges the rings after replay and returns the deterministic
+  /// timeline in VolumeResult::trace. Off by default — tracing is passive
+  /// (pinned fixed-seed metrics stay bit-identical either way), but the
+  /// ring writes are not free, so it stays opt-in.
+  bool tracing_enabled = false;
+  obs::TraceLogConfig tracing;
   /// Optional replay-progress callback (records done, records total);
   /// invoked every ~64k records and once at completion.
   std::function<void(std::uint64_t, std::uint64_t)> progress;
@@ -60,6 +68,8 @@ struct VolumeResult {
   obs::RunManifest manifest;
   /// Sampled time series; null unless SimConfig::sampling_enabled.
   std::shared_ptr<const obs::TimeSeries> series;
+  /// Merged event trace; null unless SimConfig::tracing_enabled.
+  std::shared_ptr<const obs::TraceData> trace;
 
   double wa() const noexcept { return metrics.wa(); }
   double padding_ratio() const noexcept { return metrics.padding_ratio(); }

@@ -29,7 +29,11 @@ TEST(RegistryTest, SlotPointersAreStableAcrossInserts) {
   std::uint64_t* a = r.slot("alpha");
   *a = 7;
   // Node-based storage: growing the registry must not move existing slots.
-  for (int i = 0; i < 256; ++i) r.slot("k" + std::to_string(i));
+  for (int i = 0; i < 256; ++i) {
+    std::string name = "k";
+    name += std::to_string(i);
+    r.slot(name);
+  }
   *a += 1;
   EXPECT_EQ(r.value("alpha"), 8u);
   EXPECT_EQ(r.slot("alpha"), a);
@@ -152,6 +156,63 @@ TEST(SamplerTest, RejectsZeroWindow) {
   obs::SamplerConfig config;
   config.window_blocks = 0;
   EXPECT_THROW(obs::EngineSampler sampler(config), std::invalid_argument);
+}
+
+TEST(SamplerTest, ZeroUserBlocksProducesOneFinalRow) {
+  // A volume with no writes at all: finalize still captures one snapshot,
+  // and every derived/windowed quantity downstream must cope with
+  // user_blocks == 0.
+  trace::Volume volume;
+  volume.id = 7;
+  volume.capacity_blocks = 4096;
+  const sim::VolumeResult r = run_sampled(volume, 512, 64);
+  EXPECT_EQ(r.metrics.user_blocks, 0u);
+  ASSERT_NE(r.series, nullptr);
+  ASSERT_EQ(r.series->rows.size(), 1u);
+  EXPECT_EQ(r.series->rows[0].user_blocks, 0u);
+  std::ostringstream jsonl;
+  obs::write_series_jsonl(jsonl, *r.series);
+  EXPECT_EQ(obs::validate_series_jsonl(jsonl.str()), 1u);
+  EXPECT_NO_THROW(obs::validate_manifest_json(obs::manifest_json(r.manifest)));
+}
+
+// ---------------------------------------------------------------------------
+// merge_series error paths
+// ---------------------------------------------------------------------------
+
+TEST(SeriesMergeTest, RejectsEmptyInput) {
+  EXPECT_THROW(obs::merge_series({}), std::invalid_argument);
+}
+
+TEST(SeriesMergeTest, RejectsPartsSampledWithDifferentWindows) {
+  obs::TimeSeries a;
+  a.window_blocks = 1024;
+  obs::TimeSeries b;
+  b.window_blocks = 512;
+  std::vector<obs::TimeSeries> parts;
+  parts.push_back(a);
+  parts.push_back(b);
+  EXPECT_THROW(obs::merge_series(std::move(parts)), std::invalid_argument);
+}
+
+TEST(SeriesMergeTest, RejectsCorruptHeader) {
+  // window_blocks must equal base_window << downsamples; a zero window or
+  // a downsample count that shifts the stride to nothing is corrupt.
+  obs::TimeSeries ok;
+  ok.window_blocks = 1024;
+  for (const auto& [window, downsamples] :
+       {std::pair<std::uint64_t, std::uint32_t>{0, 0},
+        std::pair<std::uint64_t, std::uint32_t>{1024, 60},
+        std::pair<std::uint64_t, std::uint32_t>{1000, 3}}) {
+    obs::TimeSeries bad;
+    bad.window_blocks = window;
+    bad.downsamples = downsamples;
+    std::vector<obs::TimeSeries> parts;
+    parts.push_back(ok);
+    parts.push_back(bad);
+    EXPECT_THROW(obs::merge_series(std::move(parts)), std::invalid_argument)
+        << window << "/" << downsamples;
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,114 @@
+// adapt_compare — run-comparison regression gate CLI.
+//
+//   adapt_compare [--tolerance T] [--quiet] baseline candidate
+//
+// Diffs two artifacts of the same schema (adapt-manifest-v1 or
+// adapt-bench-v1, auto-detected) with relative-tolerance gates on the
+// deterministic metrics and exact matching on identity fields;
+// host-dependent fields (wall clock, RSS, GC pause times) are ignored.
+// CI runs this over committed baselines to catch WA / padding / provenance
+// regressions.
+//
+// Exit codes: 0 within tolerance, 1 differences found, 2 usage or I/O
+// error (unreadable file, malformed artifact, schema mismatch).
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/compare.h"
+
+namespace {
+
+void usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: adapt_compare [--tolerance T] [--quiet] "
+               "BASELINE CANDIDATE\n"
+               "  --tolerance T   max relative delta for gated metrics "
+               "(default 0.01)\n"
+               "  --quiet         only print violations and the verdict\n");
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  adapt::obs::CompareOptions options;
+  bool quiet = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
+    } else if (arg == "--tolerance") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "adapt_compare: --tolerance requires a value\n");
+        usage(stderr);
+        return 2;
+      }
+      char* end = nullptr;
+      options.tolerance = std::strtod(argv[++i], &end);
+      if (end == nullptr || *end != '\0' || options.tolerance < 0.0) {
+        std::fprintf(stderr, "adapt_compare: bad tolerance '%s'\n", argv[i]);
+        return 2;
+      }
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg.front() == '-') {
+      std::fprintf(stderr, "adapt_compare: unknown option %s\n",
+                   std::string(arg).c_str());
+      usage(stderr);
+      return 2;
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    std::fprintf(stderr, "adapt_compare: need exactly two files\n");
+    usage(stderr);
+    return 2;
+  }
+
+  adapt::obs::CompareReport report;
+  try {
+    report = adapt::obs::compare_artifacts(read_file(paths[0]),
+                                           read_file(paths[1]), options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "adapt_compare: %s\n", e.what());
+    return 2;
+  }
+
+  const std::string rendered = adapt::obs::format_report(report, options);
+  if (!quiet) {
+    std::fputs(rendered.c_str(), stdout);
+  } else {
+    // Violations plus the verdict tail line only.
+    std::istringstream lines(rendered);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.find("MISMATCH") != std::string::npos ||
+          line.find("EXCEEDS") != std::string::npos ||
+          line.find("compared") != std::string::npos) {
+        std::printf("%s\n", line.c_str());
+      }
+    }
+  }
+  if (!report.ok()) {
+    std::fprintf(stderr, "adapt_compare: %zu violation(s) vs %s\n",
+                 report.violations(), paths[0].c_str());
+    return 1;
+  }
+  return 0;
+}

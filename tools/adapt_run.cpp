@@ -6,9 +6,15 @@
 //   <out>/adapt_run_series.jsonl    adapt-series-v1 time series
 //   <out>/adapt_run_series.csv      same series, flat columns for gnuplot
 //   <out>/adapt_run_manifest.json   adapt-manifest-v1 run manifest
+//   <out>/adapt_run_trace.json      adapt-trace-v1 (with --trace-events)
 //
-// --selfcheck re-reads all three artifacts through the schema validators
-// before exiting, so CI can use one invocation as an end-to-end probe.
+// Every artifact write is checked: an unopenable path or a failed flush is
+// an error (exit 1), never a silent empty file. --selfcheck re-reads all
+// written artifacts through the schema validators before exiting, so CI can
+// use one invocation as an end-to-end probe; any validation failure prints
+// "selfcheck FAILED: <artifact>: <reason>" and exits non-zero.
+//
+// Exit codes: 0 success, 1 runtime/selfcheck failure, 2 usage error.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,6 +27,7 @@
 
 #include "lss/sharded_engine.h"
 #include "obs/export.h"
+#include "obs/trace_log.h"
 #include "sim/simulator.h"
 #include "trace/reader.h"
 #include "trace/synthetic.h"
@@ -43,6 +50,8 @@ struct Options {
   bool rmw = false;
   bool no_array = false;
   bool no_per_group = false;
+  bool trace_events = false;
+  bool registry_dump = false;
   bool selfcheck = false;
   bool quiet = false;
 };
@@ -72,6 +81,10 @@ void usage(std::FILE* to) {
                "  --rmw              read-modify-write partial flushes\n"
                "  --no-array         skip the SSD-array model\n"
                "  --no-per-group     drop per-group series columns\n"
+               "  --trace-events     record the event trace and write\n"
+               "                     adapt_run_trace.json (Chrome/Perfetto)\n"
+               "  --registry-dump    print the merged counter registry as\n"
+               "                     sorted 'name value' lines on stdout\n"
                "  --selfcheck        re-validate the written artifacts\n"
                "  --quiet            no replay progress on stderr\n");
 }
@@ -120,6 +133,10 @@ Options parse_args(int argc, char** argv) {
       opt.no_array = true;
     } else if (arg == "--no-per-group") {
       opt.no_per_group = true;
+    } else if (arg == "--trace-events") {
+      opt.trace_events = true;
+    } else if (arg == "--registry-dump") {
+      opt.registry_dump = true;
     } else if (arg == "--selfcheck") {
       opt.selfcheck = true;
     } else if (arg == "--quiet") {
@@ -153,6 +170,21 @@ std::string read_file(const std::filesystem::path& path) {
   std::ostringstream buf;
   buf << in.rdbuf();
   return buf.str();
+}
+
+/// Checked artifact write: throws if the stream cannot be opened or any
+/// write/flush fails, so a bad output path can never produce a silent
+/// truncated/empty artifact with exit code 0.
+void write_artifact(const std::filesystem::path& path,
+                    std::string_view text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("cannot open " + path.string() +
+                             " for writing");
+  }
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  out.flush();
+  if (!out) throw std::runtime_error("write failed: " + path.string());
 }
 
 int run(const Options& opt) {
@@ -192,6 +224,7 @@ int run(const Options& opt) {
   config.sampling.window_blocks = opt.window == 0 ? 4096 : opt.window;
   config.sampling.max_rows = static_cast<std::size_t>(opt.max_rows);
   config.sampling.per_group = !opt.no_per_group;
+  config.tracing_enabled = opt.trace_events;
   if (!opt.quiet) {
     config.progress = [](std::uint64_t done, std::uint64_t total) {
       std::fprintf(stderr, "\rreplayed %llu/%llu records",
@@ -210,17 +243,25 @@ int run(const Options& opt) {
   const fs::path jsonl_path = dir / "adapt_run_series.jsonl";
   const fs::path csv_path = dir / "adapt_run_series.csv";
   const fs::path manifest_path = dir / "adapt_run_manifest.json";
+  const fs::path trace_path = dir / "adapt_run_trace.json";
   {
-    std::ofstream out(jsonl_path);
+    std::ostringstream out;
     obs::write_series_jsonl(out, *result.series);
+    write_artifact(jsonl_path, out.str());
   }
   {
-    std::ofstream out(csv_path);
+    std::ostringstream out;
     obs::write_series_csv(out, *result.series);
+    write_artifact(csv_path, out.str());
   }
-  {
-    std::ofstream out(manifest_path);
-    out << obs::manifest_json(result.manifest) << '\n';
+  write_artifact(manifest_path, obs::manifest_json(result.manifest) + "\n");
+  if (opt.trace_events) {
+    obs::TraceMeta meta;
+    meta.tool = "adapt_run";
+    meta.policy = result.policy;
+    meta.workload = workload;
+    meta.seed = opt.seed;
+    write_artifact(trace_path, obs::chrome_trace_json(*result.trace, meta));
   }
 
   std::printf("policy=%s victim=%s workload=%s records=%llu shards=%u\n",
@@ -235,21 +276,48 @@ int run(const Options& opt) {
       result.series->rows.size(),
       static_cast<unsigned long long>(result.series->window_blocks),
       result.series->downsamples);
+  if (opt.trace_events) {
+    std::printf("trace: %llu events recorded, %llu dropped\n",
+                static_cast<unsigned long long>(result.trace->recorded),
+                static_cast<unsigned long long>(result.trace->dropped));
+  }
   std::printf("wall=%.3fs records/s=%.0f peak_rss=%llu\n",
               result.manifest.wall_seconds, result.manifest.records_per_sec,
               static_cast<unsigned long long>(result.manifest.peak_rss_bytes));
   std::printf("wrote %s %s %s\n", jsonl_path.c_str(), csv_path.c_str(),
               manifest_path.c_str());
 
-  if (opt.selfcheck) {
-    const std::size_t samples =
-        obs::validate_series_jsonl(read_file(jsonl_path));
-    obs::validate_manifest_json(read_file(manifest_path));
-    if (samples == 0) {
-      std::fprintf(stderr, "selfcheck: series has no samples\n");
-      return 1;
+  if (opt.registry_dump) {
+    for (const auto& [name, value] : result.manifest.counters.entries()) {
+      std::printf("%s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
     }
-    std::printf("selfcheck ok: %zu samples, manifest valid\n", samples);
+  }
+
+  if (opt.selfcheck) {
+    bool failed = false;
+    const auto check = [&](const fs::path& path, auto&& validate) {
+      try {
+        validate(read_file(path));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "selfcheck FAILED: %s: %s\n", path.c_str(),
+                     e.what());
+        failed = true;
+      }
+    };
+    check(jsonl_path, [](const std::string& text) {
+      if (obs::validate_series_jsonl(text) == 0) {
+        throw std::invalid_argument("series has no samples");
+      }
+    });
+    check(manifest_path,
+          [](const std::string& text) { obs::validate_manifest_json(text); });
+    if (opt.trace_events) {
+      check(trace_path,
+            [](const std::string& text) { obs::validate_trace_json(text); });
+    }
+    if (failed) return 1;
+    std::printf("selfcheck ok: all artifacts valid\n");
   }
   return 0;
 }
@@ -257,11 +325,18 @@ int run(const Options& opt) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  Options opt;
   try {
-    return run(parse_args(argc, argv));
+    opt = parse_args(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "adapt_run: %s\n", e.what());
     usage(stderr);
+    return 2;
+  }
+  try {
+    return run(opt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "adapt_run: %s\n", e.what());
     return 1;
   }
 }

@@ -3,6 +3,7 @@
 //   check_bench_json BENCH_fig02.json ...            adapt-bench-v1 (default)
 //   check_bench_json --manifest manifest.json ...    adapt-manifest-v1
 //   check_bench_json --series series.jsonl ...       adapt-series-v1
+//   check_bench_json --trace trace.json ...          adapt-trace-v1
 //
 // Exits 0 when every file validates; prints the first schema violation and
 // exits 1 otherwise. CI's bench-smoke job runs this over every BENCH_*.json
@@ -16,10 +17,11 @@
 #include <vector>
 
 #include "obs/export.h"
+#include "obs/trace_log.h"
 
 namespace {
 
-enum class Kind { kBench, kManifest, kSeries };
+enum class Kind { kBench, kManifest, kSeries, kTrace };
 
 std::string read_file(const std::string& path) {
   std::ifstream in(path);
@@ -42,9 +44,12 @@ int main(int argc, char** argv) {
       kind = Kind::kManifest;
     } else if (arg == "--series") {
       kind = Kind::kSeries;
+    } else if (arg == "--trace") {
+      kind = Kind::kTrace;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: check_bench_json [--bench|--manifest|--series] files...\n");
+          "usage: check_bench_json [--bench|--manifest|--series|--trace] "
+          "files...\n");
       return 0;
     } else {
       paths.emplace_back(arg);
@@ -69,6 +74,9 @@ int main(int argc, char** argv) {
           std::printf("%s: %zu samples\n", path.c_str(), samples);
           break;
         }
+        case Kind::kTrace:
+          adapt::obs::validate_trace_json(text);
+          break;
       }
       std::printf("%s: ok\n", path.c_str());
     } catch (const std::exception& e) {
