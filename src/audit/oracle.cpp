@@ -36,7 +36,7 @@ void OracleModel::verify_lba(const lss::LssEngine& engine, Lba lba) const {
     const lss::Segment& seg = engine.segments()[loc.segment];
     if (seg.free) fail("primary mapped into a free segment");
     if (loc.slot >= seg.write_ptr) fail("primary mapped past write_ptr");
-    if (seg.slot_lba[loc.slot] != lba) fail("slot lba mismatch at primary");
+    if (engine.slot_lba(loc) != lba) fail("slot lba mismatch at primary");
     if (!seg.slot_valid.test(loc.slot)) fail("primary slot marked dead");
   }
   if (engine.has_live_shadow(lba)) {
@@ -44,7 +44,7 @@ void OracleModel::verify_lba(const lss::LssEngine& engine, Lba lba) const {
     const lss::BlockLocation sh = engine.shadow_location(lba);
     if (sh == lss::kNowhere) fail("has_live_shadow without a location");
     const lss::Segment& sseg = engine.segments()[sh.segment];
-    if (sseg.slot_lba[sh.slot] != lba || !sseg.slot_valid.test(sh.slot)) {
+    if (engine.slot_lba(sh) != lba || !sseg.slot_valid.test(sh.slot)) {
       fail("shadow slot bookkeeping mismatch");
     }
     if (sh.segment == loc.segment) {

@@ -7,6 +7,7 @@
 namespace adapt::lss {
 
 void BlockMap::invalidate(Lba lba, SegmentPool& pool) {
+  assert(lba < primary_.size());
   if (primary_[lba] != kUnmappedLocation) {
     const BlockLocation loc = unpack_location(primary_[lba]);
     if (lifetime_ != nullptr) {
@@ -16,24 +17,27 @@ void BlockMap::invalidate(Lba lba, SegmentPool& pool) {
     pool.invalidate_slot(loc);
     primary_[lba] = kUnmappedLocation;
   }
-  const auto it = shadow_.find(lba);
-  if (it != shadow_.end()) {
-    pool.invalidate_slot(it->second);
-    shadow_.erase(it);
+  // The flat table's empty fast path makes this free for policies that
+  // never aggregate (no shadows ever created).
+  const BlockLocation shadow = shadow_.find(lba);
+  if (shadow != kNowhere) {
+    pool.invalidate_slot(shadow);
+    shadow_.erase(lba);
   }
 }
 
 void BlockMap::expire_shadow(Lba lba, SegmentPool& pool) {
-  const auto it = shadow_.find(lba);
-  if (it == shadow_.end()) return;
-  pool.invalidate_slot(it->second);
-  shadow_.erase(it);
+  const BlockLocation shadow = shadow_.find(lba);
+  if (shadow == kNowhere) return;
+  pool.invalidate_slot(shadow);
+  shadow_.erase(lba);
 }
 
 void BlockMap::check_counters() const {
+  shadow_.check_counters();
   // O(live shadows), which is bounded by the pending blocks across open
   // chunks: a shadow exists only while its lazy-append original is pending.
-  for (const auto& [lba, loc] : shadow_) {
+  for (const auto [lba, loc] : shadow_) {
     (void)loc;
     if (lba >= primary_.size() || primary_[lba] == kUnmappedLocation) {
       throw std::logic_error("shadow without a live primary");

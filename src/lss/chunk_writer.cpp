@@ -18,6 +18,9 @@ ChunkWriter::ChunkWriter(const LssConfig& config, GroupId group_count,
       wall_us_(wall_us),
       array_(array) {
   groups_.resize(group_count);
+  // Pending appends fit in one segment; reserving once keeps
+  // shadow_append allocation-free in steady state.
+  shadow_scratch_.reserve(config_.segment_blocks());
 }
 
 std::uint32_t ChunkWriter::pending_blocks(GroupId g) const {
@@ -33,7 +36,7 @@ std::uint32_t ChunkWriter::pending_unshadowed_valid(GroupId g) const {
   std::uint32_t n = 0;
   for (std::uint32_t slot = gs.flushed_slots; slot < seg.write_ptr; ++slot) {
     if (!seg.slot_valid.test(slot)) continue;
-    const Lba lba = seg.slot_lba[slot];
+    const Lba lba = pool_.slot_lba(gs.open_seg, slot);
     // Skip shadow copies hosted here and already-shadowed primaries.
     if (!map_.primary_is(lba, BlockLocation{gs.open_seg, slot})) continue;
     if (map_.has_shadow(lba)) continue;
@@ -50,7 +53,7 @@ void ChunkWriter::append(GroupId g, Lba lba, AppendSource source,
   Segment& seg = pool_.segment_mut(seg_id);
 
   const std::uint32_t slot = seg.write_ptr++;
-  seg.slot_lba[slot] = lba;
+  pool_.set_slot_lba(seg_id, slot, lba);
   seg.slot_valid.set(slot);
   ++seg.valid_count;
 
@@ -78,11 +81,15 @@ void ChunkWriter::append(GroupId g, Lba lba, AppendSource source,
       break;
   }
 
-  if (seg.write_ptr % config_.chunk_blocks == 0) {
+  if (seg.write_ptr == gs.next_boundary) {
+    gs.next_boundary += config_.chunk_blocks;
     flush_boundary(g);
   } else if (source == AppendSource::kUser && !gs.deadline_armed) {
     gs.deadline_armed = true;
     gs.chunk_deadline = now_us + config_.coalesce_window_us;
+    if (gs.chunk_deadline < earliest_deadline_) {
+      earliest_deadline_ = gs.chunk_deadline;
+    }
   }
 }
 
@@ -103,6 +110,7 @@ void ChunkWriter::open_group_segment(GroupId g) {
   GroupState& gs = groups_[g];
   gs.open_seg = pool_.allocate(g, vtime_);
   gs.flushed_slots = 0;
+  gs.next_boundary = config_.chunk_blocks;
 }
 
 void ChunkWriter::seal_group_segment(GroupId g) {
@@ -124,12 +132,16 @@ void ChunkWriter::trim_segment(SegmentId id) {
 
 void ChunkWriter::expire_shadows_in_range(GroupId g, std::uint32_t begin,
                                           std::uint32_t end) {
+  // With no live shadows, the scan can expire nothing: skip the per-slot
+  // primary_ probing entirely. Policies that never aggregate (and ADAPT
+  // between aggregation bursts) hit this on every flush.
+  if (map_.live_shadow_count() == 0) return;
   const GroupState& gs = groups_[g];
   const Segment& seg = pool_.segment(gs.open_seg);
   std::uint64_t expired = 0;
   for (std::uint32_t slot = begin; slot < end; ++slot) {
     if (!seg.slot_valid.test(slot)) continue;
-    const Lba lba = seg.slot_lba[slot];
+    const Lba lba = pool_.slot_lba(gs.open_seg, slot);
     if (lba == kInvalidLba) continue;
     if (map_.primary_is(lba, BlockLocation{gs.open_seg, slot}) &&
         map_.has_shadow(lba)) {
@@ -234,10 +246,11 @@ void ChunkWriter::pad_flush(GroupId g) {
   const std::uint32_t chunk_end = gs.flushed_slots + config_.chunk_blocks;
   // Dead padding slots: allocated, never valid.
   for (std::uint32_t slot = seg.write_ptr; slot < chunk_end; ++slot) {
-    seg.slot_lba[slot] = kInvalidLba;
+    pool_.set_slot_lba(gs.open_seg, slot, kInvalidLba);
     seg.slot_valid.reset(slot);
   }
   seg.write_ptr = chunk_end;
+  gs.next_boundary = chunk_end + config_.chunk_blocks;
   flush_chunk(g, /*fill_blocks=*/pending, /*padded=*/true);
 }
 
@@ -246,22 +259,23 @@ void ChunkWriter::shadow_append(GroupId g, GroupId host, TimeUs now_us) {
   if (gs.open_seg == kInvalidSegment) return;  // donor has nothing pending
   const Segment& seg = pool_.segment(gs.open_seg);
 
-  // Collect pending primaries of g that are valid and not yet shadowed.
-  std::vector<Lba> to_shadow;
-  to_shadow.reserve(seg.write_ptr - gs.flushed_slots);
+  // Collect pending primaries of g that are valid and not yet shadowed
+  // (recycled scratch — appends below may open segments, so the snapshot
+  // keeps the scan stable while the table mutates).
+  shadow_scratch_.clear();
   for (std::uint32_t slot = gs.flushed_slots; slot < seg.write_ptr; ++slot) {
     if (!seg.slot_valid.test(slot)) continue;
-    const Lba lba = seg.slot_lba[slot];
+    const Lba lba = pool_.slot_lba(gs.open_seg, slot);
     if (!map_.primary_is(lba, BlockLocation{gs.open_seg, slot})) continue;
     if (map_.has_shadow(lba)) continue;
-    to_shadow.push_back(lba);
+    shadow_scratch_.push_back(lba);
   }
 
-  if (!to_shadow.empty()) {
+  if (!shadow_scratch_.empty()) {
     emit(trace_, TraceEvent{TraceEventKind::kShadowAppend, host, vtime_,
-                            wall_us_, g, to_shadow.size(), 0});
+                            wall_us_, g, shadow_scratch_.size(), 0});
   }
-  for (const Lba lba : to_shadow) {
+  for (const Lba lba : shadow_scratch_) {
     append(host, lba, AppendSource::kShadow, now_us);
   }
   // Originals stay pending without a deadline (they are durable via their

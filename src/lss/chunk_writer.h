@@ -28,6 +28,9 @@ namespace adapt::lss {
 /// copy placed by cross-group aggregation.
 enum class AppendSource { kUser, kGc, kShadow };
 
+/// Sentinel "no coalescing deadline armed anywhere".
+inline constexpr TimeUs kNoDeadline = ~static_cast<TimeUs>(0);
+
 class ChunkWriter {
  public:
   /// All references must outlive the writer. `vtime` is the engine's
@@ -81,6 +84,22 @@ class ChunkWriter {
   TimeUs chunk_deadline(GroupId g) const { return groups_[g].chunk_deadline; }
   void disarm_deadline(GroupId g) { groups_[g].deadline_armed = false; }
 
+  /// Lower bound on the earliest armed coalescing deadline (may be stale
+  /// low after disarms — never high), so the per-write time advance is one
+  /// compare when nothing is due.
+  TimeUs earliest_deadline() const noexcept { return earliest_deadline_; }
+
+  /// Recomputes the exact earliest armed deadline (slow-path exit).
+  void recompute_earliest_deadline() noexcept {
+    TimeUs earliest = kNoDeadline;
+    for (const GroupState& gs : groups_) {
+      if (gs.deadline_armed && gs.chunk_deadline < earliest) {
+        earliest = gs.chunk_deadline;
+      }
+    }
+    earliest_deadline_ = earliest;
+  }
+
   /// Blocks appended to `g`'s open segment but not yet flushed to a chunk.
   std::uint32_t pending_blocks(GroupId g) const;
 
@@ -110,6 +129,11 @@ class ChunkWriter {
   struct GroupState {
     SegmentId open_seg = kInvalidSegment;
     std::uint32_t flushed_slots = 0;  ///< slots of open seg already on disk
+    /// write_ptr value at the next chunk boundary. Tracked incrementally so
+    /// the per-append boundary test is a compare, not a modulo (integer
+    /// division by the runtime chunk size costs more than the rest of the
+    /// append bookkeeping combined).
+    std::uint32_t next_boundary = 0;
     bool deadline_armed = false;
     TimeUs chunk_deadline = 0;
   };
@@ -137,9 +161,14 @@ class ChunkWriter {
   array::AddressedArray* addressed_array_ = nullptr;
 
   std::vector<GroupState> groups_;
+  /// Recycled shadow_append scratch (reserved once to segment_blocks), so
+  /// aggregation bursts allocate nothing in steady state.
+  std::vector<Lba> shadow_scratch_;
   /// Full + padded chunk flushes, kept as a running counter so the
   /// per-write bandwidth accounting does not walk metrics_.groups.
   std::uint64_t chunks_flushed_ = 0;
+  /// Lower bound on the earliest armed deadline (see earliest_deadline()).
+  TimeUs earliest_deadline_ = kNoDeadline;
 };
 
 }  // namespace adapt::lss

@@ -36,7 +36,12 @@ LssEngine::LssEngine(const LssConfig& config, PlacementPolicy& policy,
       rng_(seed),
       audit_level_(audit::level_from_env(config.audit_level)),
       pool_(config_, policy.group_count(), victim),
-      map_(config_.logical_blocks),
+      // Live shadows are bounded by the pending blocks across open chunks:
+      // pre-sizing to group_count * chunk_blocks keeps the flat shadow
+      // table rehash-free in steady state.
+      map_(config_.logical_blocks,
+           static_cast<std::size_t>(policy.group_count()) *
+               config_.chunk_blocks),
       writer_(config_, policy.group_count(), pool_, map_, policy, metrics_,
               vtime_, wall_us_, array_),
       gc_(config_, pool_, map_, writer_, policy, victim, metrics_, rng_,
@@ -77,13 +82,21 @@ void LssEngine::write_block(Lba lba, TimeUs now_us) {
   if (lba >= config_.logical_blocks) {
     throw std::out_of_range("write beyond logical capacity");
   }
+  // Start the primary-map line towards the cache while time advance and
+  // placement run; invalidate() below reads and rewrites it.
+  map_.prefetch_primary(lba);
   advance_time(now_us);
   const GroupId g = policy_.place_user_write(lba, vtime_);
   if (g >= group_count()) {
     throw std::logic_error("placement policy returned bad group");
   }
-  emit(trace_, TraceEvent{TraceEventKind::kUserWrite, g, vtime_, wall_us_,
-                          lba, 0, 0});
+  // Guarded at the call site: the compiler will not sink the event's
+  // stack stores behind emit()'s null check on its own, and this runs
+  // once per user block.
+  if (trace_ != nullptr) {
+    emit(trace_, TraceEvent{TraceEventKind::kUserWrite, g, vtime_, wall_us_,
+                            lba, 0, 0});
+  }
   map_.invalidate(lba, pool_);
   writer_.append(g, lba, AppendSource::kUser, now_us);
   ++vtime_;
@@ -123,6 +136,9 @@ void LssEngine::read(Lba lba, std::uint32_t blocks, TimeUs now_us) {
 
 void LssEngine::advance_time(TimeUs now_us) {
   wall_us_ = std::max(wall_us_, now_us);
+  // One-compare fast path: the writer's earliest-deadline bound is never
+  // stale high, so nothing can be due when it lies in the future.
+  if (writer_.earliest_deadline() > wall_us_) return;
   // Fire expired deadlines earliest-first so multi-group interleavings are
   // deterministic.
   for (;;) {
@@ -136,9 +152,10 @@ void LssEngine::advance_time(TimeUs now_us) {
         next = g;
       }
     }
-    if (next == kInvalidGroup) return;
+    if (next == kInvalidGroup) break;
     fire_deadline(next, earliest);
   }
+  writer_.recompute_earliest_deadline();
 }
 
 void LssEngine::flush_all() {
@@ -230,20 +247,20 @@ void LssEngine::check_invariants(audit::Level level) const {
     if (loc.slot >= seg.write_ptr) {
       throw std::logic_error("primary maps past the write pointer");
     }
-    if (seg.slot_lba[loc.slot] != lba) {
+    if (pool_.slot_lba(loc) != lba) {
       throw std::logic_error("slot lba does not match block map");
     }
     if (!seg.slot_valid.test(loc.slot)) {
       throw std::logic_error("primary maps to an invalid slot");
     }
   }
-  for (const auto& [lba, loc] : map_.shadows()) {
+  for (const auto [lba, loc] : map_.shadows()) {
     if (loc.segment >= segments.size()) {
       throw std::logic_error("shadow maps outside the segment pool");
     }
     const Segment& seg = segments[loc.segment];
     if (seg.free) throw std::logic_error("shadow maps into a free segment");
-    if (seg.slot_lba[loc.slot] != lba || !seg.slot_valid.test(loc.slot)) {
+    if (pool_.slot_lba(loc) != lba || !seg.slot_valid.test(loc.slot)) {
       throw std::logic_error("shadow slot inconsistent");
     }
     if (!map_.is_mapped(lba)) {

@@ -207,6 +207,19 @@ class LssEngine {
     return pool_.segments();
   }
 
+  /// The logical block stored in a physical slot (kInvalidLba for padding
+  /// or never-written slots). Slot LBAs live in the pool's SoA arena.
+  Lba slot_lba(BlockLocation loc) const noexcept {
+    return pool_.slot_lba(loc);
+  }
+  Lba slot_lba(SegmentId seg, std::uint32_t slot) const noexcept {
+    return pool_.slot_lba(seg, slot);
+  }
+  /// All slot LBAs of one segment, in slot order.
+  std::span<const Lba> segment_lbas(SegmentId seg) const noexcept {
+    return pool_.segment_lbas(seg);
+  }
+
   /// Effective self-audit tier (config value + ADAPT_AUDIT override).
   audit::Level audit_level() const noexcept { return audit_level_; }
 
@@ -220,6 +233,11 @@ class LssEngine {
   /// Test-only mutable access for auditor failure-detection tests: lets a
   /// test corrupt a segment on purpose and assert the audit catches it.
   Segment& corrupt_segment_for_test(SegmentId id) { return pool_.at(id); }
+
+  /// Test-only mutable slot-LBA access (same purpose, SoA arena).
+  Lba& corrupt_slot_lba_for_test(SegmentId seg, std::uint32_t slot) {
+    return pool_.slot_lba_for_test(seg, slot);
+  }
 
  private:
   void fire_deadline(GroupId g, TimeUs now_us);

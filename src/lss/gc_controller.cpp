@@ -1,6 +1,7 @@
 #include "lss/gc_controller.h"
 
 #include <chrono>
+#include <span>
 #include <stdexcept>
 
 #include "common/packed_bitmap.h"
@@ -19,7 +20,9 @@ GcController::GcController(const LssConfig& config, SegmentPool& pool,
       victim_(victim),
       metrics_(metrics),
       rng_(rng),
-      vtime_(vtime) {}
+      vtime_(vtime) {
+  migrate_scratch_.reserve(config_.segment_blocks());
+}
 
 void GcController::maybe_gc(TimeUs now_us) {
   const std::uint32_t watermark =
@@ -55,6 +58,70 @@ void GcController::run_once(TimeUs now_us) {
   const std::uint64_t migrated_before = metrics_.gc_migrated_blocks;
   Segment& v = pool_.segment_mut(victim);
 
+  if (map_.live_shadow_count() == 0) {
+    // Batched remap fast path. With no live shadows anywhere, migration
+    // cannot force lazy flushes and GC appends never create shadows, so
+    // nothing below mutates the victim bitmap behind the scan: collect
+    // the live (slot, lba) set in one cache-friendly sweep, then apply in
+    // a tight loop. Per-block mutating call order matches the interleaved
+    // fallback exactly, keeping fixed-seed runs bit-identical.
+    migrate_scratch_.clear();
+    const std::span<const Lba> lbas = pool_.segment_lbas(victim);
+    for (std::uint32_t slot = 0; slot < v.write_ptr; ++slot) {
+      // Skip fully dead 64-slot words in one comparison.
+      if ((slot % PackedBitmap::kWordBits) == 0 &&
+          v.slot_valid.word(slot / PackedBitmap::kWordBits) == 0) {
+        slot += PackedBitmap::kWordBits - 1;
+        continue;
+      }
+      if (!v.slot_valid.test(slot)) continue;
+      // Warm the primary-map lines now; the apply loop's consistency check
+      // and clear_primary hit them next. The victim's lbas scatter across
+      // the (large) primary array, so without the hint each migration
+      // stalls on a cold load.
+      map_.prefetch_primary(lbas[slot]);
+      migrate_scratch_.push_back(MigrateEntry{slot, lbas[slot]});
+    }
+    for (const MigrateEntry& e : migrate_scratch_) {
+      if (!map_.primary_is(e.lba, BlockLocation{victim, e.slot})) {
+        throw std::logic_error("valid slot not referenced by block map");
+      }
+      const GroupId target = policy_.place_gc_rewrite(e.lba, v.group, vtime_);
+      if (target >= writer_.group_count()) {
+        throw std::logic_error("placement policy returned bad GC group");
+      }
+      // Invalidate the victim copy, then append the migrated one. The
+      // drain variant skips the per-block victim-index notification: no
+      // selection or audit can run before release() reports on_free, and
+      // every index is a pure function of stored state, so the collapsed
+      // updates leave it bit-identical.
+      pool_.invalidate_slot_draining(BlockLocation{victim, e.slot});
+      map_.clear_primary(e.lba);
+      writer_.append(target, e.lba, AppendSource::kGc, now_us, v.group);
+      ++metrics_.gc_migrated_blocks;
+    }
+  } else {
+    migrate_interleaved(victim, v, now_us);
+  }
+
+  if (v.valid_count != 0) {
+    throw std::logic_error("victim still has valid blocks after GC");
+  }
+  policy_.note_segment_reclaimed(v.group, v.create_vtime, vtime_);
+  ++metrics_.groups[v.group].segments_reclaimed;
+  emit(trace_,
+       TraceEvent{TraceEventKind::kGcRun, v.group, vtime_, now_us, victim,
+                  metrics_.gc_migrated_blocks - migrated_before,
+                  metrics_.forced_lazy_flushes - forced_before});
+  writer_.trim_segment(victim);
+  pool_.release(victim);
+  const auto pause_us = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - pause_begin);
+  metrics_.gc_pause_us.add(static_cast<std::uint64_t>(pause_us.count()));
+}
+
+void GcController::migrate_interleaved(SegmentId victim, Segment& v,
+                                       TimeUs now_us) {
   for (std::uint32_t slot = 0; slot < v.write_ptr; ++slot) {
     // Skip fully dead 64-slot words in one comparison. Re-checked at every
     // word boundary because forced flushes below can clear later bits.
@@ -64,7 +131,7 @@ void GcController::run_once(TimeUs now_us) {
       continue;
     }
     if (!v.slot_valid.test(slot)) continue;
-    const Lba lba = v.slot_lba[slot];
+    const Lba lba = pool_.slot_lba(victim, slot);
     const BlockLocation here{victim, slot};
     if (map_.shadow_location(lba) == here) {
       // A live shadow inside a sealed victim: the lazy original is still
@@ -94,21 +161,6 @@ void GcController::run_once(TimeUs now_us) {
     writer_.append(target, lba, AppendSource::kGc, now_us, v.group);
     ++metrics_.gc_migrated_blocks;
   }
-
-  if (v.valid_count != 0) {
-    throw std::logic_error("victim still has valid blocks after GC");
-  }
-  policy_.note_segment_reclaimed(v.group, v.create_vtime, vtime_);
-  ++metrics_.groups[v.group].segments_reclaimed;
-  emit(trace_,
-       TraceEvent{TraceEventKind::kGcRun, v.group, vtime_, now_us, victim,
-                  metrics_.gc_migrated_blocks - migrated_before,
-                  metrics_.forced_lazy_flushes - forced_before});
-  writer_.trim_segment(victim);
-  pool_.release(victim);
-  const auto pause_us = std::chrono::duration_cast<std::chrono::microseconds>(
-      std::chrono::steady_clock::now() - pause_begin);
-  metrics_.gc_pause_us.add(static_cast<std::uint64_t>(pause_us.count()));
 }
 
 void GcController::check_counters() const {

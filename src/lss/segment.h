@@ -1,10 +1,14 @@
 // Segment: the LSS allocation/reclamation unit. A segment belongs to one
 // group while in use; slots are filled append-only; padding and dead blocks
 // occupy slots with lba == kInvalidLba or slot_valid == false.
+//
+// Per-slot LBAs live in a struct-of-arrays arena owned by the SegmentPool
+// (indexed segment * segment_blocks + slot), not here: segments recycle
+// constantly under GC, and pool-level storage makes alloc/seal/free
+// allocation-free and keeps each segment header to two cache lines.
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
 #include "common/packed_bitmap.h"
 #include "common/types.h"
@@ -19,7 +23,6 @@ struct Segment {
   std::uint32_t valid_count = 0;  ///< live slots (primary or shadow)
   VTime create_vtime = 0;
   VTime seal_vtime = 0;
-  std::vector<Lba> slot_lba;      ///< kInvalidLba for padding slots
   PackedBitmap slot_valid;        ///< packed liveness bitmap
 
   void reset(std::uint32_t segment_blocks) {
@@ -30,15 +33,14 @@ struct Segment {
     valid_count = 0;
     create_vtime = 0;
     seal_vtime = 0;
-    slot_lba.assign(segment_blocks, kInvalidLba);
     slot_valid.assign(segment_blocks, false);
   }
 
   double utilization() const noexcept {
-    return slot_lba.empty()
+    return slot_valid.size() == 0
                ? 0.0
                : static_cast<double>(valid_count) /
-                     static_cast<double>(slot_lba.size());
+                     static_cast<double>(slot_valid.size());
   }
 };
 

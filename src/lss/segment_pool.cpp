@@ -1,14 +1,19 @@
 #include "lss/segment_pool.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace adapt::lss {
 
 SegmentPool::SegmentPool(const LssConfig& config, GroupId group_count,
                          VictimPolicy& victim)
-    : config_(config), victim_(victim) {
+    : config_(config),
+      victim_(victim),
+      segment_blocks_(config.segment_blocks()) {
   const std::uint32_t total = config_.total_segments();
   segments_.resize(total);
+  slot_lba_.assign(static_cast<std::size_t>(total) * segment_blocks_,
+                   kInvalidLba);
   free_list_.reserve(total);
   for (std::uint32_t i = 0; i < total; ++i) {
     segments_[i].reset(config_.segment_blocks());
@@ -55,6 +60,11 @@ void SegmentPool::release(SegmentId id) {
   if (seg.sealed) victim_.on_free(id);
   --group_segments_[seg.group];
   seg.reset(config_.segment_blocks());
+  // Scrub the segment's arena row so the next open sees kInvalidLba
+  // everywhere (the invariant Segment::reset used to provide).
+  std::fill_n(slot_lba_.begin() +
+                  static_cast<std::size_t>(id) * segment_blocks_,
+              segment_blocks_, kInvalidLba);
   free_list_.push_back(id);
   ++free_count_;
 }
@@ -70,6 +80,15 @@ void SegmentPool::invalidate_slot(BlockLocation loc) {
     victim_.on_valid_delta(loc.segment, seg.valid_count + 1,
                            seg.valid_count);
   }
+}
+
+void SegmentPool::invalidate_slot_draining(BlockLocation loc) {
+  Segment& seg = segments_[loc.segment];
+  if (!seg.slot_valid.test(loc.slot)) {
+    throw std::logic_error("double invalidation of a slot");
+  }
+  seg.slot_valid.reset(loc.slot);
+  --seg.valid_count;
 }
 
 void SegmentPool::check_counters() const {

@@ -53,11 +53,46 @@ class SegmentPool {
   /// segment is sealed. Throws std::logic_error on double invalidation.
   void invalidate_slot(BlockLocation loc);
 
+  /// Drain variant of invalidate_slot for GC's batched victim sweep: same
+  /// pool-side effects, but skips the per-block victim-index notification.
+  /// Legal only while the caller is draining the segment to zero and will
+  /// release() it before the next selection or audit — every on_valid_delta
+  /// implementation is a pure function of stored per-segment state, so an
+  /// index that never saw the intermediate counts and is told of the
+  /// removal via on_free ends bit-identical to one that tracked each step.
+  void invalidate_slot_draining(BlockLocation loc);
+
   std::span<const Segment> segments() const noexcept { return segments_; }
   const Segment& segment(SegmentId id) const { return segments_[id]; }
   Segment& segment_mut(SegmentId id) { return segments_[id]; }
   /// Bounds-checked mutable access (test-only corruption hooks).
   Segment& at(SegmentId id) { return segments_.at(id); }
+
+  // -- per-slot LBA arena (struct-of-arrays) --------------------------------
+  // One pool-level array indexed segment * segment_blocks + slot; padding
+  // and never-written slots hold kInvalidLba. Stored here instead of per
+  // Segment so segment recycling never allocates.
+
+  Lba slot_lba(SegmentId seg, std::uint32_t slot) const noexcept {
+    return slot_lba_[static_cast<std::size_t>(seg) * segment_blocks_ + slot];
+  }
+  Lba slot_lba(BlockLocation loc) const noexcept {
+    return slot_lba(loc.segment, loc.slot);
+  }
+  void set_slot_lba(SegmentId seg, std::uint32_t slot, Lba lba) noexcept {
+    slot_lba_[static_cast<std::size_t>(seg) * segment_blocks_ + slot] = lba;
+  }
+  /// All slot LBAs of one segment, in slot order.
+  std::span<const Lba> segment_lbas(SegmentId seg) const noexcept {
+    return {slot_lba_.data() +
+                static_cast<std::size_t>(seg) * segment_blocks_,
+            segment_blocks_};
+  }
+  /// Bounds-checked mutable access (test-only corruption hooks).
+  Lba& slot_lba_for_test(SegmentId seg, std::uint32_t slot) {
+    return slot_lba_.at(static_cast<std::size_t>(seg) * segment_blocks_ +
+                        slot);
+  }
 
   std::uint32_t free_count() const noexcept { return free_count_; }
   std::size_t size() const noexcept { return segments_.size(); }
@@ -75,7 +110,10 @@ class SegmentPool {
   VictimPolicy& victim_;
   TraceSink* trace_ = nullptr;
   const TimeUs* trace_wall_us_ = nullptr;
+  std::uint32_t segment_blocks_ = 0;
   std::vector<Segment> segments_;
+  /// SoA arena: slot_lba_[segment * segment_blocks_ + slot].
+  std::vector<Lba> slot_lba_;
   std::vector<SegmentId> free_list_;
   std::uint32_t free_count_ = 0;
   /// In-use segments per group, maintained at allocate/release.

@@ -167,6 +167,14 @@ void ShardedEngine::enqueue_read(Lba lba, std::uint32_t blocks,
   enqueue(lba, blocks, now_us, /*is_write=*/false);
 }
 
+void ShardedEngine::reserve_queues(std::size_t expected_ops) {
+  // +1 rounds up so tiny volumes on many shards still get a slot each.
+  const std::size_t per_shard = expected_ops / shards_.size() + 1;
+  for (Shard& shard : shards_) {
+    shard.queue.reserve(shard.queue.size() + per_shard);
+  }
+}
+
 std::size_t ShardedEngine::queued_ops() const noexcept {
   std::size_t total = 0;
   for (const Shard& shard : shards_) total += shard.queue.size();

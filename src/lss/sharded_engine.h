@@ -131,6 +131,13 @@ class ShardedEngine {
   void enqueue_write(Lba lba, std::uint32_t blocks, TimeUs now_us);
   void enqueue_read(Lba lba, std::uint32_t blocks, TimeUs now_us);
 
+  /// Sizes every shard queue for ~`expected_ops` total enqueues (spread
+  /// evenly; requests spanning a shard boundary add an op, so callers pass
+  /// the record count and the slack absorbs the splits). Replays enqueue
+  /// entire volumes before run_queued, so without the hint each queue
+  /// reallocates-and-copies log2(n) times.
+  void reserve_queues(std::size_t expected_ops);
+
   std::size_t queued_ops() const noexcept;
 
   /// Replays every shard's queued ops — on `pool` when given (one task per

@@ -1,5 +1,6 @@
 #include "lss/victim_policy.h"
 
+#include <bit>
 #include <charconv>
 #include <limits>
 #include <set>
@@ -14,10 +15,13 @@ namespace {
 constexpr std::uint32_t kNoBucket = std::numeric_limits<std::uint32_t>::max();
 
 /// Valid-count buckets over sealed candidates: one intrusive doubly linked
-/// list per valid count plus a Fenwick tree over bucket occupancy, so the
-/// minimum-valid frontier is an O(log segment_blocks) query and every
-/// insert/erase/move is O(1) list surgery + O(log segment_blocks) count
-/// maintenance.
+/// list per valid count plus an occupancy bitmap (one bit per non-empty
+/// bucket), so every insert/erase/move is O(1) list surgery + counter
+/// update (a bit flips only when a bucket becomes empty/non-empty) and the
+/// minimum-valid frontier is a count-trailing-zeros word scan. The index
+/// sits on the invalidation path — every overwrite and every GC-migrated
+/// block moves its segment one bucket down — so these constants dominate
+/// the engine's per-op cost.
 class ValidBuckets {
  public:
   void bind(std::uint32_t total_segments, std::uint32_t segment_blocks) {
@@ -25,7 +29,8 @@ class ValidBuckets {
     next_.assign(total_segments, kInvalidSegment);
     prev_.assign(total_segments, kInvalidSegment);
     bucket_of_.assign(total_segments, kNoBucket);
-    occ_ = FenwickTree(segment_blocks + 1);
+    in_bucket_.assign(segment_blocks + 1, 0);
+    occ_words_.assign((segment_blocks + 1 + 63) / 64, 0);
     count_ = 0;
   }
 
@@ -42,7 +47,9 @@ class ValidBuckets {
     if (old_head != kInvalidSegment) prev_[old_head] = seg;
     head_[valid] = seg;
     bucket_of_[seg] = valid;
-    occ_.add(valid, +1);
+    if (in_bucket_[valid]++ == 0) {
+      occ_words_[valid / 64] |= 1ull << (valid % 64);
+    }
     ++count_;
   }
 
@@ -56,7 +63,9 @@ class ValidBuckets {
     if (p != kInvalidSegment) next_[p] = n; else head_[b] = n;
     if (n != kInvalidSegment) prev_[n] = p;
     bucket_of_[seg] = kNoBucket;
-    occ_.add(b, -1);
+    if (--in_bucket_[b] == 0) {
+      occ_words_[b / 64] &= ~(1ull << (b % 64));
+    }
     --count_;
   }
 
@@ -67,19 +76,14 @@ class ValidBuckets {
 
   /// Lowest non-empty valid count, or kNoBucket when the index is empty.
   std::uint32_t min_bucket() const noexcept {
-    if (count_ == 0) return kNoBucket;
-    return static_cast<std::uint32_t>(occ_.lower_bound(1));
+    for (std::size_t w = 0; w < occ_words_.size(); ++w) {
+      if (occ_words_[w] != 0) {
+        return static_cast<std::uint32_t>(
+            w * 64 + static_cast<std::size_t>(std::countr_zero(occ_words_[w])));
+      }
+    }
+    return kNoBucket;
   }
-
-  /// Next non-empty bucket strictly above `b`, or kNoBucket.
-  std::uint32_t next_bucket(std::uint32_t b) const noexcept {
-    const std::size_t p = occ_.lower_bound(occ_.prefix_sum(b) + 1);
-    return p >= head_.size() ? kNoBucket
-                             : static_cast<std::uint32_t>(p);
-  }
-
-  SegmentId head(std::uint32_t bucket) const { return head_.at(bucket); }
-  SegmentId next(SegmentId seg) const { return next_.at(seg); }
 
   /// Smallest segment id in `bucket` (walks the frontier list only).
   SegmentId min_id_in(std::uint32_t bucket) const {
@@ -96,7 +100,8 @@ class ValidBuckets {
   std::vector<SegmentId> next_;     ///< intrusive links, indexed by seg id
   std::vector<SegmentId> prev_;
   std::vector<std::uint32_t> bucket_of_;  ///< kNoBucket when absent
-  FenwickTree occ_;                 ///< candidates per bucket
+  std::vector<std::uint32_t> in_bucket_;  ///< candidates per bucket
+  std::vector<std::uint64_t> occ_words_;  ///< bit b set ⇔ bucket b non-empty
   std::uint32_t count_ = 0;
 };
 

@@ -225,12 +225,26 @@ void compare_manifests(const json::Value& base, const json::Value& cand,
   // peak_rss_bytes, gc_pause_us — host-dependent.
 }
 
+/// Host-dependent bench units: wall-clock rates and latencies vary with
+/// the machine and its load, so those rows are presence-checked (a
+/// vanished metric is a bench regression) but never value-gated. Counter
+/// rows ("blocks", "count", "ratio", ...) are deterministic and gate with
+/// the normal tolerance.
+bool host_dependent_unit(std::string_view unit) {
+  return unit == "ns" || unit == "us" || unit == "ms" || unit == "s" ||
+         unit == "1/s" || unit == "bytes/s";
+}
+
 void compare_benches(const json::Value& base, const json::Value& cand,
                      const CompareOptions& options, CompareReport& report) {
   Comparer cmp(options, report);
   cmp.exact_string(base, cand, "bench");
+  struct BenchRow {
+    double value = std::nan("");
+    std::string unit;
+  };
   const auto index_rows = [&report](const json::Value& doc) {
-    std::map<std::string, double> rows;
+    std::map<std::string, BenchRow> rows;
     const json::Value* arr = doc.find("rows");
     if (arr == nullptr || !arr->is_array()) {
       report.errors.emplace_back("rows: missing or not an array");
@@ -250,22 +264,32 @@ void compare_benches(const json::Value& base, const json::Value& cand,
           if (value.is_string()) key += value.as_string();
         }
       }
-      rows[key] = number_or(row, "value", std::nan(""));
+      BenchRow entry;
+      entry.value = number_or(row, "value", std::nan(""));
+      if (const json::Value* unit = row.find("unit");
+          unit != nullptr && unit->is_string()) {
+        entry.unit = unit->as_string();
+      }
+      rows[key] = std::move(entry);
     }
     return rows;
   };
-  const std::map<std::string, double> brows = index_rows(base);
-  const std::map<std::string, double> crows = index_rows(cand);
-  for (const auto& [key, bvalue] : brows) {
+  const std::map<std::string, BenchRow> brows = index_rows(base);
+  const std::map<std::string, BenchRow> crows = index_rows(cand);
+  for (const auto& [key, brow] : brows) {
     const auto it = crows.find(key);
     if (it == crows.end()) {
       report.errors.push_back("row missing from candidate: " + key);
       continue;
     }
-    cmp.tolerance_row(key, bvalue, it->second);
+    if (host_dependent_unit(brow.unit) ||
+        host_dependent_unit(it->second.unit)) {
+      continue;
+    }
+    cmp.tolerance_row(key, brow.value, it->second.value);
   }
-  for (const auto& [key, cvalue] : crows) {
-    (void)cvalue;
+  for (const auto& [key, crow] : crows) {
+    (void)crow;
     if (!brows.contains(key)) {
       report.errors.push_back("row missing from baseline: " + key);
     }

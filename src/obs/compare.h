@@ -5,9 +5,10 @@
 // ratio, bench values) are compared with a relative tolerance; identity
 // fields (policy, victim, workload, seed, geometry, ...) must match
 // exactly; host-dependent fields (wall_seconds, records_per_sec,
-// peak_rss_bytes, the gc_pause_us histogram) are ignored — they vary
-// run-to-run and would make the gate flaky. tools/adapt_compare wraps this
-// as the CI gate over committed baselines.
+// peak_rss_bytes, the gc_pause_us histogram, and bench rows whose unit is
+// a wall-clock rate or latency) are presence-checked at most, never
+// value-gated — they vary run-to-run and would make the gate flaky.
+// tools/adapt_compare wraps this as the CI gate over committed baselines.
 #pragma once
 
 #include <string>

@@ -149,6 +149,7 @@ VolumeResult run_volume(const trace::Volume& volume,
       static_cast<std::uint64_t>(volume.records.size());
   std::uint64_t done = 0;
   TimeUs last_ts = 0;
+  engine.reserve_queues(volume.records.size());
   for (const trace::Record& r : volume.records) {
     ++done;
     if (config.progress && done % 65536 == 0) {

@@ -13,8 +13,13 @@
 namespace adapt::trace {
 namespace {
 
-std::vector<std::string_view> split_csv(std::string_view line) {
-  std::vector<std::string_view> fields;
+/// Splits into a thread-local scratch vector: parse_line runs once per
+/// trace record, and a fresh std::vector here was the reader's only
+/// steady-state allocation. The reference stays valid until the caller's
+/// next split_csv call on the same thread.
+std::vector<std::string_view>& split_csv(std::string_view line) {
+  thread_local std::vector<std::string_view> fields;
+  fields.clear();
   std::size_t start = 0;
   while (start <= line.size()) {
     const std::size_t comma = line.find(',', start);
@@ -138,7 +143,7 @@ std::optional<Record> parse_line(std::string_view line, TraceFormat format,
                                  std::uint32_t block_size) {
   line = trim(line);
   if (line.empty() || line.front() == '#') return std::nullopt;
-  const auto f = split_csv(line);
+  const auto& f = split_csv(line);
   Record r;
   switch (format) {
     case TraceFormat::kCanonical: {

@@ -36,6 +36,14 @@ Volume make_ycsb_volume(const YcsbConfig& config,
   Volume volume;
   volume.id = config.seed;
   volume.capacity_blocks = config.working_set_blocks;
+  // Expected records = write requests scaled by the read share; +1/8 slack
+  // keeps the common case to a single allocation without the doubling
+  // overshoot a reserve-less build pays.
+  const double write_frac = std::max(1.0 - config.read_ratio, 1e-3);
+  const auto writes_needed = static_cast<double>(
+      write_blocks / std::max<std::uint32_t>(config.request_blocks, 1) + 1);
+  volume.records.reserve(
+      static_cast<std::size_t>(writes_needed / write_frac * 1.125));
   std::uint64_t written = 0;
   while (written < write_blocks) {
     Record r = gen.next();
@@ -164,6 +172,24 @@ Volume CloudVolumeModel::make_volume(std::uint64_t volume_id,
   const double mean_gap_us = 1e6 / p.rate_per_sec;
   const auto target_write_blocks = static_cast<std::uint64_t>(
       fill_factor * static_cast<double>(p.working_set_blocks));
+  // Expected record count from the profile's size mix: writes carry the
+  // weighted-mean request size, reads ride along per read_ratio. The
+  // +1/8 slack usually makes this the volume's only allocation.
+  {
+    static constexpr std::uint32_t kSizes[6] = {1, 2, 4, 8, 16, 32};
+    double wsum = 0.0;
+    double mean_blocks = 0.0;
+    for (std::size_t i = 0; i < 6; ++i) {
+      wsum += profile_.size_weights[i];
+      mean_blocks += profile_.size_weights[i] * kSizes[i];
+    }
+    mean_blocks = wsum > 0.0 ? mean_blocks / wsum : 1.0;
+    const double write_frac = std::max(1.0 - p.read_ratio, 1e-3);
+    const double writes =
+        static_cast<double>(target_write_blocks) / mean_blocks + 1.0;
+    volume.records.reserve(
+        static_cast<std::size_t>(writes / write_frac * 1.125));
+  }
 
   // ON/OFF arrivals: geometric burst lengths with short intra-burst gaps;
   // idle gaps absorb the rest of the budget so the average rate holds.

@@ -121,10 +121,10 @@ TEST_F(AuditTest, FullAuditCatchesBitmapCorruption) {
 TEST_F(AuditTest, FullAuditCatchesSlotLbaCorruption) {
   churn();
   const SegmentId id = sealed_segment();
-  Segment& seg = engine_.corrupt_segment_for_test(id);
+  const Segment& seg = engine_.segments()[id];
   for (std::uint32_t slot = 0; slot < seg.write_ptr; ++slot) {
     if (seg.slot_valid.test(slot)) {
-      seg.slot_lba[slot] ^= 1;
+      engine_.corrupt_slot_lba_for_test(id, slot) ^= 1;
       break;
     }
   }

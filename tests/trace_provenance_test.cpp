@@ -355,6 +355,32 @@ TEST(CompareTest, IdentityFieldMismatchIsAnError) {
   ASSERT_FALSE(report.errors.empty());
 }
 
+TEST(CompareTest, BenchHostDependentRowsArePresenceCheckedOnly) {
+  // Wall-clock rates and latencies differ across hosts: a 10x throughput
+  // delta must not trip the gate, but the row vanishing entirely must.
+  obs::BenchReport a("gate");
+  a.add("replay.records_per_sec", {}, 5.0e6, "1/s");
+  a.add("replay.ns_per_op", {}, 200.0, "ns");
+  a.add("replay.user_blocks", {}, 4096.0, "blocks");
+  obs::BenchReport b("gate");
+  b.add("replay.records_per_sec", {}, 5.0e7, "1/s");
+  b.add("replay.ns_per_op", {}, 20.0, "ns");
+  b.add("replay.user_blocks", {}, 4096.0, "blocks");
+  EXPECT_TRUE(obs::compare_artifacts(a.json(), b.json()).ok());
+
+  obs::BenchReport missing("gate");
+  missing.add("replay.records_per_sec", {}, 5.0e6, "1/s");
+  missing.add("replay.user_blocks", {}, 4096.0, "blocks");
+  EXPECT_FALSE(obs::compare_artifacts(a.json(), missing.json()).ok());
+
+  // Deterministic counter rows still gate on value.
+  obs::BenchReport drifted("gate");
+  drifted.add("replay.records_per_sec", {}, 5.0e6, "1/s");
+  drifted.add("replay.ns_per_op", {}, 200.0, "ns");
+  drifted.add("replay.user_blocks", {}, 5000.0, "blocks");
+  EXPECT_FALSE(obs::compare_artifacts(a.json(), drifted.json()).ok());
+}
+
 TEST(CompareTest, BenchRowsCompareByKeyAndMissingRowsError) {
   obs::BenchReport a("gate");
   a.add("wa", {{"policy", "adapt"}}, 1.25, "ratio");
