@@ -37,10 +37,12 @@ double AdaptPolicy::threshold() const noexcept {
 GroupId AdaptPolicy::place_user_write(Lba lba, VTime now) {
   if (adapter_ != nullptr && adapter_->on_user_write(lba, now)) {
     // The adapter just adopted a new threshold (§3.2 re-adaptation).
-    lss::emit(trace_,
-              lss::TraceEvent{lss::TraceEventKind::kThresholdAdapt,
-                              kInvalidGroup, now, 0, adapter_->threshold(),
-                              adapter_->adoptions(), 0});
+    if (trace_ != nullptr) {
+      lss::emit(trace_,
+                lss::TraceEvent{lss::TraceEventKind::kThresholdAdapt,
+                                kInvalidGroup, now, 0, adapter_->threshold(),
+                                adapter_->adoptions(), 0});
+    }
   }
 
   // §3.4: long-lived blocks skip the user groups entirely when the

@@ -1,0 +1,81 @@
+// Compile-time contract annotations.
+//
+// Two families live here:
+//
+//  * Clang Thread Safety Analysis attributes (ADAPT_CAPABILITY,
+//    ADAPT_GUARDED_BY, ADAPT_REQUIRES, ...). Under clang with
+//    -Wthread-safety these turn the repo's locking discipline into
+//    compiler-checked capability contracts (the `thread-safety` CI job
+//    builds with -Wthread-safety -Werror); under any other compiler every
+//    macro expands to nothing, so GCC builds are untouched. The annotated
+//    primitives themselves (adapt::Mutex / CondVar / LockGuard) live in
+//    common/sync.h.
+//
+//  * Project-invariant markers consumed by tools/adapt_lint, the
+//    repo-specific source linter. ADAPT_HOT tags a hot-path function whose
+//    body must stay free of steady-state heap allocation (the PR-6
+//    discipline that bench/micro_engine_hotpath asserts at runtime with an
+//    operator-new interposer; adapt_lint checks it statically on every
+//    build). ADAPT_LINT_ALLOW(rule) is the per-line suppression escape
+//    hatch — it must appear (normally in a trailing comment) on the exact
+//    line of the finding it waives, with a justification next to it.
+//
+// All markers are zero-cost: ADAPT_HOT deliberately expands to nothing
+// (not even [[gnu::hot]]) so tagging a function can never perturb codegen
+// and the pinned fixed-seed benchmarks stay bit-identical.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define ADAPT_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef ADAPT_THREAD_ANNOTATION
+#define ADAPT_THREAD_ANNOTATION(x)  // not clang: expands to nothing
+#endif
+
+/// Declares a type to be a capability (e.g. a mutex wrapper).
+#define ADAPT_CAPABILITY(x) ADAPT_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define ADAPT_SCOPED_CAPABILITY ADAPT_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the given capability.
+#define ADAPT_GUARDED_BY(x) ADAPT_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given capability.
+#define ADAPT_PT_GUARDED_BY(x) ADAPT_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function precondition: the listed capabilities are held by the caller.
+#define ADAPT_REQUIRES(...) \
+  ADAPT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (and does not release them).
+#define ADAPT_ACQUIRE(...) \
+  ADAPT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities.
+#define ADAPT_RELEASE(...) \
+  ADAPT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability when it returns `ret`.
+#define ADAPT_TRY_ACQUIRE(ret, ...) \
+  ADAPT_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Function precondition: the listed capabilities are NOT held.
+#define ADAPT_EXCLUDES(...) ADAPT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define ADAPT_RETURN_CAPABILITY(x) ADAPT_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis inside one function. Every use
+/// carries a comment explaining why the contract cannot be expressed.
+#define ADAPT_NO_THREAD_SAFETY_ANALYSIS \
+  ADAPT_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+/// Marks a hot-path function: tools/adapt_lint forbids allocating calls
+/// (new/malloc/reserve/resize/push_back/...) inside its body. Outline any
+/// growth slow path into an unmarked helper, or waive a provably reserved
+/// call site with ADAPT_LINT_ALLOW(hot-alloc). Expands to nothing.
+#define ADAPT_HOT

@@ -1,5 +1,7 @@
 #include "common/thread_pool.h"
 
+#include <stdexcept>
+
 namespace adapt {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -10,35 +12,45 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
+    if (stopping_) return;  // idempotent: a second call must not re-join
     stopping_ = true;
   }
   task_available_.notify_all();
-  for (auto& w : workers_) w.join();
+  for (Thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
 }
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
+    if (stopping_) {
+      // Fail loudly: accepting the task could strand it forever (workers
+      // may already be gone) and a caller waiting on its result would
+      // deadlock. See the shutdown/enqueue contract in the header.
+      throw std::runtime_error("ThreadPool: submit after shutdown");
+    }
     queue_.push_back(std::move(task));
   }
   task_available_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  LockGuard lock(mu_);
+  while (!is_idle()) idle_.wait(mu_, lock);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_available_.wait(lock,
-                           [this] { return stopping_ || !queue_.empty(); });
+      LockGuard lock(mu_);
+      while (!has_work_or_stop()) task_available_.wait(mu_, lock);
       if (stopping_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -46,9 +58,9 @@ void ThreadPool::worker_loop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      LockGuard lock(mu_);
       --active_;
-      if (queue_.empty() && active_ == 0) idle_.notify_all();
+      if (is_idle()) idle_.notify_all();
     }
   }
 }

@@ -1,15 +1,27 @@
 // Minimal fixed-size thread pool used to parallelise per-volume simulation
 // runs in the experiment runner. Tasks are type-erased; `wait_idle` provides
 // a completion barrier so callers can collect results without joining.
+//
+// Shutdown/enqueue contract: shutdown() (or destruction) first drains the
+// queue — every task accepted before the stop runs to completion — then
+// joins the workers. Once a stop has been requested, submit() throws
+// std::runtime_error instead of silently queueing work that may never run
+// (or deadlocking a caller that waits on it); a task that tries to submit
+// a follow-up task during shutdown gets the same exception inside the
+// task. shutdown() is idempotent and the destructor calls it.
+//
+// Locking discipline is compiler-checked (see common/annotations.h): all
+// mutable state is ADAPT_GUARDED_BY(mu_) and the predicate helpers declare
+// ADAPT_REQUIRES(mu_).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
-#include <thread>
 #include <vector>
+
+#include "common/annotations.h"
+#include "common/sync.h"
 
 namespace adapt {
 
@@ -21,24 +33,42 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for execution on some worker thread.
-  void submit(std::function<void()> task);
+  /// Enqueues a task for execution on some worker thread. Throws
+  /// std::runtime_error if shutdown has been requested (see contract
+  /// above); the task is not enqueued in that case.
+  void submit(std::function<void()> task) ADAPT_EXCLUDES(mu_);
 
   /// Blocks until the queue is empty and all workers are idle.
-  void wait_idle();
+  void wait_idle() ADAPT_EXCLUDES(mu_);
+
+  /// Drains the queue, joins all workers, and rejects future submits.
+  /// Idempotent; called by the destructor.
+  void shutdown() ADAPT_EXCLUDES(mu_);
 
   std::size_t thread_count() const noexcept { return workers_.size(); }
 
  private:
-  void worker_loop();
+  void worker_loop() ADAPT_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable task_available_;
-  std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
-  std::size_t active_ = 0;
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
+  /// Worker wake predicate: work available or stop requested.
+  bool has_work_or_stop() const ADAPT_REQUIRES(mu_) {
+    return stopping_ || !queue_.empty();
+  }
+  /// wait_idle predicate: nothing queued and nothing running.
+  bool is_idle() const ADAPT_REQUIRES(mu_) {
+    return queue_.empty() && active_ == 0;
+  }
+
+  Mutex mu_;
+  CondVar task_available_;
+  CondVar idle_;
+  std::deque<std::function<void()>> queue_ ADAPT_GUARDED_BY(mu_);
+  std::size_t active_ ADAPT_GUARDED_BY(mu_) = 0;
+  bool stopping_ ADAPT_GUARDED_BY(mu_) = false;
+  /// Workers are created in the constructor and joined only in shutdown();
+  /// the vector itself is immutable in between, so thread_count() needs no
+  /// lock.
+  std::vector<Thread> workers_;
 };
 
 }  // namespace adapt

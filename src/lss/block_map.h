@@ -16,10 +16,12 @@
 #pragma once
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/histogram.h"
 #include "common/types.h"
 #include "lss/flat_shadow_map.h"
@@ -69,7 +71,7 @@ class BlockMap {
   /// (8 bytes per logical block), so overlapping its fetch with preceding
   /// work hides most of the per-op miss latency. No architectural effect.
   /// Precondition: lba < logical_blocks().
-  void prefetch_primary(Lba lba) const noexcept {
+  ADAPT_HOT void prefetch_primary(Lba lba) const noexcept {
 #if defined(__GNUC__) || defined(__clang__)
     __builtin_prefetch(primary_.data() + lba, 1);
 #else
@@ -79,7 +81,7 @@ class BlockMap {
 
   /// Where lba currently lives (primary copy), or kNowhere. Tolerant of
   /// out-of-range lba by contract (see header comment).
-  BlockLocation locate(Lba lba) const {
+  ADAPT_HOT BlockLocation locate(Lba lba) const {
     if (lba >= primary_.size() || primary_[lba] == kUnmappedLocation) {
       return kNowhere;
     }
@@ -87,36 +89,38 @@ class BlockMap {
   }
 
   /// Precondition: lba < logical_blocks().
-  bool is_mapped(Lba lba) const {
+  ADAPT_HOT bool is_mapped(Lba lba) const {
     assert(lba < primary_.size());
     return primary_[lba] != kUnmappedLocation;
   }
 
   /// True when lba's primary copy is exactly `loc` (cheap packed compare).
   /// Precondition: lba < logical_blocks().
-  bool primary_is(Lba lba, BlockLocation loc) const {
+  ADAPT_HOT bool primary_is(Lba lba, BlockLocation loc) const {
     assert(lba < primary_.size());
     return primary_[lba] == pack_location(loc);
   }
 
   /// Precondition: lba < logical_blocks().
-  void set_primary(Lba lba, BlockLocation loc) {
+  ADAPT_HOT void set_primary(Lba lba, BlockLocation loc) {
     assert(lba < primary_.size());
     primary_[lba] = pack_location(loc);
   }
 
   /// Precondition: lba < logical_blocks().
-  void clear_primary(Lba lba) {
+  ADAPT_HOT void clear_primary(Lba lba) {
     assert(lba < primary_.size());
     primary_[lba] = kUnmappedLocation;
   }
 
-  bool has_shadow(Lba lba) const { return shadow_.contains(lba); }
+  ADAPT_HOT bool has_shadow(Lba lba) const { return shadow_.contains(lba); }
 
   /// Where lba's live shadow copy sits, or kNowhere when it has none.
-  BlockLocation shadow_location(Lba lba) const { return shadow_.find(lba); }
+  ADAPT_HOT BlockLocation shadow_location(Lba lba) const {
+    return shadow_.find(lba);
+  }
 
-  void set_shadow(Lba lba, BlockLocation loc) {
+  ADAPT_HOT void set_shadow(Lba lba, BlockLocation loc) {
     shadow_.insert_or_assign(lba, loc);
   }
 

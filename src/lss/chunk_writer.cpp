@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/annotations.h"
+
 namespace adapt::lss {
 
 ChunkWriter::ChunkWriter(const LssConfig& config, GroupId group_count,
@@ -45,8 +47,8 @@ std::uint32_t ChunkWriter::pending_unshadowed_valid(GroupId g) const {
   return n;
 }
 
-void ChunkWriter::append(GroupId g, Lba lba, AppendSource source,
-                         TimeUs now_us, GroupId from_group) {
+ADAPT_HOT void ChunkWriter::append(GroupId g, Lba lba, AppendSource source,
+                                   TimeUs now_us, GroupId from_group) {
   GroupState& gs = groups_[g];
   if (gs.open_seg == kInvalidSegment) open_group_segment(g);
   const SegmentId seg_id = gs.open_seg;
@@ -130,8 +132,9 @@ void ChunkWriter::trim_segment(SegmentId id) {
   }
 }
 
-void ChunkWriter::expire_shadows_in_range(GroupId g, std::uint32_t begin,
-                                          std::uint32_t end) {
+ADAPT_HOT void ChunkWriter::expire_shadows_in_range(GroupId g,
+                                                    std::uint32_t begin,
+                                                    std::uint32_t end) {
   // With no live shadows, the scan can expire nothing: skip the per-slot
   // primary_ probing entirely. Policies that never aggregate (and ADAPT
   // between aggregation bursts) hit this on every flush.
@@ -149,14 +152,14 @@ void ChunkWriter::expire_shadows_in_range(GroupId g, std::uint32_t begin,
       ++expired;
     }
   }
-  if (expired > 0) {
+  if (trace_ != nullptr && expired > 0) {
     emit(trace_, TraceEvent{TraceEventKind::kShadowExpire, g, vtime_,
                             wall_us_, expired, 0, 0});
   }
 }
 
-void ChunkWriter::flush_chunk(GroupId g, std::uint32_t fill_blocks,
-                              bool padded) {
+ADAPT_HOT void ChunkWriter::flush_chunk(GroupId g, std::uint32_t fill_blocks,
+                                        bool padded) {
   GroupState& gs = groups_[g];
   const SegmentId seg_id = gs.open_seg;
   const Segment& seg = pool_.segment(seg_id);
@@ -178,9 +181,11 @@ void ChunkWriter::flush_chunk(GroupId g, std::uint32_t fill_blocks,
     ++gt.full_flushes;
   }
   ++chunks_flushed_;
-  emit(trace_, TraceEvent{TraceEventKind::kChunkFlush, g, vtime_, wall_us_,
-                          fill_blocks, padded ? 1u : 0u,
-                          global_chunk_index(seg_id, chunk_begin)});
+  if (trace_ != nullptr) {
+    emit(trace_, TraceEvent{TraceEventKind::kChunkFlush, g, vtime_, wall_us_,
+                            fill_blocks, padded ? 1u : 0u,
+                            global_chunk_index(seg_id, chunk_begin)});
+  }
   if (array_ != nullptr) {
     array_->write_chunk(g, static_cast<std::uint64_t>(fill_blocks) *
                                config_.block_bytes);
@@ -216,9 +221,11 @@ void ChunkWriter::rmw_flush(GroupId g) {
   metrics_.rmw_blocks += pending;
   // Small-write parity update reads the old data chunk and old parity.
   metrics_.rmw_read_blocks += 2ull * config_.chunk_blocks;
-  emit(trace_, TraceEvent{TraceEventKind::kRmwFlush, g, vtime_, wall_us_,
-                          pending, 0,
-                          global_chunk_index(gs.open_seg, chunk_begin_slot)});
+  if (trace_ != nullptr) {
+    emit(trace_,
+         TraceEvent{TraceEventKind::kRmwFlush, g, vtime_, wall_us_, pending,
+                    0, global_chunk_index(gs.open_seg, chunk_begin_slot)});
+  }
   if (array_ != nullptr) {
     array_->write_partial(g, static_cast<std::uint64_t>(pending) *
                                  config_.block_bytes);
@@ -254,7 +261,8 @@ void ChunkWriter::pad_flush(GroupId g) {
   flush_chunk(g, /*fill_blocks=*/pending, /*padded=*/true);
 }
 
-void ChunkWriter::shadow_append(GroupId g, GroupId host, TimeUs now_us) {
+ADAPT_HOT void ChunkWriter::shadow_append(GroupId g, GroupId host,
+                                          TimeUs now_us) {
   GroupState& gs = groups_[g];
   if (gs.open_seg == kInvalidSegment) return;  // donor has nothing pending
   const Segment& seg = pool_.segment(gs.open_seg);
@@ -268,10 +276,12 @@ void ChunkWriter::shadow_append(GroupId g, GroupId host, TimeUs now_us) {
     const Lba lba = pool_.slot_lba(gs.open_seg, slot);
     if (!map_.primary_is(lba, BlockLocation{gs.open_seg, slot})) continue;
     if (map_.has_shadow(lba)) continue;
-    shadow_scratch_.push_back(lba);
+    // Reserved to segment_blocks() in the constructor; pending appends of
+    // one open segment can never exceed that, so no growth here.
+    shadow_scratch_.push_back(lba);  // ADAPT_LINT_ALLOW(hot-alloc)
   }
 
-  if (!shadow_scratch_.empty()) {
+  if (trace_ != nullptr && !shadow_scratch_.empty()) {
     emit(trace_, TraceEvent{TraceEventKind::kShadowAppend, host, vtime_,
                             wall_us_, g, shadow_scratch_.size(), 0});
   }

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/annotations.h"
+
 namespace adapt::lss {
 namespace {
 
@@ -78,7 +80,7 @@ void LssEngine::write(Lba lba, std::uint32_t blocks, TimeUs now_us) {
   }
 }
 
-void LssEngine::write_block(Lba lba, TimeUs now_us) {
+ADAPT_HOT void LssEngine::write_block(Lba lba, TimeUs now_us) {
   if (lba >= config_.logical_blocks) {
     throw std::out_of_range("write beyond logical capacity");
   }
@@ -105,7 +107,7 @@ void LssEngine::write_block(Lba lba, TimeUs now_us) {
   if (observer_ != nullptr) observer_->on_user_block(*this, now_us);
 }
 
-void LssEngine::read(Lba lba, std::uint32_t blocks, TimeUs now_us) {
+ADAPT_HOT void LssEngine::read(Lba lba, std::uint32_t blocks, TimeUs now_us) {
   if (lba + blocks > config_.logical_blocks) {
     throw std::out_of_range("read beyond logical capacity");
   }
@@ -134,7 +136,7 @@ void LssEngine::read(Lba lba, std::uint32_t blocks, TimeUs now_us) {
   }
 }
 
-void LssEngine::advance_time(TimeUs now_us) {
+ADAPT_HOT void LssEngine::advance_time(TimeUs now_us) {
   wall_us_ = std::max(wall_us_, now_us);
   // One-compare fast path: the writer's earliest-deadline bound is never
   // stale high, so nothing can be due when it lies in the future.

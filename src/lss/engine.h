@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstddef>
 #include <memory>
 #include <span>
 #include <vector>

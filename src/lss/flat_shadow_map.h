@@ -27,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/types.h"
 #include "lss/segment.h"
 
@@ -49,15 +50,20 @@ class FlatShadowMap {
   bool empty() const noexcept { return size_ == 0; }
   std::size_t capacity() const noexcept { return slots_.size(); }
 
-  bool contains(Lba lba) const noexcept { return find_index(lba) != kNpos; }
+  ADAPT_HOT bool contains(Lba lba) const noexcept {
+    return find_index(lba) != kNpos;
+  }
 
   /// Where lba's shadow copy sits, or kNowhere when it has none.
-  BlockLocation find(Lba lba) const noexcept {
+  ADAPT_HOT BlockLocation find(Lba lba) const noexcept {
     const std::size_t i = find_index(lba);
     return i == kNpos ? kNowhere : slots_[i].loc;
   }
 
-  void insert_or_assign(Lba lba, BlockLocation loc) {
+  /// Hot-path contract: steady state never grows (reserve() pre-sizes to
+  /// the live-shadow bound), so the rehash slow path below stays outlined
+  /// and this body allocates nothing once warmed.
+  ADAPT_HOT void insert_or_assign(Lba lba, BlockLocation loc) {
     if (lba == kInvalidLba) {
       throw std::invalid_argument("FlatShadowMap: reserved key");
     }
@@ -69,7 +75,7 @@ class FlatShadowMap {
 
   /// Removes lba's entry via backward-shift deletion; returns whether an
   /// entry existed.
-  bool erase(Lba lba) noexcept {
+  ADAPT_HOT bool erase(Lba lba) noexcept {
     std::size_t i = find_index(lba);
     if (i == kNpos) return false;
     // Shift the displaced run back one slot until a hole or a home slot.
@@ -184,7 +190,7 @@ class FlatShadowMap {
   /// Index of lba's slot, or kNpos. The robin-hood invariant (stored
   /// distances never decrease along a probe run) lets the scan stop as
   /// soon as it passes a slot closer to its home than we are to ours.
-  std::size_t find_index(Lba lba) const noexcept {
+  ADAPT_HOT std::size_t find_index(Lba lba) const noexcept {
     if (size_ == 0) return kNpos;
     std::size_t i = home(mix(lba));
     for (std::size_t d = 0;; ++d, i = (i + 1) & mask_) {
@@ -197,7 +203,7 @@ class FlatShadowMap {
   /// Robin-hood insert of `incoming` (capacity already ensured). Assigns in
   /// place when the key exists: the invariant guarantees the existing entry
   /// is met before any swap can trigger.
-  void place(Slot incoming) {
+  ADAPT_HOT void place(Slot incoming) {
     std::size_t i = home(incoming.hash);
     for (std::size_t d = 0;; ++d, i = (i + 1) & mask_) {
       Slot& s = slots_[i];

@@ -4,6 +4,7 @@
 #include <span>
 #include <stdexcept>
 
+#include "common/annotations.h"
 #include "common/packed_bitmap.h"
 
 namespace adapt::lss {
@@ -42,7 +43,7 @@ bool GcController::step(TimeUs now_us, std::uint32_t watermark) {
   return true;
 }
 
-void GcController::run_once(TimeUs now_us) {
+ADAPT_HOT void GcController::run_once(TimeUs now_us) {
   // Host-clock pause timing only (nondeterministic); everything the trace
   // records below uses the simulated clocks.
   const auto pause_begin = std::chrono::steady_clock::now();
@@ -80,7 +81,10 @@ void GcController::run_once(TimeUs now_us) {
       // the (large) primary array, so without the hint each migration
       // stalls on a cold load.
       map_.prefetch_primary(lbas[slot]);
-      migrate_scratch_.push_back(MigrateEntry{slot, lbas[slot]});
+      // Reserved to segment_blocks() in the constructor; a victim can hold
+      // at most that many live slots, so no growth here.
+      migrate_scratch_.push_back(  // ADAPT_LINT_ALLOW(hot-alloc)
+          MigrateEntry{slot, lbas[slot]});
     }
     for (const MigrateEntry& e : migrate_scratch_) {
       if (!map_.primary_is(e.lba, BlockLocation{victim, e.slot})) {
@@ -109,10 +113,12 @@ void GcController::run_once(TimeUs now_us) {
   }
   policy_.note_segment_reclaimed(v.group, v.create_vtime, vtime_);
   ++metrics_.groups[v.group].segments_reclaimed;
-  emit(trace_,
-       TraceEvent{TraceEventKind::kGcRun, v.group, vtime_, now_us, victim,
-                  metrics_.gc_migrated_blocks - migrated_before,
-                  metrics_.forced_lazy_flushes - forced_before});
+  if (trace_ != nullptr) {
+    emit(trace_,
+         TraceEvent{TraceEventKind::kGcRun, v.group, vtime_, now_us, victim,
+                    metrics_.gc_migrated_blocks - migrated_before,
+                    metrics_.forced_lazy_flushes - forced_before});
+  }
   writer_.trim_segment(victim);
   pool_.release(victim);
   const auto pause_us = std::chrono::duration_cast<std::chrono::microseconds>(
@@ -120,8 +126,8 @@ void GcController::run_once(TimeUs now_us) {
   metrics_.gc_pause_us.add(static_cast<std::uint64_t>(pause_us.count()));
 }
 
-void GcController::migrate_interleaved(SegmentId victim, Segment& v,
-                                       TimeUs now_us) {
+ADAPT_HOT void GcController::migrate_interleaved(SegmentId victim, Segment& v,
+                                                 TimeUs now_us) {
   for (std::uint32_t slot = 0; slot < v.write_ptr; ++slot) {
     // Skip fully dead 64-slot words in one comparison. Re-checked at every
     // word boundary because forced flushes below can clear later bits.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/annotations.h"
+
 namespace adapt::lss {
 
 SegmentPool::SegmentPool(const LssConfig& config, GroupId group_count,
@@ -25,7 +27,7 @@ SegmentPool::SegmentPool(const LssConfig& config, GroupId group_count,
   group_segments_.assign(group_count, 0);
 }
 
-SegmentId SegmentPool::allocate(GroupId g, VTime vtime) {
+ADAPT_HOT SegmentId SegmentPool::allocate(GroupId g, VTime vtime) {
   if (free_list_.empty()) {
     throw std::runtime_error(
         "LssEngine: segment pool exhausted (GC could not keep up)");
@@ -39,23 +41,27 @@ SegmentId SegmentPool::allocate(GroupId g, VTime vtime) {
   seg.group = g;
   seg.create_vtime = vtime;
   ++group_segments_[g];
-  emit(trace_, TraceEvent{TraceEventKind::kSegmentAlloc, g, vtime,
-                          trace_wall_us_ != nullptr ? *trace_wall_us_ : 0, id,
-                          0, 0});
+  if (trace_ != nullptr) {
+    emit(trace_, TraceEvent{TraceEventKind::kSegmentAlloc, g, vtime,
+                            trace_wall_us_ != nullptr ? *trace_wall_us_ : 0,
+                            id, 0, 0});
+  }
   return id;
 }
 
-void SegmentPool::seal(SegmentId id, VTime vtime) {
+ADAPT_HOT void SegmentPool::seal(SegmentId id, VTime vtime) {
   Segment& seg = segments_[id];
   seg.sealed = true;
   seg.seal_vtime = vtime;
   victim_.on_seal(id, seg.valid_count, seg.seal_vtime);
-  emit(trace_, TraceEvent{TraceEventKind::kSegmentSeal, seg.group, vtime,
-                          trace_wall_us_ != nullptr ? *trace_wall_us_ : 0, id,
-                          seg.valid_count, 0});
+  if (trace_ != nullptr) {
+    emit(trace_, TraceEvent{TraceEventKind::kSegmentSeal, seg.group, vtime,
+                            trace_wall_us_ != nullptr ? *trace_wall_us_ : 0,
+                            id, seg.valid_count, 0});
+  }
 }
 
-void SegmentPool::release(SegmentId id) {
+ADAPT_HOT void SegmentPool::release(SegmentId id) {
   Segment& seg = segments_[id];
   if (seg.sealed) victim_.on_free(id);
   --group_segments_[seg.group];
@@ -65,11 +71,13 @@ void SegmentPool::release(SegmentId id) {
   std::fill_n(slot_lba_.begin() +
                   static_cast<std::size_t>(id) * segment_blocks_,
               segment_blocks_, kInvalidLba);
-  free_list_.push_back(id);
+  // Capacity is reserved to the pool size at construction and ids are
+  // unique, so this push can never grow the vector.
+  free_list_.push_back(id);  // ADAPT_LINT_ALLOW(hot-alloc)
   ++free_count_;
 }
 
-void SegmentPool::invalidate_slot(BlockLocation loc) {
+ADAPT_HOT void SegmentPool::invalidate_slot(BlockLocation loc) {
   Segment& seg = segments_[loc.segment];
   if (!seg.slot_valid.test(loc.slot)) {
     throw std::logic_error("double invalidation of a slot");
@@ -82,7 +90,7 @@ void SegmentPool::invalidate_slot(BlockLocation loc) {
   }
 }
 
-void SegmentPool::invalidate_slot_draining(BlockLocation loc) {
+ADAPT_HOT void SegmentPool::invalidate_slot_draining(BlockLocation loc) {
   Segment& seg = segments_[loc.segment];
   if (!seg.slot_valid.test(loc.slot)) {
     throw std::logic_error("double invalidation of a slot");

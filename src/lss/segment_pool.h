@@ -8,6 +8,7 @@
 // reused LIFO — both load-bearing for the pinned fixed-seed regressions.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>

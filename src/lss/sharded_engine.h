@@ -17,8 +17,16 @@
 // Cross-shard results merge through LssMetrics::merge_from (counters),
 // obs::Registry::merge_from (manifests), and obs::merge_series (sampled
 // time series); see DESIGN.md "Engine decomposition & sharding".
+//
+// Concurrency contract: shards are thread-compatible, never thread-safe —
+// isolation replaces locking. run_queued() hands each shard's queue to
+// exactly one ThreadPool task, the merge phase runs after wait_idle(), and
+// no mutable state crosses a shard boundary in between, so there is nothing
+// for a mutex (or a capability annotation) to guard. The ThreadPool
+// underneath carries the annotations; -Wthread-safety checks that side.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>

@@ -13,6 +13,7 @@
 // tree — which reproduces the seed implementation's candidates[k] exactly.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>

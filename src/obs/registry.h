@@ -7,6 +7,12 @@
 // thread owns its own Registry instance and the collector merges them with
 // `merge_from` once the workers are done (the experiment runner does this
 // under its collection mutex).
+//
+// Concurrency contract: this class is thread-compatible, not thread-safe —
+// deliberately lock-free because no instance is ever shared between live
+// threads. There is no capability annotation to attach (nothing here is
+// guarded); the single-owner discipline is upheld by the callers converted
+// to adapt::Mutex/LockGuard and checked by the -Wthread-safety CI job.
 #pragma once
 
 #include <cstddef>

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "common/annotations.h"
 #include "obs/json.h"
 
 namespace adapt::obs {
@@ -138,9 +139,11 @@ TraceLog::TraceLog(const TraceLogConfig& config)
   ring_.reserve(std::min<std::size_t>(capacity_, 4096));
 }
 
-void TraceLog::record(const lss::TraceEvent& event) {
+ADAPT_HOT void TraceLog::record(const lss::TraceEvent& event) {
   if (ring_.size() < capacity_) {
-    ring_.push_back(event);
+    // Grows geometrically only until the ring reaches capacity, then every
+    // later record overwrites in place — steady state allocates nothing.
+    ring_.push_back(event);  // ADAPT_LINT_ALLOW(hot-alloc)
   } else {
     ring_[recorded_ % capacity_] = event;
   }

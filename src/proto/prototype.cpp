@@ -3,11 +3,12 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "adapt/adapt_policy.h"
+#include "common/annotations.h"
+#include "common/sync.h"
 #include "common/histogram.h"
 #include "lss/engine.h"
 #include "placement/factory.h"
@@ -54,7 +55,14 @@ PrototypeResult run_prototype(const PrototypeConfig& config) {
   lss::LssEngine engine(lss_config, *policy, *victim, nullptr, config.seed);
   if (adapt_policy != nullptr) engine.set_aggregation_hook(adapt_policy);
 
-  std::mutex engine_mu;
+  // The engine is shared by every client and GC thread; all access goes
+  // through this capability-annotated handle (clang -Wthread-safety proves
+  // no path dereferences `engine` without holding `mu`).
+  struct GuardedEngine {
+    explicit GuardedEngine(lss::LssEngine& e) : engine(&e) {}
+    Mutex mu;
+    lss::LssEngine* const engine ADAPT_PT_GUARDED_BY(mu);
+  } shared(engine);
   std::atomic<bool> done{false};
 
   // Shared-bandwidth device model: every flushed chunk reserves its service
@@ -112,10 +120,10 @@ PrototypeResult run_prototype(const PrototypeConfig& config) {
       const TimeUs submit_us = wall_now_us(start);
       std::uint64_t delta = 0;
       {
-        std::lock_guard<std::mutex> lock(engine_mu);
-        const std::uint64_t chunks_before = engine.chunks_flushed();
-        engine.write(r.lba, r.blocks, submit_us);
-        delta = engine.chunks_flushed() - chunks_before;
+        LockGuard lock(shared.mu);
+        const std::uint64_t chunks_before = shared.engine->chunks_flushed();
+        shared.engine->write(r.lba, r.blocks, submit_us);
+        delta = shared.engine->chunks_flushed() - chunks_before;
       }
       if (delta > 0) wait_until(reserve_device(delta));
       latencies.push_back(
@@ -137,10 +145,10 @@ PrototypeResult run_prototype(const PrototypeConfig& config) {
       std::uint64_t delta = 0;
       bool worked = false;
       {
-        std::lock_guard<std::mutex> lock(engine_mu);
-        const std::uint64_t chunks_before = engine.chunks_flushed();
-        worked = engine.gc_step(wall_now_us(start), watermark);
-        delta = engine.chunks_flushed() - chunks_before;
+        LockGuard lock(shared.mu);
+        const std::uint64_t chunks_before = shared.engine->chunks_flushed();
+        worked = shared.engine->gc_step(wall_now_us(start), watermark);
+        delta = shared.engine->chunks_flushed() - chunks_before;
       }
       if (worked && delta > 0) {
         wait_until(reserve_device(delta));
@@ -150,8 +158,8 @@ PrototypeResult run_prototype(const PrototypeConfig& config) {
     }
   };
 
-  std::vector<std::thread> clients;
-  std::vector<std::thread> gc_threads;
+  std::vector<Thread> clients;
+  std::vector<Thread> gc_threads;
   clients.reserve(config.num_clients);
   for (std::uint32_t i = 0; i < config.num_clients; ++i) {
     clients.emplace_back(client_fn, i);

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
-#include <thread>
 
+#include "common/annotations.h"
+#include "common/sync.h"
 #include "common/thread_pool.h"
 
 namespace adapt::sim {
@@ -85,11 +85,15 @@ std::map<CellKey, CellResult> run_experiment(
   }
 
   const std::size_t threads =
-      spec.threads != 0 ? spec.threads
-                        : std::max(1u, std::thread::hardware_concurrency());
+      spec.threads != 0 ? spec.threads : hardware_concurrency();
   ThreadPool pool(threads);
-  std::mutex error_mu;
-  std::exception_ptr first_error;
+
+  // State shared across worker tasks, with each piece tied to its mutex by
+  // a capability annotation (checked by the clang -Wthread-safety CI job).
+  struct ErrorSink {
+    Mutex mu;
+    std::exception_ptr first ADAPT_GUARDED_BY(mu);
+  } errors;
 
   std::function<void(const std::string&)> progress = spec.progress;
   if (!progress && std::getenv("ADAPT_PROGRESS") != nullptr) {
@@ -97,9 +101,16 @@ std::map<CellKey, CellResult> run_experiment(
       std::fprintf(stderr, "%s\n", line.c_str());
     };
   }
-  std::mutex progress_mu;
-  std::map<CellKey, std::size_t> remaining;
-  for (const auto& [key, cell] : results) remaining[key] = volumes.size();
+  struct ProgressState {
+    Mutex mu;
+    std::map<CellKey, std::size_t> remaining ADAPT_GUARDED_BY(mu);
+  } prog;
+  {
+    LockGuard lock(prog.mu);
+    for (const auto& [key, cell] : results) {
+      prog.remaining[key] = volumes.size();
+    }
+  }
 
   for (const auto& policy : spec.policies) {
     for (const auto& victim : spec.victims) {
@@ -111,12 +122,12 @@ std::map<CellKey, CellResult> run_experiment(
             config.victim_policy = victim;
             cell.volumes[i] = run_volume(volumes[i], policy, config);
           } catch (...) {
-            std::lock_guard<std::mutex> lock(error_mu);
-            if (!first_error) first_error = std::current_exception();
+            LockGuard lock(errors.mu);
+            if (!errors.first) errors.first = std::current_exception();
           }
           if (progress) {
-            std::lock_guard<std::mutex> lock(progress_mu);
-            if (--remaining[cell.key] == 0) {
+            LockGuard lock(prog.mu);
+            if (--prog.remaining[cell.key] == 0) {
               const obs::RunManifest m = cell.aggregate_manifest();
               char buf[256];
               std::snprintf(buf, sizeof(buf),
@@ -133,7 +144,10 @@ std::map<CellKey, CellResult> run_experiment(
     }
   }
   pool.wait_idle();
-  if (first_error) std::rethrow_exception(first_error);
+  {
+    LockGuard lock(errors.mu);
+    if (errors.first) std::rethrow_exception(errors.first);
+  }
   return results;
 }
 

@@ -103,6 +103,31 @@ TEST(ThreadPoolTest, DestructorRunsQueuedTasks) {
   EXPECT_EQ(done.load(), 100);
 }
 
+// Shutdown contract: submit() after shutdown() (or destruction has begun)
+// throws instead of silently dropping the task, and shutdown() is
+// idempotent — callers may shut down explicitly and still let the
+// destructor run.
+TEST(ThreadPoolTest, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  pool.shutdown();
+  EXPECT_EQ(done.load(), 1);  // shutdown drained the queue first
+  EXPECT_THROW(pool.submit([&done] { ++done; }), std::runtime_error);
+  EXPECT_EQ(done.load(), 1);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.shutdown();
+  pool.shutdown();  // second call must be a no-op, not a deadlock or throw
+  EXPECT_EQ(done.load(), 20);
+}
+
 // The experiment runner's propagation contract: tasks must not let
 // exceptions escape into the pool (std::function would std::terminate);
 // they record the first error under a mutex and the caller rethrows after

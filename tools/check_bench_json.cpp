@@ -4,6 +4,7 @@
 //   check_bench_json --manifest manifest.json ...    adapt-manifest-v1
 //   check_bench_json --series series.jsonl ...       adapt-series-v1
 //   check_bench_json --trace trace.json ...          adapt-trace-v1
+//   check_bench_json --lint lint.json ...            adapt-lint-v1
 //
 // Exits 0 when every file validates; prints the first schema violation and
 // exits 1 otherwise. CI's bench-smoke job runs this over every BENCH_*.json
@@ -16,12 +17,13 @@
 #include <string_view>
 #include <vector>
 
+#include "lint/lint.h"
 #include "obs/export.h"
 #include "obs/trace_log.h"
 
 namespace {
 
-enum class Kind { kBench, kManifest, kSeries, kTrace };
+enum class Kind { kBench, kManifest, kSeries, kTrace, kLint };
 
 std::string read_file(const std::string& path) {
   std::ifstream in(path);
@@ -46,10 +48,12 @@ int main(int argc, char** argv) {
       kind = Kind::kSeries;
     } else if (arg == "--trace") {
       kind = Kind::kTrace;
+    } else if (arg == "--lint") {
+      kind = Kind::kLint;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: check_bench_json [--bench|--manifest|--series|--trace] "
-          "files...\n");
+          "usage: check_bench_json "
+          "[--bench|--manifest|--series|--trace|--lint] files...\n");
       return 0;
     } else {
       paths.emplace_back(arg);
@@ -76,6 +80,9 @@ int main(int argc, char** argv) {
         }
         case Kind::kTrace:
           adapt::obs::validate_trace_json(text);
+          break;
+        case Kind::kLint:
+          adapt::lint::validate_lint_json(text);
           break;
       }
       std::printf("%s: ok\n", path.c_str());
