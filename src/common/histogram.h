@@ -7,8 +7,10 @@
 #include <algorithm>
 #include <array>
 #include <bit>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -41,6 +43,50 @@ class Log2Histogram {
   /// Smallest value bucket `b` can hold (0 for the zero bucket).
   static constexpr std::uint64_t bucket_floor(std::size_t b) noexcept {
     return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+  }
+
+  /// Largest value bucket `b` can hold (capped by the observed maximum so
+  /// the top bucket never extrapolates past real data).
+  std::uint64_t bucket_ceil(std::size_t b) const noexcept {
+    const std::uint64_t hi =
+        b == 0 ? 0 : (std::uint64_t{1} << (b - 1)) * 2 - 1;
+    return std::min(hi, max_);
+  }
+
+  /// Estimated percentile via nearest-rank over the power-of-two buckets
+  /// with linear interpolation inside the containing bucket. The exact
+  /// nearest-rank percentile lands in the same bucket, so the estimate is
+  /// within a factor of 2 of it (tests/histogram_test.cpp asserts this
+  /// bound against exact percentiles) while add() stays O(1) and the
+  /// footprint stays fixed — unlike Histogram, which stores every sample.
+  /// p in [0, 100]; throws like Histogram::percentile on empty/NaN input.
+  double percentile(double p) const {
+    if (count_ == 0) {
+      throw std::out_of_range("Log2Histogram::percentile on empty");
+    }
+    if (std::isnan(p)) {
+      throw std::invalid_argument("Log2Histogram::percentile: p is NaN");
+    }
+    p = std::clamp(p, 0.0, 100.0);
+    // Nearest-rank target (1-based): the smallest value v such that at
+    // least `rank` samples are <= v.
+    const std::uint64_t rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(p / 100.0 * static_cast<double>(count_))));
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      if (buckets_[b] == 0) continue;
+      if (cum + buckets_[b] < rank) {
+        cum += buckets_[b];
+        continue;
+      }
+      const double lo = static_cast<double>(bucket_floor(b));
+      const double hi = static_cast<double>(bucket_ceil(b));
+      const double frac = static_cast<double>(rank - cum) /
+                          static_cast<double>(buckets_[b]);
+      return lo + (hi - lo) * frac;
+    }
+    return static_cast<double>(max_);
   }
 
   /// Element-wise accumulation (shard-merge).

@@ -13,7 +13,9 @@
 #pragma once
 
 #include <cassert>
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -127,6 +129,35 @@ class Thread {
 inline unsigned hardware_concurrency() noexcept {
   const unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : n;
+}
+
+/// Scheduler yield for bounded spin-then-yield waits (group-commit
+/// followers awaiting their leader's completion publish).
+inline void yield_now() noexcept { std::this_thread::yield(); }
+
+/// Spin budget for spin-then-yield waits: `multi_core` iterations on a
+/// machine with real parallelism, 0 on a single-core host — there, the
+/// condition a spinner waits on can only be produced by a thread that
+/// needs the very core the spin is burning, so yield immediately.
+inline int spin_budget(int multi_core) noexcept {
+  static const bool single = hardware_concurrency() <= 1;
+  return single ? 0 : multi_core;
+}
+
+/// Blocking sleep for polling loops that model think time or idle GC
+/// backoff; microsecond granularity.
+inline void sleep_for_us(std::uint64_t us) {
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+/// Monotonic clock sample in nanoseconds, for host-time latency capture
+/// (submit→durable spans). Values are host-dependent — never feed them
+/// into deterministic engine state, only into host-unit metrics.
+inline std::uint64_t monotonic_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 }  // namespace adapt

@@ -1,0 +1,375 @@
+#include "lss/group_commit.h"
+
+#include <algorithm>
+#include <array>
+#include <optional>
+#include <stdexcept>
+
+namespace adapt::lss {
+
+ConcurrentEngine::ConcurrentEngine(const LssConfig& config,
+                                   std::uint32_t shard_count,
+                                   std::uint64_t base_seed,
+                                   const ShardFactory& factory,
+                                   bool record_ops)
+    : shard_config_(shard_config(config, shard_count)),
+      logical_blocks_(config.logical_blocks),
+      record_ops_(record_ops) {
+  if (!factory) {
+    throw std::invalid_argument("ConcurrentEngine: null shard factory");
+  }
+  // Range partitioning splits the array's arrival stream N ways, so each
+  // shard sees inter-write gaps ~N× longer than the unsharded engine
+  // would. The coalesce window models "how long a partial chunk waits for
+  // more user data before padding out"; keeping it fixed while arrival
+  // thins out N× turns routine gaps into deadline expiries and floods the
+  // device with padded flushes. Scale it by the shard count so the
+  // per-shard window represents the same aggregate wait.
+  shard_config_.coalesce_window_us *= shard_count;
+  shards_.reserve(shard_count);
+  for (std::uint32_t i = 0; i < shard_count; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = i;
+    shard->parts = factory(i, shard_config_);
+    if (shard->parts.policy == nullptr || shard->parts.victim == nullptr) {
+      throw std::invalid_argument(
+          "ConcurrentEngine: factory returned a null policy or victim");
+    }
+    // Same seeding law as ShardedEngine: shard i gets base_seed + i, so a
+    // serial oracle built from the same factory/config/seed is bit-
+    // comparable shard by shard.
+    LockGuard g(shard->mu);
+    shard->engine = std::make_unique<LssEngine>(
+        shard_config_, *shard->parts.policy, *shard->parts.victim,
+        shard->parts.array.get(), base_seed + i);
+    if (shard->parts.hook != nullptr) {
+      shard->engine->set_aggregation_hook(shard->parts.hook);
+    }
+    shards_.push_back(std::move(shard));
+  }
+}
+
+void ConcurrentEngine::set_trace_sink(std::uint32_t i, TraceSink* sink) {
+  Shard& sh = *shards_.at(i);
+  LockGuard g(sh.mu);
+  sh.sink = sink;
+  sh.engine->set_trace_sink(sink);
+}
+
+void ConcurrentEngine::write(Lba lba, std::uint32_t blocks, TimeUs submit_us) {
+  if (lba + blocks > logical_blocks_) {
+    throw std::out_of_range("write beyond logical capacity");
+  }
+  if (blocks == 0) return;
+  // Range split: shard s covers [s*bps, (s+1)*bps). A request is tiny next
+  // to a shard, so the common case is exactly one sub-span; a span that
+  // straddles a boundary links every touched shard before any ticket is
+  // awaited — submitting serially would pay one full intake round trip per
+  // shard for every split write.
+  const std::uint64_t bps = shard_config_.logical_blocks;
+  const auto s_first = static_cast<std::uint32_t>(lba / bps);
+  const auto s_last = static_cast<std::uint32_t>((lba + blocks - 1) / bps);
+  if (s_first == s_last) {
+    // Fast path: the request fits one shard — true for all but ~1 in
+    // thousands of requests (a request is tiny next to a shard), and the
+    // wave machinery below costs real wall time per op at bench rates. One
+    // stack ticket, no arrays.
+    Shard& sh = *shards_[s_first];
+    WriteTicket t(lba - std::uint64_t{s_first} * bps, blocks, submit_us);
+    std::uint64_t flushed = 0;
+    std::exception_ptr error;
+    const bool is_leader =
+        sh.intake.link(&t) ||
+        WriteIntake::await(&t) == WriteState::kLeader;
+    if (is_leader) {
+      try {
+        flushed = lead(sh, &t);
+      } catch (...) {
+        error = std::current_exception();
+      }
+    }
+    if (flush_wait_ && flushed > 0) flush_wait_(flushed);
+    if (error != nullptr) std::rethrow_exception(error);
+    return;
+  }
+  std::uint64_t flushed = 0;
+  std::exception_ptr error;
+  constexpr std::uint32_t kWave = 8;
+  std::uint32_t s = s_first;
+  while (s <= s_last && error == nullptr) {
+    std::array<std::optional<WriteTicket>, kWave> tickets;
+    std::array<Shard*, kWave> owner{};
+    std::array<bool, kWave> terminal{};
+    std::uint32_t cnt = 0;
+    for (; s <= s_last && cnt < kWave; ++s) {
+      const std::uint64_t shard_base = std::uint64_t{s} * bps;
+      const std::uint64_t lo = std::max<std::uint64_t>(lba, shard_base);
+      const std::uint64_t hi =
+          std::min<std::uint64_t>(lba + blocks, shard_base + bps);
+      WriteTicket& t = tickets[cnt].emplace(
+          lo - shard_base, static_cast<std::uint32_t>(hi - lo), submit_us);
+      owner[cnt] = shards_[s].get();
+      terminal[cnt] = false;
+      // Leadership won at link time is recorded via state: poll below
+      // treats it exactly like a later promotion.
+      if (owner[cnt]->intake.link(&t)) {
+        t.state.store(WriteState::kLeader, std::memory_order_relaxed);
+      }
+      ++cnt;
+    }
+    // Every ticket must reach a terminal state before this wave's stack
+    // storage is reused (or the function unwinds). Poll ALL of them rather
+    // than parking on one: a thread blocked on shard B while holding a
+    // promoted leadership on shard A would stall A — and three such
+    // threads can form a cross-shard leader-wait cycle that never resolves.
+    std::uint32_t pending = cnt;
+    int spins = spin_budget(2048);
+    while (pending > 0) {
+      bool progressed = false;
+      for (std::uint32_t k = 0; k < cnt; ++k) {
+        if (terminal[k]) continue;
+        const WriteState st =
+            tickets[k]->state.load(std::memory_order_acquire);
+        if (st == WriteState::kInit) continue;
+        if (st == WriteState::kLeader) {
+          try {
+            flushed += lead(*owner[k], &*tickets[k]);
+          } catch (...) {
+            error = std::current_exception();
+          }
+        }
+        terminal[k] = true;
+        --pending;
+        progressed = true;
+      }
+      if (!progressed) {
+        if (spins > 0) {
+          --spins;
+        } else {
+          yield_now();
+        }
+      }
+    }
+  }
+  // One coalesced device wait for everything this op flushed, charged to
+  // the submitting thread alone: follower completions above never stall on
+  // the modeled flush, mirroring the big-lock accounting where the client
+  // that tipped a chunk slept outside the lock.
+  if (flush_wait_ && flushed > 0) flush_wait_(flushed);
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+std::uint64_t ConcurrentEngine::lead(Shard& sh, WriteTicket* leader) {
+  WriteTicket* const last = sh.intake.capture_group(leader);
+  std::uint64_t batch_ops = 0;
+  std::uint64_t batch_blocks = 0;
+  std::uint64_t flushed_delta = 0;
+  std::exception_ptr error;
+  {
+    LockGuard g(sh.mu);
+    const std::uint64_t chunks_before = sh.engine->chunks_flushed();
+    try {
+      for (WriteTicket* w = leader;;
+           w = w->link_newer.load(std::memory_order_relaxed)) {
+        // Engine timestamps must be monotone per shard; arrival order and
+        // submit-clock order can disagree under contention, so clamp. The
+        // clamped value is what gets recorded — replay needs the ts that
+        // was actually applied, not the one the client intended.
+        const TimeUs ts = std::max(sh.last_ts, w->submit_us);
+        sh.last_ts = ts;
+        sh.engine->write(w->lba, w->blocks, ts);
+        if (record_ops_) {
+          sh.log.push_back(
+              RecordedOp{RecordedOp::Kind::kWrite, w->lba, w->blocks, ts, 0});
+        }
+        ++batch_ops;
+        batch_blocks += w->blocks;
+        if (w == last) break;
+      }
+    } catch (...) {
+      // Keep the protocol alive on engine failure: followers must still be
+      // released (their ops may not have applied — the thrown error is the
+      // run's failure signal) or they would spin forever.
+      error = std::current_exception();
+    }
+    flushed_delta = sh.engine->chunks_flushed() - chunks_before;
+    if (sh.sink != nullptr) {
+      emit(sh.sink,
+           TraceEvent{TraceEventKind::kGroupCommit,
+                      static_cast<GroupId>(sh.index), sh.engine->vtime(),
+                      sh.last_ts, batch_ops, batch_blocks, flushed_delta});
+    }
+  }
+  sh.groups.fetch_add(1, std::memory_order_relaxed);
+  sh.ops.fetch_add(batch_ops, std::memory_order_relaxed);
+  std::uint64_t prev_max = sh.max_batch.load(std::memory_order_relaxed);
+  while (prev_max < batch_ops &&
+         !sh.max_batch.compare_exchange_weak(prev_max, batch_ops,
+                                             std::memory_order_relaxed)) {
+  }
+  // Hand off leadership immediately: the next batch can apply into the
+  // engine the moment this one leaves the critical section — the pipeline
+  // the big lock could never form.
+  sh.intake.exit_group(last);
+  // Publish completions oldest-to-newest, reading each link BEFORE the
+  // store: a completed follower's stack frame — ticket included — can
+  // vanish immediately. Never read or follow last->link_newer here —
+  // exit_group may have pointed it at the promoted next leader, which is
+  // not ours to complete (a size-1 batch has no followers at all). The
+  // caller runs the device wait AFTER this returns, so completions are
+  // never delayed by the modeled flush.
+  if (leader != last) {
+    WriteTicket* w = leader->link_newer.load(std::memory_order_relaxed);
+    while (w != nullptr) {
+      WriteTicket* const next =
+          (w == last) ? nullptr
+                      : w->link_newer.load(std::memory_order_relaxed);
+      WriteIntake::publish(w, WriteState::kCompleted);
+      w = next;
+    }
+  }
+  if (error != nullptr) std::rethrow_exception(error);
+  return flushed_delta;
+}
+
+bool ConcurrentEngine::gc_step(std::uint32_t i, TimeUs now_us,
+                               std::uint32_t watermark,
+                               std::uint64_t* flushed_chunks) {
+  Shard& sh = *shards_.at(i);
+  LockGuard g(sh.mu);
+  const TimeUs ts = std::max(sh.last_ts, now_us);
+  const std::uint64_t chunks_before = sh.engine->chunks_flushed();
+  // A false step mutates nothing (GcController::step checks the watermark
+  // before run_once), so only steps that worked enter the linearized log.
+  if (!sh.engine->gc_step(ts, watermark)) {
+    if (flushed_chunks != nullptr) *flushed_chunks = 0;
+    return false;
+  }
+  if (flushed_chunks != nullptr) {
+    *flushed_chunks = sh.engine->chunks_flushed() - chunks_before;
+  }
+  sh.last_ts = ts;
+  if (record_ops_) {
+    sh.log.push_back(
+        RecordedOp{RecordedOp::Kind::kGcStep, 0, 0, ts, watermark});
+  }
+  return true;
+}
+
+void ConcurrentEngine::flush_all() {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    Shard& sh = *shard;
+    LockGuard g(sh.mu);
+    sh.engine->flush_all();
+    if (record_ops_) {
+      sh.log.push_back(
+          RecordedOp{RecordedOp::Kind::kFlushAll, 0, 0, sh.last_ts, 0});
+    }
+  }
+}
+
+LssMetrics ConcurrentEngine::merged_metrics() const {
+  LssMetrics merged;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    LockGuard g(shard->mu);
+    merged.merge_from(shard->engine->metrics());
+  }
+  return merged;
+}
+
+std::uint64_t ConcurrentEngine::chunks_flushed() const {
+  std::uint64_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    LockGuard g(shard->mu);
+    total += shard->engine->chunks_flushed();
+  }
+  return total;
+}
+
+std::vector<std::uint32_t> ConcurrentEngine::merged_segments_per_group()
+    const {
+  std::vector<std::uint32_t> merged;
+  std::vector<std::uint32_t> scratch;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    LockGuard g(shard->mu);
+    shard->engine->segments_per_group(scratch);
+    if (merged.size() < scratch.size()) merged.resize(scratch.size(), 0);
+    for (std::size_t g2 = 0; g2 < scratch.size(); ++g2) {
+      merged[g2] += scratch[g2];
+    }
+  }
+  return merged;
+}
+
+std::uint64_t ConcurrentEngine::merged_pending_blocks() const {
+  std::uint64_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    LockGuard g(shard->mu);
+    const GroupId groups = shard->engine->group_count();
+    for (GroupId g2 = 0; g2 < groups; ++g2) {
+      total += shard->engine->pending_blocks(g2);
+    }
+  }
+  return total;
+}
+
+std::size_t ConcurrentEngine::policy_memory_bytes() const {
+  std::size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    total += shard->parts.policy->memory_usage_bytes();
+  }
+  return total;
+}
+
+void ConcurrentEngine::check_invariants(audit::Level level) const {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    LockGuard g(shard->mu);
+    shard->engine->check_invariants(level);
+  }
+}
+
+GroupCommitStats ConcurrentEngine::shard_stats(std::uint32_t i) const {
+  const Shard& sh = *shards_.at(i);
+  return GroupCommitStats{sh.groups.load(std::memory_order_relaxed),
+                          sh.ops.load(std::memory_order_relaxed),
+                          sh.max_batch.load(std::memory_order_relaxed)};
+}
+
+GroupCommitStats ConcurrentEngine::merged_stats() const {
+  GroupCommitStats merged;
+  for (std::uint32_t i = 0; i < shard_count(); ++i) {
+    const GroupCommitStats s = shard_stats(i);
+    merged.groups += s.groups;
+    merged.ops += s.ops;
+    merged.max_batch = std::max(merged.max_batch, s.max_batch);
+  }
+  return merged;
+}
+
+std::vector<RecordedOp> ConcurrentEngine::recorded_ops(std::uint32_t i) const {
+  Shard& sh = *shards_.at(i);
+  LockGuard g(sh.mu);
+  return sh.log;
+}
+
+void ConcurrentEngine::replay_log(LssEngine& engine,
+                                  const std::vector<RecordedOp>& log) {
+  for (const RecordedOp& op : log) {
+    switch (op.kind) {
+      case RecordedOp::Kind::kWrite:
+        engine.write(op.lba, op.blocks, op.ts_us);
+        break;
+      case RecordedOp::Kind::kGcStep:
+        if (!engine.gc_step(op.ts_us, op.watermark)) {
+          throw std::logic_error(
+              "replay_log: recorded GC step did no work on replay");
+        }
+        break;
+      case RecordedOp::Kind::kFlushAll:
+        engine.flush_all();
+        break;
+    }
+  }
+}
+
+}  // namespace adapt::lss

@@ -1,0 +1,359 @@
+// Lock-free MPSC group-commit front-end over LBA-sharded LssEngines.
+//
+// This is the live concurrent write path that replaces the prototype's
+// big-lock GuardedEngine: client threads no longer serialize per-op on one
+// mutex; they link write tickets onto a per-shard lock-free intake list and
+// one of them — the *group leader* — applies the whole linked batch against
+// the shard's engine in a single critical section, then publishes per-op
+// completion. The shape follows the RocksDB/FrozenHot LoggingServer writer
+// group (SNIPPETS.md #2/#3):
+//
+//   1. link():   CAS-push the ticket onto the shard's newest_ list head.
+//                The thread that installs the head onto an EMPTY list is
+//                the leader; everyone else is a follower.
+//   2. capture_group(): the leader snapshots newest_ and back-fills the
+//                link_newer pointers (the CAS push only writes link_older),
+//                fixing the batch as [leader .. last].
+//   3. apply:    the leader takes the shard mutex once and applies every
+//                ticket in link order — oldest first, so the linearized
+//                order is exactly arrival order — against the LssEngine.
+//   4. exit_group(): CAS newest_ from `last` back to nullptr; if new
+//                tickets arrived meanwhile, the oldest of them is promoted
+//                to leader of the next batch (its link_older is severed
+//                first so a later walk never crosses into the dying batch).
+//   5. complete(): the leader marks each follower kCompleted *after*
+//                reading its link_newer — tickets live on follower stacks
+//                and may be destroyed the instant they complete. Any
+//                device-model flush wait happens strictly after this, on
+//                the submitting thread only (see set_flush_wait): a batch
+//                never serializes its followers behind a modeled sleep.
+//
+// Determinism contract (the oracle): a shard's final state is a pure
+// function of its (op, lba, blocks, ts) sequence. The leader records every
+// applied op — user writes, GC steps that did work, and the final drain —
+// in apply order while holding the shard mutex. Replaying that recorded log
+// through a fresh serial engine built from the same factory and seed must
+// reproduce the concurrent shard's final state and deterministic metrics
+// bit-exactly; tests/concurrent_commit_test.cpp proves it. Thread
+// scheduling may change *which* order gets recorded, never whether the
+// recorded order explains the result.
+//
+// Concurrency: the intake list is the only lock-free piece; everything
+// behind it is the ordinary single-threaded engine guarded by the shard
+// mutex (held only by the current leader, so in steady state it is
+// uncontended — the "lock" the clients used to convoy on is now taken once
+// per batch, not once per op).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/annotations.h"
+#include "common/sync.h"
+#include "common/types.h"
+#include "lss/engine.h"
+#include "lss/sharded_engine.h"
+
+namespace adapt::lss {
+
+/// Ticket lifecycle: linked (kInit) -> either completed by the current
+/// leader (kCompleted) or promoted to lead the next batch (kLeader).
+enum class WriteState : std::uint8_t {
+  kInit = 0,
+  kLeader = 1,
+  kCompleted = 2,
+};
+
+/// One in-flight write op. Lives on the submitting thread's stack for the
+/// duration of the call; the intake links tickets, never owns them.
+struct WriteTicket {
+  WriteTicket(Lba lba_in, std::uint32_t blocks_in, TimeUs submit_in) noexcept
+      : lba(lba_in), blocks(blocks_in), submit_us(submit_in) {}
+
+  WriteTicket(const WriteTicket&) = delete;
+  WriteTicket& operator=(const WriteTicket&) = delete;
+
+  Lba lba;                  ///< shard-local address
+  std::uint32_t blocks;
+  TimeUs submit_us;         ///< simulated submit timestamp (monotonised
+                            ///< per shard by the leader before applying)
+  WriteTicket* link_older = nullptr;              ///< set once by link()
+  std::atomic<WriteTicket*> link_newer{nullptr};  ///< back-filled by leader
+  std::atomic<WriteState> state{WriteState::kInit};
+  /// Parking for await(): the waiter blocks on its OWN ticket's condvar,
+  /// and publish() stores the new state while holding this mutex. Holding
+  /// it across the notify is what makes the handoff safe against the
+  /// ticket's stack frame vanishing: cv.wait() must reacquire mu before
+  /// returning, so the waiter cannot unwind until publish() has released.
+  Mutex mu;
+  CondVar cv;
+};
+
+/// The per-shard lock-free MPSC intake list. Thread-safe: any number of
+/// producers may link() concurrently; exactly one thread at a time (the
+/// current leader) runs capture_group/exit_group.
+class WriteIntake {
+ public:
+  WriteIntake() = default;
+  WriteIntake(const WriteIntake&) = delete;
+  WriteIntake& operator=(const WriteIntake&) = delete;
+
+  /// Pushes `w` onto the list. Returns true when the list was empty —
+  /// the caller just became group leader. The release CAS publishes the
+  /// ticket's payload fields to the leader's acquire load of newest_.
+  bool link(WriteTicket* w) noexcept {
+    WriteTicket* old = newest_.load(std::memory_order_relaxed);
+    while (true) {
+      w->link_older = old;
+      if (newest_.compare_exchange_weak(old, w, std::memory_order_release,
+                                        std::memory_order_relaxed)) {
+        return old == nullptr;
+      }
+    }
+  }
+
+  /// Leader only. Snapshots the current list as this batch and back-fills
+  /// link_newer pointers from the snapshot down to `leader`, so the batch
+  /// can be walked oldest-to-newest. Returns the batch's newest ticket.
+  WriteTicket* capture_group(WriteTicket* leader) noexcept {
+    WriteTicket* newest = newest_.load(std::memory_order_acquire);
+    create_missing_newer_links(newest);
+    (void)leader;
+    return newest;
+  }
+
+  /// Leader only, after the batch [leader .. last] has been applied and
+  /// its followers are about to be completed. If no newer ticket arrived,
+  /// resets the list (returns nullptr). Otherwise promotes the oldest
+  /// post-batch ticket to leader of the next group and returns it.
+  WriteTicket* exit_group(WriteTicket* last) noexcept {
+    WriteTicket* expected = last;
+    if (newest_.compare_exchange_strong(expected, nullptr,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+      return nullptr;
+    }
+    // Newer tickets exist; `expected` is the current newest. Build the
+    // newer-links down to `last`, then hand leadership to last's newer
+    // neighbour. Sever its link_older FIRST so no later walk (from a yet
+    // newer ticket) can cross into this batch once its tickets start
+    // completing and vanishing.
+    create_missing_newer_links(expected);
+    WriteTicket* next_leader = last->link_newer.load(std::memory_order_relaxed);
+    next_leader->link_older = nullptr;
+    publish(next_leader, WriteState::kLeader);
+    return next_leader;
+  }
+
+  /// Moves `w` to a terminal state and wakes its owner if parked. The
+  /// store happens under w->mu (see WriteTicket::mu): a waiter inside
+  /// cv.wait() cannot resume — and so cannot destroy the ticket — until
+  /// this releases the mutex, which makes notifying a stack-owned ticket
+  /// safe. Do not touch `w` after this returns.
+  static void publish(WriteTicket* w, WriteState terminal) noexcept {
+    LockGuard g(w->mu);
+    w->state.store(terminal, std::memory_order_release);
+    w->cv.notify_one();
+  }
+
+  /// Follower wait: bounded spin (skipped entirely on a single-core host,
+  /// where spinning starves the leader — see spin_budget), then park on
+  /// the ticket's own condvar until the current leader either completes
+  /// this ticket or promotes it — a parked follower costs the scheduler
+  /// nothing, unlike a yield loop cycling the run queue. Returns the
+  /// terminal state observed.
+  static WriteState await(WriteTicket* w) noexcept {
+    for (int spin = spin_budget(2048); spin > 0; --spin) {
+      const WriteState s = w->state.load(std::memory_order_acquire);
+      if (s != WriteState::kInit) return s;
+    }
+    LockGuard g(w->mu);
+    while (true) {
+      const WriteState s = w->state.load(std::memory_order_acquire);
+      if (s != WriteState::kInit) return s;
+      w->cv.wait(w->mu, g);
+    }
+  }
+
+ private:
+  /// Walks link_older from `newest`, setting each older ticket's
+  /// link_newer, stopping at the first ticket that already has one (or at
+  /// the batch head, whose link_older is nullptr). Called only by the
+  /// (single) current leader.
+  static void create_missing_newer_links(WriteTicket* newest) noexcept {
+    WriteTicket* head = newest;
+    while (true) {
+      WriteTicket* older = head->link_older;
+      if (older == nullptr ||
+          older->link_newer.load(std::memory_order_relaxed) != nullptr) {
+        break;
+      }
+      older->link_newer.store(head, std::memory_order_relaxed);
+      head = older;
+    }
+  }
+
+  std::atomic<WriteTicket*> newest_{nullptr};
+};
+
+/// One op in a shard's linearized log, recorded by the leader in apply
+/// order. Replaying the log serially reproduces the shard bit-exactly.
+struct RecordedOp {
+  enum class Kind : std::uint8_t { kWrite, kGcStep, kFlushAll };
+  Kind kind = Kind::kWrite;
+  Lba lba = 0;               ///< shard-local (kWrite)
+  std::uint32_t blocks = 0;  ///< kWrite
+  TimeUs ts_us = 0;          ///< monotonised timestamp actually applied
+  std::uint32_t watermark = 0;  ///< kGcStep
+};
+
+/// Group-commit counters for one shard (or merged across shards).
+struct GroupCommitStats {
+  std::uint64_t groups = 0;     ///< batches led
+  std::uint64_t ops = 0;        ///< tickets applied across all batches
+  std::uint64_t max_batch = 0;  ///< largest single batch (tickets)
+};
+
+/// The concurrent front-end: N independent LBA-sharded LssEngines (same
+/// geometry division and per-shard seeding as ShardedEngine — shard i
+/// seeds with base_seed + i), each fronted by a WriteIntake and a Mutex
+/// held only by that shard's current group leader.
+///
+/// Partitioning is by contiguous LBA range (shard = lba / blocks_per_shard)
+/// rather than ShardedEngine's modulo striping: a multi-block request is
+/// tiny next to a shard (tens of blocks vs tens of thousands), so range
+/// partitioning keeps almost every op on ONE shard — one intake rendezvous
+/// per op instead of one per touched shard. Modulo striping would shred
+/// each request across all shards and make every op wait on several other
+/// threads' leaders, which serializes badly once cores are scarce. Hotspot
+/// skew is not a concern for the target workloads: the YCSB generator uses
+/// a scrambled zipfian, which spreads hot keys uniformly over the range.
+///
+/// write() and gc_step() are thread-safe. The merged observers
+/// (merged_metrics, chunks_flushed, recorded_ops, ...) take the shard
+/// locks but are meant for a quiesced engine — call them after joining the
+/// client threads.
+class ConcurrentEngine {
+ public:
+  /// `record_ops` keeps the per-shard linearized op log for the
+  /// differential oracle; benches turn it off to avoid the append cost.
+  ConcurrentEngine(const LssConfig& config, std::uint32_t shard_count,
+                   std::uint64_t base_seed, const ShardFactory& factory,
+                   bool record_ops = true);
+
+  ConcurrentEngine(const ConcurrentEngine&) = delete;
+  ConcurrentEngine& operator=(const ConcurrentEngine&) = delete;
+
+  std::uint32_t shard_count() const noexcept {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  std::uint64_t logical_blocks() const noexcept { return logical_blocks_; }
+  const LssConfig& per_shard_config() const noexcept { return shard_config_; }
+  /// Range partition: shard holding global `lba`; its local address is
+  /// lba - shard * blocks_per_shard().
+  std::uint32_t shard_of(Lba lba) const noexcept {
+    return static_cast<std::uint32_t>(lba / shard_config_.logical_blocks);
+  }
+  std::uint64_t blocks_per_shard() const noexcept {
+    return shard_config_.logical_blocks;
+  }
+
+  /// Device-model hook: called once per write() OUTSIDE every shard lock
+  /// with the total chunks that op's batches flushed (> 0), after follower
+  /// completions have been published. The submitting thread alone absorbs
+  /// the modeled flush time — the same accounting as the big-lock path,
+  /// where the client that tipped a chunk slept outside the lock while the
+  /// others kept writing. Followers therefore never serialize behind a
+  /// leader's device wait. Must be thread-safe; set before the first write.
+  void set_flush_wait(std::function<void(std::uint64_t chunks)> fn) {
+    flush_wait_ = std::move(fn);
+  }
+
+  /// Attaches a trace sink to shard `i` (engine events + kGroupCommit
+  /// batch events). Emission happens under the shard lock, so an
+  /// unsynchronised per-shard ring is safe, mirroring ShardedEngine.
+  void set_trace_sink(std::uint32_t i, TraceSink* sink);
+
+  /// Thread-safe group-commit write of `blocks` consecutive global blocks
+  /// at `lba`. Under range partitioning the span almost always lands on a
+  /// single shard; when it straddles a boundary, every touched shard's
+  /// ticket is linked BEFORE any is awaited, so the sub-writes commit in
+  /// parallel instead of paying one intake round trip per shard. Returns
+  /// once every sub-span has been applied and the flush-wait hook has been
+  /// charged for whatever the op flushed.
+  void write(Lba lba, std::uint32_t blocks, TimeUs submit_us);
+
+  /// Thread-safe proactive GC pass on shard `i`. Returns true when the
+  /// pass migrated work (and was therefore recorded in the shard log).
+  /// When `flushed_chunks` is non-null it receives the number of chunks
+  /// the pass flushed, so the caller can charge the device model.
+  bool gc_step(std::uint32_t i, TimeUs now_us, std::uint32_t watermark,
+               std::uint64_t* flushed_chunks = nullptr);
+
+  /// Quiesced-only: pads out every partial chunk on every shard and
+  /// records the drain in each shard log.
+  void flush_all();
+
+  // -- quiesced observers ---------------------------------------------------
+
+  LssMetrics merged_metrics() const;
+  std::uint64_t chunks_flushed() const;
+  std::vector<std::uint32_t> merged_segments_per_group() const;
+  std::uint64_t merged_pending_blocks() const;
+  std::size_t policy_memory_bytes() const;
+  void check_invariants(audit::Level level) const;
+
+  GroupCommitStats shard_stats(std::uint32_t i) const;
+  GroupCommitStats merged_stats() const;
+
+  /// Copy of shard `i`'s linearized op log (empty when record_ops=false).
+  std::vector<RecordedOp> recorded_ops(std::uint32_t i) const;
+
+  /// Read-only access to shard `i`'s engine for final-state comparison.
+  /// Quiesced-only: deliberately bypasses the shard lock (the analysis
+  /// cannot express "all writers joined"), hence the escape hatch.
+  const LssEngine& shard_for_inspection(std::uint32_t i) const
+      ADAPT_NO_THREAD_SAFETY_ANALYSIS {
+    return *shards_.at(i)->engine;
+  }
+
+  /// Serial oracle replay: applies `log` to `engine` exactly as the
+  /// concurrent path recorded it. The engine must be freshly built from
+  /// the same factory, per-shard config, and seed as the shard that
+  /// produced the log.
+  static void replay_log(LssEngine& engine,
+                         const std::vector<RecordedOp>& log);
+
+ private:
+  struct Shard {
+    std::uint32_t index = 0;
+    ShardParts parts;
+    Mutex mu;
+    std::unique_ptr<LssEngine> engine ADAPT_PT_GUARDED_BY(mu);
+    WriteIntake intake;
+    TimeUs last_ts ADAPT_GUARDED_BY(mu) = 0;
+    std::vector<RecordedOp> log ADAPT_GUARDED_BY(mu);
+    TraceSink* sink ADAPT_GUARDED_BY(mu) = nullptr;
+    std::atomic<std::uint64_t> groups{0};
+    std::atomic<std::uint64_t> ops{0};
+    std::atomic<std::uint64_t> max_batch{0};
+  };
+
+  /// Leader protocol: capture batch, apply under the shard lock, hand off
+  /// leadership, publish completions. Returns the number of chunks the
+  /// batch flushed so the caller can charge the device model — the wait
+  /// must NOT happen here, or every follower would serialize behind it.
+  std::uint64_t lead(Shard& sh, WriteTicket* leader);
+
+  LssConfig shard_config_;
+  std::uint64_t logical_blocks_ = 0;
+  bool record_ops_ = true;
+  std::function<void(std::uint64_t)> flush_wait_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace adapt::lss

@@ -32,6 +32,8 @@ enum class TraceEventKind : std::uint8_t {
   kGcRun,           ///< group = victim group, a = victim segment,
                     ///< b = migrated blocks, c = forced lazy flushes
   kThresholdAdapt,  ///< a = new threshold, b = total adoptions so far
+  kGroupCommit,     ///< group = shard index, a = batched ops, b = blocks,
+                    ///< c = chunks flushed by the batch
 };
 
 /// POD event record. `ts` is the engine's deterministic virtual clock

@@ -222,7 +222,7 @@ void compare_manifests(const json::Value& base, const json::Value& cand,
   compare_provenance(base, cand, cmp, report);
   compare_lifetime(base, cand, cmp);
   // Skipped on purpose: tool, wall_seconds, records_per_sec,
-  // peak_rss_bytes, gc_pause_us — host-dependent.
+  // peak_rss_bytes, gc_pause_us, latency_ns — host-dependent.
 }
 
 /// Host-dependent bench units: wall-clock rates and latencies vary with

@@ -196,6 +196,10 @@ std::string manifest_json(const RunManifest& m) {
   append_histogram_json(out, "block_lifetime", m.block_lifetime);
   out += ',';
   append_histogram_json(out, "gc_pause_us", m.gc_pause_us);
+  if (!m.latency_ns.empty()) {
+    out += ',';
+    append_histogram_json(out, "latency_ns", m.latency_ns);
+  }
   out += '}';
   return out;
 }
@@ -384,6 +388,11 @@ void validate_manifest_json(std::string_view text) {
       static_cast<std::uint64_t>(require_number(geometry, "chunk_blocks")));
   validate_histogram_json(require(doc, "block_lifetime"), "block_lifetime");
   validate_histogram_json(require(doc, "gc_pause_us"), "gc_pause_us");
+  // Optional: only prototype manifests carry per-op latency.
+  if (const json::Value* latency = doc.find("latency_ns");
+      latency != nullptr) {
+    validate_histogram_json(*latency, "latency_ns");
+  }
 }
 
 std::size_t validate_series_jsonl(std::string_view text) {

@@ -60,6 +60,11 @@ struct RunManifest {
   /// Host-clock GC pause distribution (microseconds). Nondeterministic:
   /// reported, but skipped by the adapt_compare gate.
   Log2Histogram gc_pause_us;
+  /// Host-clock per-op submit→durable latency (nanoseconds), filled by the
+  /// prototype's concurrent front-end. Optional in the schema: emitted only
+  /// when non-empty (simulator manifests have no op latency), validated when
+  /// present, and — being host timing — skipped by the adapt_compare gate.
+  Log2Histogram latency_ns;
 };
 
 /// Peak resident set of this process in bytes (getrusage; 0 if unknown).

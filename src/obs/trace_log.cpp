@@ -39,6 +39,8 @@ KindInfo kind_info(lss::TraceEventKind kind) {
       return {"gc_run", "gc", 'X'};
     case TraceEventKind::kThresholdAdapt:
       return {"threshold_adapt", "adapt", 'i'};
+    case TraceEventKind::kGroupCommit:
+      return {"group_commit", "commit", 'i'};
   }
   throw std::logic_error("unknown trace event kind");
 }
@@ -107,6 +109,13 @@ void append_args(std::string& out, const lss::TraceEvent& e) {
       append_kv_u64(out, "threshold", e.a);
       out += ',';
       append_kv_u64(out, "adoptions", e.b);
+      break;
+    case TraceEventKind::kGroupCommit:
+      append_kv_u64(out, "batch_ops", e.a);
+      out += ',';
+      append_kv_u64(out, "batch_blocks", e.b);
+      out += ',';
+      append_kv_u64(out, "chunks_flushed", e.c);
       break;
   }
 }

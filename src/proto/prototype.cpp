@@ -1,16 +1,24 @@
 #include "proto/prototype.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <limits>
 #include <memory>
-#include <thread>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "adapt/adapt_policy.h"
 #include "common/annotations.h"
-#include "common/sync.h"
 #include "common/histogram.h"
+#include "common/sync.h"
+#include "common/thread_pool.h"
 #include "lss/engine.h"
+#include "obs/provenance.h"
 #include "placement/factory.h"
 
 namespace adapt::proto {
@@ -18,6 +26,10 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// Simulated microsecond clock fed to the engine (coalescing windows, GC
+/// timestamps). Host latency and elapsed time are measured separately in
+/// nanoseconds (monotonic_now_ns) — TimeUs truncation made sub-tick spans
+/// collapse to zero, which is exactly the throughput bug safe_rate guards.
 TimeUs wall_now_us(Clock::time_point start) {
   return static_cast<TimeUs>(
       std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
@@ -27,43 +39,75 @@ TimeUs wall_now_us(Clock::time_point start) {
 
 }  // namespace
 
+double spans_elapsed_seconds(const std::vector<ClientSpan>& spans) {
+  if (spans.empty()) return 0.0;
+  std::uint64_t lo = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t hi = 0;
+  for (const ClientSpan& s : spans) {
+    lo = std::min(lo, s.start_ns);
+    hi = std::max(hi, s.end_ns);
+  }
+  if (hi <= lo) return 0.0;
+  return static_cast<double>(hi - lo) * 1e-9;
+}
+
+double safe_rate(double amount, double elapsed_seconds) {
+  if (!(elapsed_seconds > 0.0)) return 0.0;
+  const double rate = amount / elapsed_seconds;
+  return std::isfinite(rate) ? rate : 0.0;
+}
+
+std::uint32_t resolve_shards(const PrototypeConfig& config) {
+  if (config.shards != 0) return config.shards;
+  // Auto: one shard per client up to 8, but never shrink a shard below the
+  // 2^15-block floor the simulator applies — tiny working sets would fail
+  // LssConfig::validate (op segments must cover the GC watermark).
+  const std::uint64_t ws = config.workload.working_set_blocks;
+  const std::uint64_t floor_cap = std::max<std::uint64_t>(1, ws >> 15);
+  const std::uint64_t want =
+      std::min<std::uint64_t>(std::max<std::uint32_t>(config.num_clients, 1),
+                              8);
+  return static_cast<std::uint32_t>(std::min(want, floor_cap));
+}
+
+lss::ShardFactory make_prototype_shard_factory(
+    const PrototypeConfig& config) {
+  const std::string policy_name = config.policy;
+  const std::string victim_name = config.victim_policy;
+  const double sample_rate = config.adapt_sample_rate;
+  const std::uint64_t seed = config.seed;
+  return [policy_name, victim_name, sample_rate, seed](
+             std::uint32_t shard_index, const lss::LssConfig& shard_lss) {
+    lss::ShardParts parts;
+    if (policy_name == "adapt") {
+      core::AdaptConfig ac;
+      ac.logical_blocks = shard_lss.logical_blocks;
+      ac.segment_blocks = shard_lss.segment_blocks();
+      ac.chunk_blocks = shard_lss.chunk_blocks;
+      ac.over_provision = shard_lss.over_provision;
+      ac.sample_rate = sample_rate;
+      auto p = core::make_adapt_policy(ac);
+      parts.hook = p.get();
+      parts.policy = std::move(p);
+    } else {
+      placement::PolicyConfig pc;
+      pc.logical_blocks = shard_lss.logical_blocks;
+      pc.segment_blocks = shard_lss.segment_blocks();
+      pc.seed = seed + shard_index;
+      parts.policy = placement::make_baseline_policy(policy_name, pc);
+    }
+    parts.victim = lss::make_victim_policy(victim_name);
+    return parts;
+  };
+}
+
 PrototypeResult run_prototype(const PrototypeConfig& config) {
   lss::LssConfig lss_config = config.lss;
   lss_config.logical_blocks = config.workload.working_set_blocks;
 
-  std::unique_ptr<lss::PlacementPolicy> policy;
-  core::AdaptPolicy* adapt_policy = nullptr;
-  if (config.policy == "adapt") {
-    core::AdaptConfig ac;
-    ac.logical_blocks = lss_config.logical_blocks;
-    ac.segment_blocks = lss_config.segment_blocks();
-    ac.chunk_blocks = lss_config.chunk_blocks;
-    ac.over_provision = lss_config.over_provision;
-    ac.sample_rate = config.adapt_sample_rate;
-    auto p = core::make_adapt_policy(ac);
-    adapt_policy = p.get();
-    policy = std::move(p);
-  } else {
-    placement::PolicyConfig pc;
-    pc.logical_blocks = lss_config.logical_blocks;
-    pc.segment_blocks = lss_config.segment_blocks();
-    pc.seed = config.seed;
-    policy = placement::make_baseline_policy(config.policy, pc);
-  }
-  auto victim = lss::make_victim_policy(config.victim_policy);
-
-  lss::LssEngine engine(lss_config, *policy, *victim, nullptr, config.seed);
-  if (adapt_policy != nullptr) engine.set_aggregation_hook(adapt_policy);
-
-  // The engine is shared by every client and GC thread; all access goes
-  // through this capability-annotated handle (clang -Wthread-safety proves
-  // no path dereferences `engine` without holding `mu`).
-  struct GuardedEngine {
-    explicit GuardedEngine(lss::LssEngine& e) : engine(&e) {}
-    Mutex mu;
-    lss::LssEngine* const engine ADAPT_PT_GUARDED_BY(mu);
-  } shared(engine);
-  std::atomic<bool> done{false};
+  const bool big_lock = config.front_end == FrontEnd::kBigLockOracle;
+  const std::uint32_t shards = big_lock ? 1 : resolve_shards(config);
+  const lss::ShardFactory factory = make_prototype_shard_factory(config);
 
   // Shared-bandwidth device model: every flushed chunk reserves its service
   // time on a single busy-until timeline, so aggregate write throughput is
@@ -96,112 +140,215 @@ PrototypeResult run_prototype(const PrototypeConfig& config) {
 
   auto wait_until = [&](TimeUs deadline) {
     const TimeUs now = wall_now_us(start);
-    if (deadline > now) {
-      std::this_thread::sleep_for(std::chrono::microseconds(deadline - now));
-    }
+    if (deadline > now) sleep_for_us(deadline - now);
   };
 
-  std::vector<std::vector<double>> client_latencies(config.num_clients);
+  // Per-thread capture: fixed-memory latency histograms (ns) and activity
+  // spans. The old design pushed every sample into a vector and divided by
+  // one truncated wall clock; both satellites land here.
+  std::vector<Log2Histogram> client_latency(config.num_clients);
+  std::vector<ClientSpan> spans(config.num_clients);
+  std::atomic<bool> done{false};
 
-  auto client_fn = [&](std::uint32_t client_id) {
-    trace::YcsbConfig wc = config.workload;
-    wc.seed = config.seed * 7919 + client_id;
-    trace::YcsbGenerator gen(wc);
-    auto& latencies = client_latencies[client_id];
-    latencies.reserve(config.writes_per_client);
-    std::uint64_t written = 0;
-    // Think-time debt is paid in coarse slices: OS sleeps have ~50 us
-    // granularity, so per-request 20 us sleeps would crater throughput for
-    // the wrong reason.
-    double think_debt_us = 0.0;
-    while (written < config.writes_per_client) {
-      const trace::Record r = gen.next();
-      if (r.op != trace::OpType::kWrite) continue;
-      const TimeUs submit_us = wall_now_us(start);
-      std::uint64_t delta = 0;
-      {
-        LockGuard lock(shared.mu);
-        const std::uint64_t chunks_before = shared.engine->chunks_flushed();
-        shared.engine->write(r.lba, r.blocks, submit_us);
-        delta = shared.engine->chunks_flushed() - chunks_before;
-      }
-      if (delta > 0) wait_until(reserve_device(delta));
-      latencies.push_back(
-          static_cast<double>(wall_now_us(start) - submit_us));
-      think_debt_us += config.client_think_us;
-      if (think_debt_us >= 1000.0) {
-        std::this_thread::sleep_for(std::chrono::microseconds(
-            static_cast<std::int64_t>(think_debt_us)));
-        think_debt_us = 0.0;
-      }
-      written += r.blocks;
-    }
-  };
-
-  auto gc_fn = [&] {
-    const std::uint32_t watermark =
-        lss_config.free_segment_reserve + policy->group_count() + 4;
-    while (!done.load(std::memory_order_relaxed)) {
-      std::uint64_t delta = 0;
-      bool worked = false;
-      {
-        LockGuard lock(shared.mu);
-        const std::uint64_t chunks_before = shared.engine->chunks_flushed();
-        worked = shared.engine->gc_step(wall_now_us(start), watermark);
-        delta = shared.engine->chunks_flushed() - chunks_before;
-      }
-      if (worked && delta > 0) {
-        wait_until(reserve_device(delta));
-      } else {
-        std::this_thread::sleep_for(std::chrono::microseconds(50));
-      }
-    }
-  };
-
-  std::vector<Thread> clients;
-  std::vector<Thread> gc_threads;
-  clients.reserve(config.num_clients);
-  for (std::uint32_t i = 0; i < config.num_clients; ++i) {
-    clients.emplace_back(client_fn, i);
-  }
-  if (config.background_gc) {
-    gc_threads.reserve(config.num_clients);
-    for (std::uint32_t i = 0; i < config.num_clients; ++i) {
-      gc_threads.emplace_back(gc_fn);
-    }
-  }
-  for (auto& t : clients) t.join();
-  done.store(true, std::memory_order_relaxed);
-  for (auto& t : gc_threads) t.join();
-
-  const double elapsed =
-      std::chrono::duration<double>(Clock::now() - start).count();
+  // Runs all client threads against `write_op` (blocking submit→durable)
+  // and joins them. write_op must be thread-safe.
+  const auto run_clients =
+      [&](const std::function<void(Lba, std::uint32_t, TimeUs)>& write_op) {
+        auto client_fn = [&](std::uint32_t client_id) {
+          trace::YcsbConfig wc = config.workload;
+          wc.seed = config.seed * 7919 + client_id;
+          trace::YcsbGenerator gen(wc);
+          Log2Histogram& latency = client_latency[client_id];
+          spans[client_id].start_ns = monotonic_now_ns();
+          std::uint64_t written = 0;
+          // Think-time debt is paid in coarse slices: OS sleeps have
+          // ~50 us granularity, so per-request 20 us sleeps would crater
+          // throughput for the wrong reason.
+          double think_debt_us = 0.0;
+          while (written < config.writes_per_client) {
+            const trace::Record r = gen.next();
+            if (r.op != trace::OpType::kWrite) continue;
+            const TimeUs submit_us = wall_now_us(start);
+            const std::uint64_t submit_ns = monotonic_now_ns();
+            write_op(r.lba, r.blocks, submit_us);
+            latency.add(monotonic_now_ns() - submit_ns);
+            think_debt_us += config.client_think_us;
+            if (think_debt_us >= 1000.0) {
+              sleep_for_us(static_cast<std::uint64_t>(think_debt_us));
+              think_debt_us = 0.0;
+            }
+            written += r.blocks;
+          }
+          spans[client_id].end_ns = monotonic_now_ns();
+        };
+        std::vector<Thread> clients;
+        clients.reserve(config.num_clients);
+        for (std::uint32_t i = 0; i < config.num_clients; ++i) {
+          clients.emplace_back(client_fn, i);
+        }
+        for (auto& t : clients) t.join();
+      };
 
   PrototypeResult result;
   result.policy = config.policy;
   result.num_clients = config.num_clients;
-  result.elapsed_seconds = elapsed;
-  result.metrics = engine.metrics();
+  result.shards = shards;
+  std::uint64_t pending_blocks_total = 0;
+
+  if (!big_lock) {
+    // ---- the live path: lock-free MPSC group-commit over LBA shards ----
+    lss::ConcurrentEngine engine(lss_config, shards, config.seed, factory,
+                                 /*record_ops=*/false);
+    engine.set_flush_wait(
+        [&](std::uint64_t chunks) { wait_until(reserve_device(chunks)); });
+    const std::uint32_t watermark =
+        lss_config.free_segment_reserve +
+        engine.shard_for_inspection(0).group_count() + 4;
+
+    std::unique_ptr<ThreadPool> gc_pool;
+    if (config.background_gc) {
+      gc_pool = std::make_unique<ThreadPool>(shards);
+      for (std::uint32_t i = 0; i < shards; ++i) {
+        gc_pool->submit([&, i] {
+          while (!done.load(std::memory_order_relaxed)) {
+            std::uint64_t flushed = 0;
+            const bool worked =
+                engine.gc_step(i, wall_now_us(start), watermark, &flushed);
+            if (worked && flushed > 0) {
+              wait_until(reserve_device(flushed));
+            } else if (!worked) {
+              sleep_for_us(50);
+            }
+          }
+        });
+      }
+    }
+
+    run_clients([&](Lba lba, std::uint32_t blocks, TimeUs submit_us) {
+      engine.write(lba, blocks, submit_us);
+    });
+    done.store(true, std::memory_order_relaxed);
+    if (gc_pool != nullptr) gc_pool->shutdown();
+
+    result.metrics = engine.merged_metrics();
+    result.group_commit = engine.merged_stats();
+    result.policy_memory_bytes = engine.policy_memory_bytes();
+    pending_blocks_total = engine.merged_pending_blocks();
+    const lss::LssConfig& per_shard = engine.per_shard_config();
+    result.engine_memory_bytes =
+        shards * (per_shard.logical_blocks * sizeof(std::uint64_t) +
+                  static_cast<std::size_t>(per_shard.total_segments()) *
+                      per_shard.segment_blocks() * (sizeof(Lba) + 1));
+  } else {
+    // ---- the demoted big-lock oracle: every op convoys on one mutex ----
+    lss::ShardParts parts = factory(0, lss_config);
+    lss::LssEngine engine(lss_config, *parts.policy, *parts.victim, nullptr,
+                          config.seed);
+    if (parts.hook != nullptr) engine.set_aggregation_hook(parts.hook);
+
+    struct GuardedEngine {
+      explicit GuardedEngine(lss::LssEngine& e) : engine(&e) {}
+      Mutex mu;
+      lss::LssEngine* const engine ADAPT_PT_GUARDED_BY(mu);
+    } shared(engine);
+
+    const std::uint32_t watermark = lss_config.free_segment_reserve +
+                                    parts.policy->group_count() + 4;
+    std::unique_ptr<ThreadPool> gc_pool;
+    if (config.background_gc) {
+      // One GC task per client (the paper's setting), all contending the
+      // same lock — part of what makes this the convoying baseline.
+      gc_pool = std::make_unique<ThreadPool>(config.num_clients);
+      for (std::uint32_t i = 0; i < config.num_clients; ++i) {
+        gc_pool->submit([&] {
+          while (!done.load(std::memory_order_relaxed)) {
+            std::uint64_t delta = 0;
+            bool worked = false;
+            {
+              LockGuard lock(shared.mu);
+              const std::uint64_t before = shared.engine->chunks_flushed();
+              worked =
+                  shared.engine->gc_step(wall_now_us(start), watermark);
+              delta = shared.engine->chunks_flushed() - before;
+            }
+            if (worked && delta > 0) {
+              wait_until(reserve_device(delta));
+            } else if (!worked) {
+              sleep_for_us(50);
+            }
+          }
+        });
+      }
+    }
+
+    run_clients([&](Lba lba, std::uint32_t blocks, TimeUs submit_us) {
+      std::uint64_t delta = 0;
+      {
+        LockGuard lock(shared.mu);
+        const std::uint64_t before = shared.engine->chunks_flushed();
+        shared.engine->write(lba, blocks, submit_us);
+        delta = shared.engine->chunks_flushed() - before;
+      }
+      if (delta > 0) wait_until(reserve_device(delta));
+    });
+    done.store(true, std::memory_order_relaxed);
+    if (gc_pool != nullptr) gc_pool->shutdown();
+
+    result.metrics = engine.metrics();
+    result.policy_memory_bytes = parts.policy->memory_usage_bytes();
+    for (GroupId g = 0; g < engine.group_count(); ++g) {
+      pending_blocks_total += engine.pending_blocks(g);
+    }
+    result.engine_memory_bytes =
+        lss_config.logical_blocks * sizeof(std::uint64_t) +
+        static_cast<std::size_t>(lss_config.total_segments()) *
+            lss_config.segment_blocks() * (sizeof(Lba) + 1);
+  }
+
+  // ---- shared result assembly ----
+  result.elapsed_seconds = spans_elapsed_seconds(spans);
   result.user_blocks = result.metrics.user_blocks;
-  const double user_bytes = static_cast<double>(result.user_blocks) *
-                            lss_config.block_bytes;
-  result.throughput_mib_per_s = user_bytes / (1024.0 * 1024.0) / elapsed;
-  result.throughput_kops =
-      static_cast<double>(result.user_blocks) / 1e3 / elapsed;
-  Histogram latency;
-  for (const auto& per_client : client_latencies) {
-    for (double l : per_client) latency.add(l);
+  const double user_bytes =
+      static_cast<double>(result.user_blocks) * lss_config.block_bytes;
+  result.throughput_mib_per_s =
+      safe_rate(user_bytes / (1024.0 * 1024.0), result.elapsed_seconds);
+  result.throughput_kops = safe_rate(
+      static_cast<double>(result.user_blocks) / 1e3, result.elapsed_seconds);
+  for (const Log2Histogram& h : client_latency) {
+    result.latency_ns.merge_from(h);
   }
-  if (!latency.empty()) {
-    result.latency_p50_us = latency.percentile(50);
-    result.latency_p99_us = latency.percentile(99);
+  if (!result.latency_ns.empty()) {
+    result.latency_p50_us = result.latency_ns.percentile(50) / 1000.0;
+    result.latency_p99_us = result.latency_ns.percentile(99) / 1000.0;
+    result.latency_p999_us = result.latency_ns.percentile(99.9) / 1000.0;
   }
-  result.policy_memory_bytes = policy->memory_usage_bytes();
-  // Engine metadata: block map (8 B/LBA) + per-slot lba array + valid bits.
-  result.engine_memory_bytes =
-      lss_config.logical_blocks * sizeof(std::uint64_t) +
-      static_cast<std::size_t>(lss_config.total_segments()) *
-          lss_config.segment_blocks() * (sizeof(Lba) + 1);
+
+  obs::RunManifest& m = result.manifest;
+  m.tool = "prototype";
+  m.policy = config.policy;
+  m.victim = config.victim_policy;
+  m.workload = "ycsb";
+  m.seed = config.seed;
+  m.records = result.latency_ns.count();
+  m.user_blocks = result.user_blocks;
+  m.wall_seconds = result.elapsed_seconds;
+  m.records_per_sec = safe_rate(static_cast<double>(m.records),
+                                result.elapsed_seconds);
+  m.peak_rss_bytes = obs::current_peak_rss_bytes();
+  m.chunk_blocks = lss_config.chunk_blocks;
+  m.segment_chunks = lss_config.segment_chunks;
+  m.logical_blocks = lss_config.logical_blocks;
+  m.over_provision = lss_config.over_provision;
+  obs::register_lss_metrics(m.counters, result.metrics);
+  *m.counters.slot("proto.clients") = config.num_clients;
+  *m.counters.slot("proto.shards") = shards;
+  *m.counters.slot("proto.commit_groups") = result.group_commit.groups;
+  *m.counters.slot("proto.commit_ops") = result.group_commit.ops;
+  *m.counters.slot("proto.commit_max_batch") = result.group_commit.max_batch;
+  m.provenance = obs::provenance_of(result.metrics, pending_blocks_total);
+  m.block_lifetime = result.metrics.block_lifetime;
+  m.gc_pause_us = result.metrics.gc_pause_us;
+  m.latency_ns = result.latency_ns;
   return result;
 }
 

@@ -9,18 +9,40 @@
 // effect behind Figure 12a: once the device saturates, the scheme with the
 // lowest WA sustains the highest client throughput.
 //
-// Client threads replay independent YCSB-A streams; background GC threads
-// (one per client, as in the paper) proactively reclaim segments.
+// Client threads replay independent YCSB-A streams against the live
+// concurrent front-end (lss::ConcurrentEngine): per-shard lock-free MPSC
+// group-commit intake where one client batches its followers' writes into
+// a single engine pass. Background GC runs on a ThreadPool, one task per
+// shard. The old single-mutex path survives as FrontEnd::kBigLockOracle —
+// a test/bench-only contended baseline, no longer the product path.
+//
+// Per-op latency (submit -> durable) is captured in nanoseconds into
+// fixed-memory Log2Histograms (one per client thread, merged at the end)
+// and reported as p50/p99/p999 plus an adapt-manifest-v1 run manifest.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "common/histogram.h"
 #include "lss/config.h"
+#include "lss/group_commit.h"
 #include "lss/metrics.h"
+#include "obs/export.h"
 #include "trace/synthetic.h"
 
 namespace adapt::proto {
+
+/// Which write path the clients run against.
+enum class FrontEnd {
+  /// Lock-free MPSC group-commit intake over LBA shards — the live path.
+  kGroupCommit,
+  /// One mutex around one engine: the big-lock prototype this PR replaced.
+  /// Kept only as the contended baseline for the scaling bench and as a
+  /// sanity oracle in tests; measures lock convoying, not the engine.
+  kBigLockOracle,
+};
 
 struct PrototypeConfig {
   lss::LssConfig lss;
@@ -42,23 +64,70 @@ struct PrototypeConfig {
   /// production setting is 0.001.
   double adapt_sample_rate = 0.0;
   std::uint64_t seed = 1;
+  /// LBA shard count for the group-commit front-end. 0 = auto:
+  /// min(num_clients, 8), capped so each shard keeps at least 2^15 logical
+  /// blocks (the same per-shard floor the simulator applies). An explicit
+  /// value is used as-is and may throw from LssConfig::validate when the
+  /// per-shard geometry gets too small. Ignored by the big-lock oracle.
+  std::uint32_t shards = 0;
+  FrontEnd front_end = FrontEnd::kGroupCommit;
 };
 
 struct PrototypeResult {
   std::string policy;
   std::uint32_t num_clients = 0;
-  double elapsed_seconds = 0.0;
+  std::uint32_t shards = 1;
+  double elapsed_seconds = 0.0;  ///< client-span envelope (see ClientSpan)
   std::uint64_t user_blocks = 0;
-  /// Client-visible write throughput.
+  /// Client-visible write throughput; 0 when the run was too short for the
+  /// host clock to resolve (never inf/NaN — see safe_rate).
   double throughput_mib_per_s = 0.0;
   double throughput_kops = 0.0;
   /// Client-visible request latency (submit -> durable or buffered), us.
+  /// Estimated from latency_ns (factor-2 accurate, fixed memory).
   double latency_p50_us = 0.0;
   double latency_p99_us = 0.0;
+  double latency_p999_us = 0.0;
+  /// Per-op submit->durable latency distribution, nanoseconds.
+  Log2Histogram latency_ns;
+  /// Group-commit batching counters (all zero under the big-lock oracle).
+  lss::GroupCommitStats group_commit;
   lss::LssMetrics metrics;
   std::size_t policy_memory_bytes = 0;
   std::size_t engine_memory_bytes = 0;  ///< block map + segment metadata
+  /// adapt-manifest-v1 provenance record (tool = "prototype"), carrying
+  /// the merged lss.* counters, proto.* front-end counters, and the
+  /// latency_ns histogram.
+  obs::RunManifest manifest;
 };
+
+/// One client thread's host-clock activity window. The run's elapsed time
+/// is the envelope over all clients, not one thread's wall clock.
+struct ClientSpan {
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+};
+
+/// Envelope duration in seconds: max(end) - min(start) over the spans.
+/// Returns 0 for an empty set or a degenerate (end <= start) envelope —
+/// callers must treat 0 as "unmeasurable", never divide by it.
+double spans_elapsed_seconds(const std::vector<ClientSpan>& spans);
+
+/// Guarded rate: amount / elapsed, or 0 when elapsed <= 0. The big-lock
+/// prototype divided by a single end-to-end wall clock truncated through
+/// TimeUs, so a sub-tick run produced inf/garbage throughput; this is the
+/// fix the regression tests in proto_test.cpp pin.
+double safe_rate(double amount, double elapsed_seconds);
+
+/// Resolved shard count for `config` (applies the auto rule above).
+std::uint32_t resolve_shards(const PrototypeConfig& config);
+
+/// Per-shard placement/victim stack builder used by run_prototype's
+/// ConcurrentEngine — exposed so the differential oracle test can build
+/// bit-identical serial engines from the same factory. `lss_config` must
+/// be the prototype's effective global config (logical_blocks overridden
+/// to the workload working set).
+lss::ShardFactory make_prototype_shard_factory(const PrototypeConfig& config);
 
 /// Runs the prototype to completion and reports measured throughput.
 PrototypeResult run_prototype(const PrototypeConfig& config);

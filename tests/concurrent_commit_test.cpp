@@ -1,0 +1,310 @@
+// Tests for the lock-free MPSC group-commit front-end (lss/group_commit.h):
+// intake protocol unit tests, and the differential linearization oracle —
+// the concurrent path records its per-shard op order, a serial engine
+// replays it, and final state + deterministic metrics must match bit-exactly.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sync.h"
+#include "lss/group_commit.h"
+#include "proto/prototype.h"
+#include "trace/synthetic.h"
+
+namespace adapt::lss {
+namespace {
+
+// ---------------------------------------------------------------------------
+// WriteIntake protocol (single-threaded: the protocol's state transitions
+// are fully observable without real concurrency).
+
+TEST(WriteIntakeTest, FirstLinkBecomesLeader) {
+  WriteIntake intake;
+  WriteTicket t(0, 1, 0);
+  EXPECT_TRUE(intake.link(&t));
+  EXPECT_EQ(intake.capture_group(&t), &t);
+  EXPECT_EQ(intake.exit_group(&t), nullptr);
+  // List reset: the next ticket is a fresh leader again.
+  WriteTicket u(1, 1, 0);
+  EXPECT_TRUE(intake.link(&u));
+  EXPECT_EQ(intake.exit_group(&u), nullptr);
+}
+
+TEST(WriteIntakeTest, FollowersLinkBehindLeaderInArrivalOrder) {
+  WriteIntake intake;
+  WriteTicket a(0, 1, 0), b(1, 1, 0), c(2, 1, 0);
+  EXPECT_TRUE(intake.link(&a));
+  EXPECT_FALSE(intake.link(&b));
+  EXPECT_FALSE(intake.link(&c));
+  WriteTicket* last = intake.capture_group(&a);
+  EXPECT_EQ(last, &c);
+  // Oldest-to-newest walk covers the batch in arrival order.
+  EXPECT_EQ(a.link_newer.load(), &b);
+  EXPECT_EQ(b.link_newer.load(), &c);
+  EXPECT_EQ(intake.exit_group(last), nullptr);
+}
+
+TEST(WriteIntakeTest, LateArrivalIsPromotedToNextLeader) {
+  WriteIntake intake;
+  WriteTicket a(0, 1, 0), b(1, 1, 0);
+  EXPECT_TRUE(intake.link(&a));
+  WriteTicket* last = intake.capture_group(&a);
+  EXPECT_EQ(last, &a);
+  // b arrives while the leader is applying its batch of one.
+  EXPECT_FALSE(intake.link(&b));
+  WriteTicket* next = intake.exit_group(last);
+  ASSERT_EQ(next, &b);
+  EXPECT_EQ(b.state.load(), WriteState::kLeader);
+  // The promoted leader's link into the dying batch is severed.
+  EXPECT_EQ(b.link_older, nullptr);
+  EXPECT_EQ(intake.exit_group(&b), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Differential linearization oracle.
+
+void expect_group_equal(const GroupTraffic& a, const GroupTraffic& b,
+                        std::size_t g) {
+  EXPECT_EQ(a.user_blocks, b.user_blocks) << "group " << g;
+  EXPECT_EQ(a.gc_blocks, b.gc_blocks) << "group " << g;
+  EXPECT_EQ(a.shadow_blocks, b.shadow_blocks) << "group " << g;
+  EXPECT_EQ(a.padding_blocks, b.padding_blocks) << "group " << g;
+  EXPECT_EQ(a.full_flushes, b.full_flushes) << "group " << g;
+  EXPECT_EQ(a.padded_flushes, b.padded_flushes) << "group " << g;
+  EXPECT_EQ(a.padded_fill_blocks, b.padded_fill_blocks) << "group " << g;
+  EXPECT_EQ(a.rmw_flushes, b.rmw_flushes) << "group " << g;
+  EXPECT_EQ(a.rmw_blocks, b.rmw_blocks) << "group " << g;
+  EXPECT_EQ(a.segments_sealed, b.segments_sealed) << "group " << g;
+  EXPECT_EQ(a.segments_reclaimed, b.segments_reclaimed) << "group " << g;
+  EXPECT_EQ(a.gc_from, b.gc_from) << "group " << g;
+}
+
+void expect_histogram_equal(const Log2Histogram& a, const Log2Histogram& b,
+                            const char* name) {
+  EXPECT_EQ(a.count(), b.count()) << name;
+  EXPECT_EQ(a.sum(), b.sum()) << name;
+  EXPECT_EQ(a.max_value(), b.max_value()) << name;
+  for (std::size_t i = 0; i < Log2Histogram::kBuckets; ++i) {
+    EXPECT_EQ(a.bucket(i), b.bucket(i)) << name << " bucket " << i;
+  }
+}
+
+/// Field-by-field bit-exact comparison of deterministic metrics. The one
+/// deliberate exception is gc_pause_us: it holds host-clock samples, so
+/// even two serial replays of the same log differ there.
+void expect_metrics_equal(const LssMetrics& a, const LssMetrics& b) {
+  EXPECT_EQ(a.user_blocks, b.user_blocks);
+  EXPECT_EQ(a.gc_blocks, b.gc_blocks);
+  EXPECT_EQ(a.shadow_blocks, b.shadow_blocks);
+  EXPECT_EQ(a.padding_blocks, b.padding_blocks);
+  EXPECT_EQ(a.gc_runs, b.gc_runs);
+  EXPECT_EQ(a.gc_migrated_blocks, b.gc_migrated_blocks);
+  EXPECT_EQ(a.forced_lazy_flushes, b.forced_lazy_flushes);
+  EXPECT_EQ(a.rmw_flushes, b.rmw_flushes);
+  EXPECT_EQ(a.rmw_blocks, b.rmw_blocks);
+  EXPECT_EQ(a.rmw_read_blocks, b.rmw_read_blocks);
+  EXPECT_EQ(a.read_blocks, b.read_blocks);
+  EXPECT_EQ(a.read_chunk_fetches, b.read_chunk_fetches);
+  EXPECT_EQ(a.read_buffer_hits, b.read_buffer_hits);
+  EXPECT_EQ(a.read_unmapped, b.read_unmapped);
+  expect_histogram_equal(a.block_lifetime, b.block_lifetime,
+                         "block_lifetime");
+  ASSERT_EQ(a.groups.size(), b.groups.size());
+  for (std::size_t g = 0; g < a.groups.size(); ++g) {
+    expect_group_equal(a.groups[g], b.groups[g], g);
+  }
+}
+
+struct DiffCase {
+  std::string policy = "sepgc";
+  std::uint64_t seed = 1;
+  std::uint32_t shards = 2;
+  std::uint32_t clients = 4;
+  /// Default exceeds the 2^16-block working set (4 x 20000 > 65536) so the
+  /// log wraps and background GC genuinely migrates — a differential test
+  /// that never reclaims a segment would not be testing the GC interleave.
+  std::uint64_t writes_per_client = 20'000;
+  bool background_gc = true;
+};
+
+/// Runs `dc.clients` threads of YCSB writes (plus GC threads) through a
+/// ConcurrentEngine, then replays every shard's recorded linearized log
+/// through a fresh serial engine and asserts bit-identical final state.
+void run_differential(const DiffCase& dc) {
+  constexpr std::uint64_t kWorkingSet = std::uint64_t{1} << 16;
+  LssConfig lss_config;
+  lss_config.logical_blocks = kWorkingSet;
+
+  proto::PrototypeConfig pc;
+  pc.policy = dc.policy;
+  pc.seed = dc.seed;
+  const ShardFactory factory = proto::make_prototype_shard_factory(pc);
+
+  ConcurrentEngine engine(lss_config, dc.shards, dc.seed, factory,
+                          /*record_ops=*/true);
+  const std::uint32_t watermark =
+      lss_config.free_segment_reserve +
+      engine.shard_for_inspection(0).group_count() + 4;
+
+  // The simulated clock only needs to be shared and non-decreasing-ish;
+  // the leader monotonises per shard and records the applied value, so the
+  // oracle is exact regardless of what we feed here.
+  std::atomic<std::uint64_t> clock{0};
+  std::atomic<bool> done{false};
+
+  auto client_fn = [&](std::uint32_t client_id) {
+    trace::YcsbConfig wc;
+    wc.working_set_blocks = kWorkingSet;
+    wc.seed = dc.seed * 7919 + client_id;
+    trace::YcsbGenerator gen(wc);
+    std::uint64_t written = 0;
+    while (written < dc.writes_per_client) {
+      const trace::Record r = gen.next();
+      if (r.op != trace::OpType::kWrite) continue;
+      engine.write(r.lba, r.blocks,
+                   clock.fetch_add(1, std::memory_order_relaxed));
+      written += r.blocks;
+    }
+  };
+  auto gc_fn = [&](std::uint32_t shard) {
+    while (!done.load(std::memory_order_relaxed)) {
+      const bool worked = engine.gc_step(
+          shard, clock.fetch_add(1, std::memory_order_relaxed), watermark);
+      if (!worked) yield_now();
+    }
+  };
+
+  {
+    std::vector<Thread> threads;
+    threads.reserve(dc.clients + (dc.background_gc ? dc.shards : 0));
+    for (std::uint32_t i = 0; i < dc.clients; ++i) {
+      threads.emplace_back(client_fn, i);
+    }
+    if (dc.background_gc) {
+      for (std::uint32_t i = 0; i < dc.shards; ++i) {
+        threads.emplace_back(gc_fn, i);
+      }
+    }
+    for (std::uint32_t i = 0; i < dc.clients; ++i) threads[i].join();
+    done.store(true, std::memory_order_relaxed);
+  }  // joins GC threads
+  engine.flush_all();
+
+  // Sanity: contention must have actually formed multi-op batches, or this
+  // test is not exercising the group path at all.
+  const GroupCommitStats stats = engine.merged_stats();
+  EXPECT_GT(stats.groups, 0u);
+  EXPECT_GE(stats.ops, stats.groups);
+  if (dc.background_gc) {
+    // The write volume exceeds the working set, so the log wraps and the GC
+    // threads must have migrated blocks concurrently with client writes —
+    // otherwise the oracle never sees a write/GC interleave.
+    EXPECT_GT(engine.merged_metrics().gc_runs, 0u);
+  }
+
+  for (std::uint32_t i = 0; i < dc.shards; ++i) {
+    SCOPED_TRACE("shard " + std::to_string(i));
+    const std::vector<RecordedOp> log = engine.recorded_ops(i);
+    ASSERT_FALSE(log.empty());
+
+    // Serial oracle: same factory, same per-shard config, same seed law.
+    ShardParts parts = factory(i, engine.per_shard_config());
+    LssEngine serial(engine.per_shard_config(), *parts.policy, *parts.victim,
+                     nullptr, dc.seed + i);
+    if (parts.hook != nullptr) serial.set_aggregation_hook(parts.hook);
+    ConcurrentEngine::replay_log(serial, log);
+
+    const LssEngine& concurrent = engine.shard_for_inspection(i);
+    expect_metrics_equal(concurrent.metrics(), serial.metrics());
+    EXPECT_EQ(concurrent.chunks_flushed(), serial.chunks_flushed());
+    EXPECT_EQ(concurrent.vtime(), serial.vtime());
+    EXPECT_EQ(concurrent.free_segments(), serial.free_segments());
+    EXPECT_EQ(concurrent.segments_per_group(), serial.segments_per_group());
+    for (GroupId g = 0; g < concurrent.group_count(); ++g) {
+      EXPECT_EQ(concurrent.pending_blocks(g), serial.pending_blocks(g))
+          << "group " << g;
+    }
+    // Every logical block maps to the same physical location.
+    for (Lba lba = 0; lba < engine.per_shard_config().logical_blocks;
+         ++lba) {
+      const BlockLocation cl = concurrent.locate(lba);
+      const BlockLocation sl = serial.locate(lba);
+      ASSERT_EQ(cl, sl) << "lba " << lba;
+    }
+  }
+}
+
+TEST(ConcurrentCommitDifferentialTest, SepgcFourClientsSeed1) {
+  run_differential(DiffCase{});
+}
+
+TEST(ConcurrentCommitDifferentialTest, SepgcFourClientsSeed2) {
+  DiffCase dc;
+  dc.seed = 2;
+  run_differential(dc);
+}
+
+TEST(ConcurrentCommitDifferentialTest, SepgcSixClientsFourShardsSeed3) {
+  DiffCase dc;
+  dc.seed = 3;
+  dc.clients = 6;
+  dc.shards = 4;
+  run_differential(dc);
+}
+
+TEST(ConcurrentCommitDifferentialTest, AdaptFourClientsSeed1) {
+  DiffCase dc;
+  dc.policy = "adapt";
+  run_differential(dc);
+}
+
+TEST(ConcurrentCommitDifferentialTest, AdaptFourClientsSeed2NoGc) {
+  DiffCase dc;
+  dc.policy = "adapt";
+  dc.seed = 2;
+  dc.background_gc = false;
+  dc.writes_per_client = 3000;
+  run_differential(dc);
+}
+
+TEST(ConcurrentCommitDifferentialTest, SingleShardSingleClientStillExact) {
+  DiffCase dc;
+  dc.shards = 1;
+  dc.clients = 1;
+  dc.writes_per_client = 2000;
+  // Too small to wrap the log; a GC thread would only spin idle.
+  dc.background_gc = false;
+  run_differential(dc);
+}
+
+// ---------------------------------------------------------------------------
+// ConcurrentEngine surface checks.
+
+TEST(ConcurrentEngineTest, RejectsOutOfRangeWrite) {
+  LssConfig cfg;
+  cfg.logical_blocks = std::uint64_t{1} << 16;
+  proto::PrototypeConfig pc;
+  pc.policy = "sepgc";
+  ConcurrentEngine engine(cfg, 2, 1, proto::make_prototype_shard_factory(pc));
+  EXPECT_THROW(engine.write(cfg.logical_blocks, 1, 0), std::out_of_range);
+}
+
+TEST(ConcurrentEngineTest, RecordOpsOffKeepsLogsEmpty) {
+  LssConfig cfg;
+  cfg.logical_blocks = std::uint64_t{1} << 16;
+  proto::PrototypeConfig pc;
+  pc.policy = "sepgc";
+  ConcurrentEngine engine(cfg, 2, 1, proto::make_prototype_shard_factory(pc),
+                          /*record_ops=*/false);
+  engine.write(0, 4, 1);
+  engine.flush_all();
+  EXPECT_TRUE(engine.recorded_ops(0).empty());
+  EXPECT_TRUE(engine.recorded_ops(1).empty());
+  EXPECT_GT(engine.merged_metrics().user_blocks, 0u);
+}
+
+}  // namespace
+}  // namespace adapt::lss

@@ -1,12 +1,16 @@
 // Histogram edge cases: empty/single-value behaviour and the argument
-// guards on percentile (NaN p) and format_cdf (non-positive steps).
+// guards on percentile (NaN p) and format_cdf (non-positive steps); plus
+// the Log2Histogram percentile accuracy bound against exact percentiles.
 #include "common/histogram.h"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <stdexcept>
+
+#include "common/rng.h"
 
 namespace adapt {
 namespace {
@@ -76,6 +80,81 @@ TEST(HistogramTest, BoxStatsOnEmptyIsZeroed) {
   const BoxStats b = box_stats(Histogram{});
   EXPECT_DOUBLE_EQ(b.median, 0.0);
   EXPECT_EQ(b.outliers, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Log2Histogram::percentile — the fixed-memory estimator that replaced the
+// store-every-sample Histogram on the prototype's per-op latency path.
+
+TEST(Log2HistogramPercentileTest, ThrowsLikeExactHistogram) {
+  const Log2Histogram empty;
+  EXPECT_THROW(empty.percentile(50), std::out_of_range);
+  Log2Histogram h;
+  h.add(1);
+  EXPECT_THROW(h.percentile(std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+}
+
+TEST(Log2HistogramPercentileTest, SingleValueAndClamping) {
+  Log2Histogram h;
+  h.add(1000);
+  for (const double p : {0.0, 50.0, 99.9, 100.0, -5.0, 200.0}) {
+    // One sample occupies one bucket; interpolation lands on its ceiling,
+    // which is capped at the observed max — exact for a singleton.
+    EXPECT_DOUBLE_EQ(h.percentile(p), 1000.0) << "p=" << p;
+  }
+}
+
+TEST(Log2HistogramPercentileTest, MonotoneInP) {
+  Log2Histogram h;
+  for (std::uint64_t v = 0; v < 4096; v += 3) h.add(v);
+  double prev = h.percentile(0);
+  for (double p = 1; p <= 100; p += 1) {
+    const double cur = h.percentile(p);
+    EXPECT_GE(cur, prev) << "p=" << p;
+    prev = cur;
+  }
+}
+
+// Accuracy bound: the exact nearest-rank percentile lands inside the same
+// power-of-two bucket as the estimate, so estimate/exact must stay within
+// a factor of 2 (both directions). Checked on a seeded heavy-tailed sample
+// shaped like op latency — most values small, a long 2^10..2^20 tail.
+TEST(Log2HistogramPercentileTest, WithinFactorTwoOfExactPercentiles) {
+  Rng rng(42);
+  Log2Histogram approx;
+  Histogram exact;
+  for (int i = 0; i < 100'000; ++i) {
+    const double u = rng.uniform();
+    std::uint64_t v;
+    if (u < 0.9) {
+      v = 200 + static_cast<std::uint64_t>(rng.uniform() * 800.0);
+    } else {
+      v = static_cast<std::uint64_t>(
+          std::exp2(10.0 + rng.uniform() * 10.0));
+    }
+    approx.add(v);
+    exact.add(static_cast<double>(v));
+  }
+  for (const double p : {50.0, 90.0, 99.0, 99.9}) {
+    const double est = approx.percentile(p);
+    const double ref = exact.percentile(p);
+    ASSERT_GT(ref, 0.0);
+    EXPECT_LE(est / ref, 2.0) << "p=" << p;
+    EXPECT_GE(est / ref, 0.5) << "p=" << p;
+  }
+}
+
+TEST(Log2HistogramPercentileTest, SurvivesMerge) {
+  Log2Histogram a, b;
+  for (std::uint64_t v = 1; v <= 64; ++v) a.add(v);
+  for (std::uint64_t v = 65; v <= 128; ++v) b.add(v);
+  a.merge_from(b);
+  EXPECT_EQ(a.count(), 128u);
+  // Median of 1..128 is 64; the estimate must stay in its bucket.
+  const double p50 = a.percentile(50);
+  EXPECT_GE(p50, 32.0);
+  EXPECT_LE(p50, 128.0);
 }
 
 }  // namespace

@@ -1,6 +1,9 @@
 // Tests for the multithreaded prototype engine.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "obs/export.h"
 #include "proto/prototype.h"
 
 namespace adapt::proto {
@@ -84,6 +87,95 @@ TEST(PrototypeTest, WaConsistentWithSimSemantics) {
   const PrototypeResult r = run_prototype(c);
   EXPECT_GE(r.metrics.wa(), 1.0);
   EXPECT_EQ(r.metrics.user_blocks, r.user_blocks);
+}
+
+// ---------------------------------------------------------------------------
+// Timing regressions: the big-lock prototype divided blocks by a single
+// TimeUs-truncated wall clock, so a run faster than the clock tick reported
+// inf (or, with an unlucky truncation, wildly inflated) throughput.
+
+TEST(PrototypeTimingTest, SpansEnvelopeCoversAllClients) {
+  const std::vector<ClientSpan> spans = {
+      {2'000'000'000, 3'000'000'000},
+      {1'000'000'000, 2'500'000'000},
+      {1'500'000'000, 3'500'000'000},
+  };
+  // max(end) - min(start) = 3.5s - 1.0s, not any single thread's window.
+  EXPECT_DOUBLE_EQ(spans_elapsed_seconds(spans), 2.5);
+}
+
+TEST(PrototypeTimingTest, SpansDegenerateCasesReportZero) {
+  EXPECT_DOUBLE_EQ(spans_elapsed_seconds({}), 0.0);
+  // A run shorter than the clock resolution collapses to start == end;
+  // pre-fix this became the throughput denominator.
+  EXPECT_DOUBLE_EQ(spans_elapsed_seconds({{5, 5}}), 0.0);
+  EXPECT_DOUBLE_EQ(spans_elapsed_seconds({{9, 4}}), 0.0);
+}
+
+TEST(PrototypeTimingTest, SafeRateNeverDividesByZero) {
+  EXPECT_DOUBLE_EQ(safe_rate(4096.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(safe_rate(4096.0, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(safe_rate(4096.0, std::nan("")), 0.0);
+  EXPECT_DOUBLE_EQ(safe_rate(4096.0, 2.0), 2048.0);
+  EXPECT_FALSE(std::isinf(safe_rate(1e18, 1e-300)));
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent front-end surface.
+
+TEST(PrototypeTest, LatencyHistogramAndTailOrdering) {
+  PrototypeConfig c = tiny_proto();
+  c.writes_per_client = 2000;
+  const PrototypeResult r = run_prototype(c);
+  EXPECT_FALSE(r.latency_ns.empty());
+  EXPECT_GT(r.latency_p50_us, 0.0);
+  EXPECT_GE(r.latency_p99_us, r.latency_p50_us);
+  EXPECT_GE(r.latency_p999_us, r.latency_p99_us);
+}
+
+TEST(PrototypeTest, GroupCommitStatsPopulated) {
+  PrototypeConfig c = tiny_proto();
+  c.writes_per_client = 2000;
+  const PrototypeResult r = run_prototype(c);
+  EXPECT_GT(r.group_commit.groups, 0u);
+  EXPECT_GE(r.group_commit.ops, r.group_commit.groups);
+  EXPECT_GE(r.group_commit.max_batch, 1u);
+  EXPECT_GE(r.shards, 1u);
+}
+
+TEST(PrototypeTest, BigLockOracleStillRuns) {
+  PrototypeConfig c = tiny_proto();
+  c.front_end = FrontEnd::kBigLockOracle;
+  c.writes_per_client = 2000;
+  const PrototypeResult r = run_prototype(c);
+  EXPECT_GE(r.user_blocks, 4000u);
+  EXPECT_GT(r.throughput_mib_per_s, 0.0);
+  EXPECT_FALSE(r.latency_ns.empty());
+  // The oracle has no intake, so batching counters stay zero.
+  EXPECT_EQ(r.group_commit.groups, 0u);
+  EXPECT_EQ(r.shards, 1u);
+}
+
+TEST(PrototypeTest, ShardAutoRuleRespectsPerShardFloor) {
+  PrototypeConfig c = tiny_proto();
+  // 2^15 blocks can only support one shard at the 2^15 per-shard floor.
+  EXPECT_EQ(resolve_shards(c), 1u);
+  c.workload.working_set_blocks = 1u << 17;
+  c.num_clients = 4;
+  EXPECT_EQ(resolve_shards(c), 4u);
+  c.num_clients = 32;  // auto caps at 4 shards for 2^17 blocks
+  EXPECT_EQ(resolve_shards(c), 4u);
+  c.shards = 2;  // explicit request wins
+  EXPECT_EQ(resolve_shards(c), 2u);
+}
+
+TEST(PrototypeTest, ManifestValidatesAgainstSchema) {
+  PrototypeConfig c = tiny_proto();
+  c.writes_per_client = 2000;
+  const PrototypeResult r = run_prototype(c);
+  EXPECT_NO_THROW(obs::validate_manifest_json(obs::manifest_json(r.manifest)));
+  EXPECT_EQ(r.manifest.tool, "prototype");
+  EXPECT_FALSE(r.manifest.latency_ns.empty());
 }
 
 }  // namespace
