@@ -78,15 +78,20 @@ void ConcurrentEngine::write(Lba lba, std::uint32_t blocks, TimeUs submit_us) {
     WriteTicket t(lba - std::uint64_t{s_first} * bps, blocks, submit_us);
     std::uint64_t flushed = 0;
     std::exception_ptr error;
-    const bool is_leader =
-        sh.intake.link(&t) ||
-        WriteIntake::await(&t) == WriteState::kLeader;
-    if (is_leader) {
+    const WriteState st =
+        sh.intake.link(&t) ? WriteState::kLeader : WriteIntake::await(&t);
+    if (st == WriteState::kLeader) {
       try {
         flushed = lead(sh, &t);
       } catch (...) {
         error = std::current_exception();
       }
+    } else if (st == WriteState::kAborted) {
+      // Some earlier op in our batch made the leader's engine apply throw;
+      // this op was never applied. The leader rethrows the original
+      // exception on its own thread — here, surface the loss instead of
+      // returning success.
+      error = std::make_exception_ptr(WriteAborted{});
     }
     if (flush_wait_ && flushed > 0) flush_wait_(flushed);
     if (error != nullptr) std::rethrow_exception(error);
@@ -130,13 +135,17 @@ void ConcurrentEngine::write(Lba lba, std::uint32_t blocks, TimeUs submit_us) {
         if (terminal[k]) continue;
         const WriteState st =
             tickets[k]->state.load(std::memory_order_acquire);
-        if (st == WriteState::kInit) continue;
+        if (!is_terminal(st)) continue;
         if (st == WriteState::kLeader) {
           try {
             flushed += lead(*owner[k], &*tickets[k]);
           } catch (...) {
             error = std::current_exception();
           }
+        } else if (st == WriteState::kAborted && error == nullptr) {
+          // A sub-span was dropped by a failing batch on its shard; the
+          // whole multi-shard op is only partially applied, so fail it.
+          error = std::make_exception_ptr(WriteAborted{});
         }
         terminal[k] = true;
         --pending;
@@ -165,12 +174,16 @@ std::uint64_t ConcurrentEngine::lead(Shard& sh, WriteTicket* leader) {
   std::uint64_t batch_blocks = 0;
   std::uint64_t flushed_delta = 0;
   std::exception_ptr error;
+  // First ticket whose op did NOT apply because the engine threw; it and
+  // everything linked after it get published kAborted so their write()
+  // calls fail instead of silently reporting lost writes as durable.
+  WriteTicket* aborted_from = nullptr;
   {
     LockGuard g(sh.mu);
     const std::uint64_t chunks_before = sh.engine->chunks_flushed();
+    WriteTicket* w = leader;
     try {
-      for (WriteTicket* w = leader;;
-           w = w->link_newer.load(std::memory_order_relaxed)) {
+      for (;; w = w->link_newer.load(std::memory_order_relaxed)) {
         // Engine timestamps must be monotone per shard; arrival order and
         // submit-clock order can disagree under contention, so clamp. The
         // clamped value is what gets recorded — replay needs the ts that
@@ -188,9 +201,10 @@ std::uint64_t ConcurrentEngine::lead(Shard& sh, WriteTicket* leader) {
       }
     } catch (...) {
       // Keep the protocol alive on engine failure: followers must still be
-      // released (their ops may not have applied — the thrown error is the
-      // run's failure signal) or they would spin forever.
+      // released — the applied prefix completes normally, the rest aborts
+      // (the original exception rethrows on this, the leader's, thread).
       error = std::current_exception();
+      aborted_from = w;
     }
     flushed_delta = sh.engine->chunks_flushed() - chunks_before;
     if (sh.sink != nullptr) {
@@ -219,12 +233,15 @@ std::uint64_t ConcurrentEngine::lead(Shard& sh, WriteTicket* leader) {
   // caller runs the device wait AFTER this returns, so completions are
   // never delayed by the modeled flush.
   if (leader != last) {
+    bool aborted = (aborted_from == leader);
     WriteTicket* w = leader->link_newer.load(std::memory_order_relaxed);
     while (w != nullptr) {
       WriteTicket* const next =
           (w == last) ? nullptr
                       : w->link_newer.load(std::memory_order_relaxed);
-      WriteIntake::publish(w, WriteState::kCompleted);
+      if (w == aborted_from) aborted = true;
+      WriteIntake::publish(
+          w, aborted ? WriteState::kAborted : WriteState::kCompleted);
       w = next;
     }
   }

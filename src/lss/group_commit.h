@@ -21,12 +21,14 @@
 //                tickets arrived meanwhile, the oldest of them is promoted
 //                to leader of the next batch (its link_older is severed
 //                first so a later walk never crosses into the dying batch).
-//   5. complete(): the leader marks each follower kCompleted *after*
-//                reading its link_newer — tickets live on follower stacks
-//                and may be destroyed the instant they complete. Any
-//                device-model flush wait happens strictly after this, on
-//                the submitting thread only (see set_flush_wait): a batch
-//                never serializes its followers behind a modeled sleep.
+//   5. complete(): the leader marks each follower kCompleted — or
+//                kAborted from the first not-applied ticket on, when the
+//                engine threw mid-batch — *after* reading its link_newer:
+//                tickets live on follower stacks and may be destroyed the
+//                instant they complete. Any device-model flush wait
+//                happens strictly after this, on the submitting thread
+//                only (see set_flush_wait): a batch never serializes its
+//                followers behind a modeled sleep.
 //
 // Determinism contract (the oracle): a shard's final state is a pure
 // function of its (op, lba, blocks, ts) sequence. The leader records every
@@ -50,6 +52,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "common/annotations.h"
@@ -60,12 +63,40 @@
 
 namespace adapt::lss {
 
-/// Ticket lifecycle: linked (kInit) -> either completed by the current
-/// leader (kCompleted) or promoted to lead the next batch (kLeader).
+/// Ticket lifecycle: linked (kInit) -> optionally parked by its owner
+/// (kLockedWaiting, the RocksDB WriteThread "locked waiting" state) -> a
+/// terminal state published by the current leader: promoted to lead the
+/// next batch (kLeader), applied (kCompleted), or not applied because the
+/// leader's engine apply threw earlier in the batch (kAborted).
 enum class WriteState : std::uint8_t {
   kInit = 0,
-  kLeader = 1,
-  kCompleted = 2,
+  /// Owner-only intermediate: the waiter CASed itself here before parking
+  /// on the ticket's condvar, so publish() knows it must store + notify
+  /// under the ticket mutex instead of the lock-free CAS.
+  kLockedWaiting = 1,
+  kLeader = 2,
+  kCompleted = 3,
+  kAborted = 4,
+};
+
+/// True for the states a published ticket can end in — what await() and
+/// the wave poll in ConcurrentEngine::write wait for.
+constexpr bool is_terminal(WriteState s) noexcept {
+  return s == WriteState::kLeader || s == WriteState::kCompleted ||
+         s == WriteState::kAborted;
+}
+
+/// Thrown by ConcurrentEngine::write on a thread whose op was NOT applied
+/// because the batch leader's engine apply threw earlier in the batch (the
+/// original exception surfaces on the leader's own thread). Ops already
+/// applied before the failure still complete normally — at-most-once
+/// semantics per op, never silent loss.
+class WriteAborted : public std::runtime_error {
+ public:
+  WriteAborted()
+      : std::runtime_error(
+            "group commit aborted: the batch leader's engine apply failed "
+            "before this op was applied") {}
 };
 
 /// One in-flight write op. Lives on the submitting thread's stack for the
@@ -85,10 +116,12 @@ struct WriteTicket {
   std::atomic<WriteTicket*> link_newer{nullptr};  ///< back-filled by leader
   std::atomic<WriteState> state{WriteState::kInit};
   /// Parking for await(): the waiter blocks on its OWN ticket's condvar,
-  /// and publish() stores the new state while holding this mutex. Holding
-  /// it across the notify is what makes the handoff safe against the
-  /// ticket's stack frame vanishing: cv.wait() must reacquire mu before
-  /// returning, so the waiter cannot unwind until publish() has released.
+  /// but only after CASing state to kLockedWaiting. publish() takes this
+  /// mutex only when it sees that parked state (otherwise it publishes
+  /// with a plain CAS and never touches the ticket again), so the mutex
+  /// is touched by the publisher exclusively while the owner is committed
+  /// to reacquiring it before unwinding — the ticket's stack frame cannot
+  /// vanish under the publisher's store/notify/unlock.
   Mutex mu;
   CondVar cv;
 };
@@ -149,32 +182,53 @@ class WriteIntake {
     return next_leader;
   }
 
-  /// Moves `w` to a terminal state and wakes its owner if parked. The
-  /// store happens under w->mu (see WriteTicket::mu): a waiter inside
-  /// cv.wait() cannot resume — and so cannot destroy the ticket — until
-  /// this releases the mutex, which makes notifying a stack-owned ticket
-  /// safe. Do not touch `w` after this returns.
+  /// Moves `w` to a terminal state and wakes its owner if parked —
+  /// RocksDB's WriteThread::SetState shape. Fast path: CAS kInit ->
+  /// terminal; on success the publisher never touches the ticket again,
+  /// so an owner that observes the state from await()'s spin (or the
+  /// wave poll in ConcurrentEngine::write) may unwind and destroy the
+  /// ticket immediately — there is no trailing notify/unlock racing the
+  /// destruction. Slow path: the CAS can only fail because the owner
+  /// CASed itself to kLockedWaiting, committing to reacquire w->mu
+  /// before unwinding; storing + notifying under that mutex is therefore
+  /// lifetime-safe. Do not touch `w` after this returns.
   static void publish(WriteTicket* w, WriteState terminal) noexcept {
-    LockGuard g(w->mu);
-    w->state.store(terminal, std::memory_order_release);
-    w->cv.notify_one();
+    WriteState expected = w->state.load(std::memory_order_relaxed);
+    if (expected == WriteState::kLockedWaiting ||
+        !w->state.compare_exchange_strong(expected, terminal,
+                                          std::memory_order_release,
+                                          std::memory_order_relaxed)) {
+      // The only other writer of state is the owner parking itself.
+      LockGuard g(w->mu);
+      w->state.store(terminal, std::memory_order_release);
+      w->cv.notify_one();
+    }
   }
 
   /// Follower wait: bounded spin (skipped entirely on a single-core host,
-  /// where spinning starves the leader — see spin_budget), then park on
-  /// the ticket's own condvar until the current leader either completes
-  /// this ticket or promotes it — a parked follower costs the scheduler
-  /// nothing, unlike a yield loop cycling the run queue. Returns the
+  /// where spinning starves the leader — see spin_budget), then CAS into
+  /// kLockedWaiting and park on the ticket's own condvar until the
+  /// current leader completes, aborts, or promotes this ticket — a parked
+  /// follower costs the scheduler nothing, unlike a yield loop cycling
+  /// the run queue. If the CAS loses, the leader already published; the
+  /// failed CAS's loaded value IS the terminal state. Returns the
   /// terminal state observed.
   static WriteState await(WriteTicket* w) noexcept {
     for (int spin = spin_budget(2048); spin > 0; --spin) {
       const WriteState s = w->state.load(std::memory_order_acquire);
       if (s != WriteState::kInit) return s;
     }
+    WriteState expected = WriteState::kInit;
+    if (!w->state.compare_exchange_strong(expected,
+                                          WriteState::kLockedWaiting,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+      return expected;
+    }
     LockGuard g(w->mu);
     while (true) {
       const WriteState s = w->state.load(std::memory_order_acquire);
-      if (s != WriteState::kInit) return s;
+      if (is_terminal(s)) return s;
       w->cv.wait(w->mu, g);
     }
   }
@@ -265,10 +319,16 @@ class ConcurrentEngine {
   /// Device-model hook: called once per write() OUTSIDE every shard lock
   /// with the total chunks that op's batches flushed (> 0), after follower
   /// completions have been published. The submitting thread alone absorbs
-  /// the modeled flush time — the same accounting as the big-lock path,
-  /// where the client that tipped a chunk slept outside the lock while the
-  /// others kept writing. Followers therefore never serialize behind a
-  /// leader's device wait. Must be thread-safe; set before the first write.
+  /// the modeled flush time, so followers never serialize behind a
+  /// leader's device wait. Accounting caveat vs the big-lock path: a
+  /// batch's flushes are all charged to its LEADER (followers always see
+  /// 0 flushed chunks), where under the big lock each client that tipped
+  /// a chunk paid its own wait. Under heavy batching, leader ops' measured
+  /// latency therefore folds in other clients' device time and follower
+  /// latencies exclude it — group-commit latency percentiles are
+  /// per-thread-accounting-skewed relative to the big-lock oracle even
+  /// when total device time is identical (see DESIGN.md "Concurrent
+  /// front-end"). Must be thread-safe; set before the first write.
   void set_flush_wait(std::function<void(std::uint64_t chunks)> fn) {
     flush_wait_ = std::move(fn);
   }
@@ -284,7 +344,12 @@ class ConcurrentEngine {
   /// ticket is linked BEFORE any is awaited, so the sub-writes commit in
   /// parallel instead of paying one intake round trip per shard. Returns
   /// once every sub-span has been applied and the flush-wait hook has been
-  /// charged for whatever the op flushed.
+  /// charged for whatever the op flushed. Failure contract: if the engine
+  /// throws while a leader applies a batch, the leader's thread rethrows
+  /// the engine's exception, and every caller whose op was NOT applied
+  /// (the failing op and everything linked after it in that batch) throws
+  /// WriteAborted instead of returning success — an op that returns
+  /// normally was applied, an op that throws was not (at-most-once).
   void write(Lba lba, std::uint32_t blocks, TimeUs submit_us);
 
   /// Thread-safe proactive GC pass on shard `i`. Returns true when the

@@ -6,11 +6,16 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/sync.h"
 #include "lss/group_commit.h"
+#include "lss/placement_policy.h"
 #include "proto/prototype.h"
 #include "trace/synthetic.h"
 
@@ -61,6 +66,35 @@ TEST(WriteIntakeTest, LateArrivalIsPromotedToNextLeader) {
   // The promoted leader's link into the dying batch is severed.
   EXPECT_EQ(b.link_older, nullptr);
   EXPECT_EQ(intake.exit_group(&b), nullptr);
+}
+
+TEST(WriteIntakeTest, PublishAwaitAbortRoundTrip) {
+  WriteTicket t(0, 1, 0);
+  WriteIntake::publish(&t, WriteState::kAborted);
+  EXPECT_EQ(WriteIntake::await(&t), WriteState::kAborted);
+}
+
+// Regression for a use-after-free in the completion handoff: the owner may
+// observe the terminal state from await()'s lock-free spin and destroy the
+// stack-owned ticket immediately, so publish() must never touch the ticket
+// after its fast-path CAS (the old publish stored under the ticket mutex
+// and then notified/unlocked — a destroyed-mutex race this test trips
+// under TSan/ASan). Odd rounds delay the publisher so the owner exhausts
+// its spin budget and exercises the kLockedWaiting parked path too.
+TEST(WriteIntakeTest, PublishAwaitHandoffStress) {
+  constexpr int kRounds = 1000;
+  for (int round = 0; round < kRounds; ++round) {
+    std::optional<WriteTicket> t;
+    t.emplace(0, 1, 0);
+    Thread publisher([&t, round] {
+      if (round % 2 == 1) sleep_for_us(50);
+      WriteIntake::publish(&*t, WriteState::kCompleted);
+    });
+    EXPECT_EQ(WriteIntake::await(&*t), WriteState::kCompleted);
+    // Destroy the ticket the instant await returns, exactly as write()'s
+    // stack unwinding does; the publisher thread joins only afterwards.
+    t.reset();
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -290,6 +324,109 @@ TEST(ConcurrentEngineTest, RejectsOutOfRangeWrite) {
   pc.policy = "sepgc";
   ConcurrentEngine engine(cfg, 2, 1, proto::make_prototype_shard_factory(pc));
   EXPECT_THROW(engine.write(cfg.logical_blocks, 1, 0), std::out_of_range);
+}
+
+// Fault injection for the batch-abort contract: delegates to the real
+// policy, but call #1 parks (holding the leader inside its apply so the
+// test can link followers behind it deterministically) and call #2 throws.
+struct FaultyControl {
+  std::atomic<int> calls{0};
+  std::atomic<bool> leader_blocked{false};
+  std::atomic<bool> release{false};
+};
+
+class FaultyPolicy : public PlacementPolicy {
+ public:
+  FaultyPolicy(std::unique_ptr<PlacementPolicy> inner, FaultyControl* ctrl)
+      : inner_(std::move(inner)), ctrl_(ctrl) {}
+
+  std::string_view name() const override { return inner_->name(); }
+  GroupId group_count() const override { return inner_->group_count(); }
+  bool is_user_group(GroupId g) const override {
+    return inner_->is_user_group(g);
+  }
+  GroupId place_user_write(Lba lba, VTime now) override {
+    const int n = ctrl_->calls.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (n == 1) {
+      ctrl_->leader_blocked.store(true, std::memory_order_release);
+      while (!ctrl_->release.load(std::memory_order_acquire)) yield_now();
+    } else if (n == 2) {
+      throw std::runtime_error("injected placement failure");
+    }
+    return inner_->place_user_write(lba, now);
+  }
+  GroupId place_gc_rewrite(Lba lba, GroupId victim_group,
+                           VTime now) override {
+    return inner_->place_gc_rewrite(lba, victim_group, now);
+  }
+  void note_segment_sealed(GroupId g, VTime now) override {
+    inner_->note_segment_sealed(g, now);
+  }
+  void note_segment_reclaimed(GroupId g, VTime create_vtime,
+                              VTime now) override {
+    inner_->note_segment_reclaimed(g, create_vtime, now);
+  }
+  std::size_t memory_usage_bytes() const override {
+    return inner_->memory_usage_bytes();
+  }
+
+ private:
+  std::unique_ptr<PlacementPolicy> inner_;
+  FaultyControl* ctrl_;
+};
+
+// The failure contract end to end: thread C leads a batch of one and is
+// held inside its engine apply while A and B link behind it; exit_group
+// promotes the older of A/B to lead the batch {A, B}, whose first apply
+// throws. The promoted leader must rethrow the injected engine error, its
+// follower must throw WriteAborted (its op was never applied), and C —
+// whose op DID apply — must return success. No lost write reports durable.
+TEST(ConcurrentEngineTest, EngineFailureAbortsNotAppliedFollowers) {
+  LssConfig cfg;
+  cfg.logical_blocks = std::uint64_t{1} << 16;
+  proto::PrototypeConfig pc;
+  pc.policy = "sepgc";
+  FaultyControl ctrl;
+  const ShardFactory inner = proto::make_prototype_shard_factory(pc);
+  const ShardFactory factory = [&](std::uint32_t i, const LssConfig& c) {
+    ShardParts parts = inner(i, c);
+    parts.policy =
+        std::make_unique<FaultyPolicy>(std::move(parts.policy), &ctrl);
+    return parts;
+  };
+  ConcurrentEngine engine(cfg, 1, 1, factory);
+
+  std::atomic<int> ok{0}, injected{0}, aborted{0};
+  auto classify = [&](Lba lba) {
+    try {
+      engine.write(lba, 1, 1);
+      ok.fetch_add(1, std::memory_order_relaxed);
+    } catch (const WriteAborted&) {
+      aborted.fetch_add(1, std::memory_order_relaxed);
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "injected placement failure");
+      injected.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  {
+    Thread c([&] { classify(0); });
+    while (!ctrl.leader_blocked.load(std::memory_order_acquire)) {
+      yield_now();
+    }
+    Thread a([&] { classify(1); });
+    Thread b([&] { classify(2); });
+    // Generous margin for a and b to reach link() behind the held leader;
+    // if either misses the batch it would lead alone and the strict
+    // 1/1/1 split below fails loudly rather than passing vacuously.
+    sleep_for_us(200'000);
+    ctrl.release.store(true, std::memory_order_release);
+  }  // joins a, b, c
+  EXPECT_EQ(ok.load(), 1);
+  EXPECT_EQ(injected.load(), 1);
+  EXPECT_EQ(aborted.load(), 1);
+  // Exactly the applied prefix is in the engine and the linearized log.
+  EXPECT_EQ(engine.merged_metrics().user_blocks, 1u);
+  EXPECT_EQ(engine.recorded_ops(0).size(), 1u);
 }
 
 TEST(ConcurrentEngineTest, RecordOpsOffKeepsLogsEmpty) {
