@@ -17,8 +17,10 @@
 // Every mechanism can be disabled independently for the ablation bench.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "adapt/bloom.h"

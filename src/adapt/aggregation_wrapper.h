@@ -10,8 +10,11 @@
 // threshold adaptation and demotion.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "audit/audit.h"
 #include "lss/engine.h"

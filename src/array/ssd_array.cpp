@@ -117,9 +117,7 @@ TimeUs SsdArray::schedule_chunk(std::uint32_t stream, TimeUs now_us) {
   }
   // One chunk lands on one device; parity is amortised by charging
   // chunk_bytes * num_devices / (num_devices - 1) of bandwidth.
-  const std::uint64_t effective_bytes =
-      static_cast<std::uint64_t>(config_.chunk_bytes) * config_.num_devices /
-      data_columns();
+  const std::uint64_t effective_bytes = effective_chunk_bytes();
   const std::uint32_t dev =
       static_cast<std::uint32_t>(stripe_index_[stream] + stripe_cursor_[stream]) %
       config_.num_devices;

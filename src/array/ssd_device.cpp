@@ -21,9 +21,7 @@ TimeUs SsdDevice::write(std::uint32_t stream, std::uint64_t bytes) {
   }
   bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
   stream_bytes_[stream].fetch_add(bytes, std::memory_order_relaxed);
-  const double us =
-      static_cast<double>(bytes) / (config_.bandwidth_mb_per_s * 1e6) * 1e6;
-  return static_cast<TimeUs>(us + 0.5);
+  return service_us(bytes);
 }
 
 std::uint64_t SsdDevice::stream_bytes(std::uint32_t stream) const {
@@ -34,14 +32,12 @@ std::uint64_t SsdDevice::stream_bytes(std::uint32_t stream) const {
 }
 
 TimeUs SsdDevice::reserve(TimeUs now_us, std::uint64_t bytes) {
-  const double service =
-      static_cast<double>(bytes) / (config_.bandwidth_mb_per_s * 1e6) * 1e6;
-  const auto service_us = static_cast<TimeUs>(service + 0.5);
+  const TimeUs service = service_us(bytes);
   // CAS loop: start at max(now, busy_until), finish start + service.
   std::uint64_t prev = busy_until_us_.load(std::memory_order_relaxed);
   for (;;) {
     const TimeUs start = std::max<TimeUs>(now_us, prev);
-    const TimeUs done = start + service_us;
+    const TimeUs done = start + service;
     if (busy_until_us_.compare_exchange_weak(prev, done,
                                              std::memory_order_relaxed)) {
       return done;

@@ -24,6 +24,24 @@ class SsdDevice {
 
   const SsdDeviceConfig& config() const noexcept { return config_; }
 
+  /// The bandwidth model's service time for `bytes` at
+  /// `bandwidth_mb_per_s`, rounded to the nearest microsecond. This is THE
+  /// timing formula of the device layer: write(), reserve(), and
+  /// lss::DeviceLanes all derive their completion times from it, so a lane
+  /// submission and a direct reservation of the same payload cost the same
+  /// modeled time.
+  static TimeUs service_time_us(double bandwidth_mb_per_s,
+                                std::uint64_t bytes) noexcept {
+    const double us =
+        static_cast<double>(bytes) / (bandwidth_mb_per_s * 1e6) * 1e6;
+    return static_cast<TimeUs>(us + 0.5);
+  }
+
+  /// service_time_us at this device's configured bandwidth.
+  TimeUs service_us(std::uint64_t bytes) const noexcept {
+    return service_time_us(config_.bandwidth_mb_per_s, bytes);
+  }
+
   /// Records a write of `bytes` on `stream` and returns the service time in
   /// microseconds under the bandwidth model.
   TimeUs write(std::uint32_t stream, std::uint64_t bytes);

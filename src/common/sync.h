@@ -12,6 +12,7 @@
 // wraps — zero runtime cost either way.
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <chrono>
 #include <condition_variable>
@@ -87,6 +88,17 @@ class CondVar {
     cv_.wait(guard.lock_);
   }
 
+  /// Timed wait: blocks until notified or `timeout_us` elapses. Returns
+  /// false on timeout, true when woken by a notify (possibly spuriously —
+  /// callers re-check their predicate either way).
+  bool wait_for_us(Mutex& mu, LockGuard& guard, std::uint64_t timeout_us)
+      ADAPT_REQUIRES(mu) {
+    assert(guard.owns(mu));
+    (void)mu;
+    return cv_.wait_for(guard.lock_, std::chrono::microseconds(timeout_us)) ==
+           std::cv_status::no_timeout;
+  }
+
  private:
   std::condition_variable cv_;
 };
@@ -149,6 +161,61 @@ inline int spin_budget(int multi_core) noexcept {
 inline void sleep_for_us(std::uint64_t us) {
   std::this_thread::sleep_for(std::chrono::microseconds(us));
 }
+
+/// Edge-triggered work signal for idle backoff loops (background GC waiting
+/// for writers to create reclaimable garbage, backpressure waits). Producers
+/// call bump() after publishing work; consumers snapshot version() BEFORE
+/// checking for work and, finding none, park in wait_change() — a bump in
+/// the race window makes the wait return immediately, so no edge is lost.
+///
+/// The producer fast path is one relaxed fetch_add plus one acquire load:
+/// the mutex and condvar are touched only while a consumer is parked, so
+/// signalling from a hot write path costs no syscall in steady state.
+class WorkSignal {
+ public:
+  WorkSignal() = default;
+  WorkSignal(const WorkSignal&) = delete;
+  WorkSignal& operator=(const WorkSignal&) = delete;
+
+  /// Current version; pair with wait_change() as snapshot-check-park.
+  std::uint64_t version() const noexcept {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  /// Publishes one unit of progress and wakes parked waiters, if any.
+  void bump() noexcept {
+    version_.fetch_add(1, std::memory_order_release);
+    if (waiters_.load(std::memory_order_acquire) > 0) {
+      LockGuard g(mu_);
+      cv_.notify_all();
+    }
+  }
+
+  /// Blocks until version() != `seen` or `timeout_us` elapses; returns the
+  /// version observed on exit. The timeout bounds the park so shutdown
+  /// flags polled by the caller's loop are always rechecked.
+  std::uint64_t wait_change(std::uint64_t seen, std::uint64_t timeout_us) {
+    std::uint64_t now = version();
+    if (now != seen) return now;
+    waiters_.fetch_add(1, std::memory_order_acq_rel);
+    {
+      LockGuard g(mu_);
+      now = version();
+      if (now == seen) {
+        cv_.wait_for_us(mu_, g, timeout_us);
+        now = version();
+      }
+    }
+    waiters_.fetch_sub(1, std::memory_order_acq_rel);
+    return now;
+  }
+
+ private:
+  std::atomic<std::uint64_t> version_{0};
+  std::atomic<int> waiters_{0};
+  Mutex mu_;
+  CondVar cv_;
+};
 
 /// Monotonic clock sample in nanoseconds, for host-time latency capture
 /// (submit→durable spans). Values are host-dependent — never feed them

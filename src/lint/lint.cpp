@@ -309,11 +309,12 @@ void rule_nondeterminism(const RuleContext& ctx) {
 }
 
 // ---------------------------------------------------------------------------
-// header-hygiene: src/lss headers use #pragma once and directly include
-// the standard headers behind the tokens they use (IWYU-lite).
+// header-hygiene: src/ headers use #pragma once and directly include
+// the standard headers behind the tokens they use (IWYU-lite). Originally
+// scoped to src/lss/ while the rule bedded in; now the whole tree.
 
 void rule_header_hygiene(const RuleContext& ctx) {
-  if (!path_contains(ctx.path, "src/lss/") || !ends_with(ctx.path, ".h")) {
+  if (!path_contains(ctx.path, "src/") || !ends_with(ctx.path, ".h")) {
     return;
   }
   if (ctx.raw.find("#pragma once") == std::string_view::npos) {

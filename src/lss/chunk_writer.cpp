@@ -181,6 +181,11 @@ ADAPT_HOT void ChunkWriter::flush_chunk(GroupId g, std::uint32_t fill_blocks,
     ++gt.full_flushes;
   }
   ++chunks_flushed_;
+  if (flush_collector_ != nullptr) {
+    // Drained every batch by the owner, so steady state reuses capacity.
+    flush_collector_->push_back(  // ADAPT_LINT_ALLOW(hot-alloc)
+        PendingFlush{g, fill_blocks, false});
+  }
   if (trace_ != nullptr) {
     emit(trace_, TraceEvent{TraceEventKind::kChunkFlush, g, vtime_, wall_us_,
                             fill_blocks, padded ? 1u : 0u,
@@ -221,6 +226,9 @@ void ChunkWriter::rmw_flush(GroupId g) {
   metrics_.rmw_blocks += pending;
   // Small-write parity update reads the old data chunk and old parity.
   metrics_.rmw_read_blocks += 2ull * config_.chunk_blocks;
+  if (flush_collector_ != nullptr) {
+    flush_collector_->push_back(PendingFlush{g, pending, true});
+  }
   if (trace_ != nullptr) {
     emit(trace_,
          TraceEvent{TraceEventKind::kRmwFlush, g, vtime_, wall_us_, pending,

@@ -31,6 +31,19 @@ enum class AppendSource { kUser, kGc, kShadow };
 /// Sentinel "no coalescing deadline armed anywhere".
 inline constexpr TimeUs kNoDeadline = ~static_cast<TimeUs>(0);
 
+/// One media write applied to engine state but not yet modeled durable on a
+/// device. The writer's flush paths append these to an optionally attached
+/// collector, splitting "apply" (engine state mutated, under whatever lock
+/// the caller holds) from "durable" (the collector's owner submits the
+/// records to a device model — lss::DeviceLanes — and waits OUTSIDE the
+/// lock). `rmw` flushes carry sub-chunk payloads; full/padded flushes are
+/// chunk-sized regardless of fill.
+struct PendingFlush {
+  GroupId group = kInvalidGroup;
+  std::uint32_t blocks = 0;  ///< real payload blocks in the flush
+  bool rmw = false;          ///< sub-chunk RMW write, not a full chunk
+};
+
 class ChunkWriter {
  public:
   /// All references must outlive the writer. `vtime` is the engine's
@@ -51,6 +64,17 @@ class ChunkWriter {
 
   /// Attaches a trace sink for flush/shadow events (nullptr detaches).
   void set_trace_sink(TraceSink* sink) noexcept { trace_ = sink; }
+
+  /// Attaches a flush-record collector (nullptr detaches): every chunk and
+  /// RMW flush appends a PendingFlush to `*out`. The owner drains the
+  /// vector after each batch (ConcurrentEngine::lead does, under the shard
+  /// lock) and models durability outside the critical section; leaving a
+  /// collector attached without draining grows it unboundedly. Detached —
+  /// the default, and the serial simulator's mode — the flush paths cost
+  /// one null check.
+  void set_flush_collector(std::vector<PendingFlush>* out) noexcept {
+    flush_collector_ = out;
+  }
 
   /// Appends one block to `g`'s open chunk, flushing at chunk boundaries
   /// and arming the coalescing deadline on the first pending user block.
@@ -157,6 +181,7 @@ class ChunkWriter {
   const VTime& vtime_;
   const TimeUs& wall_us_;
   TraceSink* trace_ = nullptr;
+  std::vector<PendingFlush>* flush_collector_ = nullptr;
   array::SsdArray* array_;
   array::AddressedArray* addressed_array_ = nullptr;
 

@@ -117,6 +117,13 @@ class LssEngine {
     gc_.set_trace_sink(sink);
   }
 
+  /// Attaches a flush-record collector to the chunk writer (nullptr
+  /// detaches): every flush appends a PendingFlush that the caller drains
+  /// and submits to a device model (see ChunkWriter::set_flush_collector).
+  void set_flush_collector(std::vector<PendingFlush>* out) noexcept {
+    writer_.set_flush_collector(out);
+  }
+
   /// Attaches an address-mapped array with flash-backed devices: every
   /// chunk flush writes through at its real array address, segment
   /// reclamation TRIMs the range, and device-internal WA becomes

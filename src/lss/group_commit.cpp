@@ -45,6 +45,10 @@ ConcurrentEngine::ConcurrentEngine(const LssConfig& config,
     if (shard->parts.hook != nullptr) {
       shard->engine->set_aggregation_hook(shard->parts.hook);
     }
+    // Apply/durable split: every flush the engine performs is recorded in
+    // the shard's collector; lead() and gc_step() drain it under the shard
+    // lock and model durability outside.
+    shard->engine->set_flush_collector(&shard->flushes);
     shards_.push_back(std::move(shard));
   }
 }
@@ -76,13 +80,12 @@ void ConcurrentEngine::write(Lba lba, std::uint32_t blocks, TimeUs submit_us) {
     // stack ticket, no arrays.
     Shard& sh = *shards_[s_first];
     WriteTicket t(lba - std::uint64_t{s_first} * bps, blocks, submit_us);
-    std::uint64_t flushed = 0;
     std::exception_ptr error;
     const WriteState st =
         sh.intake.link(&t) ? WriteState::kLeader : WriteIntake::await(&t);
     if (st == WriteState::kLeader) {
       try {
-        flushed = lead(sh, &t);
+        lead(sh, &t);
       } catch (...) {
         error = std::current_exception();
       }
@@ -93,11 +96,16 @@ void ConcurrentEngine::write(Lba lba, std::uint32_t blocks, TimeUs submit_us) {
       // returning success.
       error = std::make_exception_ptr(WriteAborted{});
     }
-    if (flush_wait_ && flushed > 0) flush_wait_(flushed);
+    // Wait out this op's share of its batch's coalesced flush on THIS
+    // thread — the leader stamped durable_us into every ticket before
+    // publishing. An aborted op was never applied and owes no device time.
+    if (durable_wait_ && st != WriteState::kAborted && t.durable_us > 0) {
+      durable_wait_(t.durable_us);
+    }
     if (error != nullptr) std::rethrow_exception(error);
     return;
   }
-  std::uint64_t flushed = 0;
+  TimeUs durable_us = 0;
   std::exception_ptr error;
   constexpr std::uint32_t kWave = 8;
   std::uint32_t s = s_first;
@@ -138,7 +146,7 @@ void ConcurrentEngine::write(Lba lba, std::uint32_t blocks, TimeUs submit_us) {
         if (!is_terminal(st)) continue;
         if (st == WriteState::kLeader) {
           try {
-            flushed += lead(*owner[k], &*tickets[k]);
+            lead(*owner[k], &*tickets[k]);
           } catch (...) {
             error = std::current_exception();
           }
@@ -146,6 +154,9 @@ void ConcurrentEngine::write(Lba lba, std::uint32_t blocks, TimeUs submit_us) {
           // A sub-span was dropped by a failing batch on its shard; the
           // whole multi-shard op is only partially applied, so fail it.
           error = std::make_exception_ptr(WriteAborted{});
+        }
+        if (st != WriteState::kAborted) {
+          durable_us = std::max(durable_us, tickets[k]->durable_us);
         }
         terminal[k] = true;
         --pending;
@@ -160,19 +171,20 @@ void ConcurrentEngine::write(Lba lba, std::uint32_t blocks, TimeUs submit_us) {
       }
     }
   }
-  // One coalesced device wait for everything this op flushed, charged to
+  // One wait for the latest durable time over every batch this op rode in
+  // (each leader stamped its batch's durable_us before publishing), run on
   // the submitting thread alone: follower completions above never stall on
-  // the modeled flush, mirroring the big-lock accounting where the client
-  // that tipped a chunk slept outside the lock.
-  if (flush_wait_ && flushed > 0) flush_wait_(flushed);
+  // the modeled flush.
+  if (durable_wait_ && durable_us > 0) durable_wait_(durable_us);
   if (error != nullptr) std::rethrow_exception(error);
 }
 
-std::uint64_t ConcurrentEngine::lead(Shard& sh, WriteTicket* leader) {
+void ConcurrentEngine::lead(Shard& sh, WriteTicket* leader) {
   WriteTicket* const last = sh.intake.capture_group(leader);
   std::uint64_t batch_ops = 0;
   std::uint64_t batch_blocks = 0;
   std::uint64_t flushed_delta = 0;
+  std::vector<PendingFlush> flushes;
   std::exception_ptr error;
   // First ticket whose op did NOT apply because the engine threw; it and
   // everything linked after it get published kAborted so their write()
@@ -207,6 +219,16 @@ std::uint64_t ConcurrentEngine::lead(Shard& sh, WriteTicket* leader) {
       aborted_from = w;
     }
     flushed_delta = sh.engine->chunks_flushed() - chunks_before;
+    // Drain the flush records this batch appended while still holding the
+    // lock; the device submit happens OUTSIDE the critical section so the
+    // next batch can apply while this one's durability is being modeled.
+    if (!sh.flushes.empty()) {
+      if (flush_submit_) {
+        flushes.swap(sh.flushes);
+      } else {
+        sh.flushes.clear();
+      }
+    }
     if (sh.sink != nullptr) {
       emit(sh.sink,
            TraceEvent{TraceEventKind::kGroupCommit,
@@ -221,6 +243,25 @@ std::uint64_t ConcurrentEngine::lead(Shard& sh, WriteTicket* leader) {
          !sh.max_batch.compare_exchange_weak(prev_max, batch_ops,
                                              std::memory_order_relaxed)) {
   }
+  // Model durability outside every lock. Even a batch that failed mid-way
+  // submits: the applied prefix's flushes hit the device before the engine
+  // threw, and their modeled time must not vanish from the timeline.
+  TimeUs durable_us = 0;
+  if (flush_submit_ && !flushes.empty()) {
+    durable_us = flush_submit_(sh.index, flushes);
+  }
+  // Stamp every batch ticket's durable time BEFORE any completion is
+  // published: followers cannot unwind until they observe a terminal
+  // state, so the pre-publication store is lifetime-safe, and publish's
+  // release pairs with await's acquire to make it visible. Aborted tickets
+  // get stamped too (harmless — their write() skips the wait).
+  if (durable_us > 0) {
+    for (WriteTicket* w = leader;;
+         w = w->link_newer.load(std::memory_order_relaxed)) {
+      w->durable_us = durable_us;
+      if (w == last) break;
+    }
+  }
   // Hand off leadership immediately: the next batch can apply into the
   // engine the moment this one leaves the critical section — the pipeline
   // the big lock could never form.
@@ -229,9 +270,9 @@ std::uint64_t ConcurrentEngine::lead(Shard& sh, WriteTicket* leader) {
   // store: a completed follower's stack frame — ticket included — can
   // vanish immediately. Never read or follow last->link_newer here —
   // exit_group may have pointed it at the promoted next leader, which is
-  // not ours to complete (a size-1 batch has no followers at all). The
-  // caller runs the device wait AFTER this returns, so completions are
-  // never delayed by the modeled flush.
+  // not ours to complete (a size-1 batch has no followers at all). Each
+  // op runs its own durable wait AFTER its ticket publishes, so
+  // completions are never delayed by the modeled flush.
   if (leader != last) {
     bool aborted = (aborted_from == leader);
     WriteTicket* w = leader->link_newer.load(std::memory_order_relaxed);
@@ -246,12 +287,12 @@ std::uint64_t ConcurrentEngine::lead(Shard& sh, WriteTicket* leader) {
     }
   }
   if (error != nullptr) std::rethrow_exception(error);
-  return flushed_delta;
 }
 
 bool ConcurrentEngine::gc_step(std::uint32_t i, TimeUs now_us,
                                std::uint32_t watermark,
-                               std::uint64_t* flushed_chunks) {
+                               std::uint64_t* flushed_chunks,
+                               std::vector<PendingFlush>* flushes) {
   Shard& sh = *shards_.at(i);
   LockGuard g(sh.mu);
   const TimeUs ts = std::max(sh.last_ts, now_us);
@@ -264,6 +305,18 @@ bool ConcurrentEngine::gc_step(std::uint32_t i, TimeUs now_us,
   }
   if (flushed_chunks != nullptr) {
     *flushed_chunks = sh.engine->chunks_flushed() - chunks_before;
+  }
+  // Hand the pass's flush records to the GC thread (it submits them to the
+  // device model itself — there are no write tickets to stamp); drained
+  // either way so the collector never grows across passes.
+  if (flushes != nullptr) {
+    // Swap (after clearing the caller's scratch) instead of copying: the
+    // shard inherits the scratch vector's capacity, so a GC loop reusing
+    // one vector allocates nothing in steady state.
+    flushes->clear();
+    flushes->swap(sh.flushes);
+  } else {
+    sh.flushes.clear();
   }
   sh.last_ts = ts;
   if (record_ops_) {
@@ -278,6 +331,9 @@ void ConcurrentEngine::flush_all() {
     Shard& sh = *shard;
     LockGuard g(sh.mu);
     sh.engine->flush_all();
+    // The final drain is a quiesced-only bookkeeping pass; nobody is
+    // measuring per-op durability any more, so just empty the collector.
+    sh.flushes.clear();
     if (record_ops_) {
       sh.log.push_back(
           RecordedOp{RecordedOp::Kind::kFlushAll, 0, 0, sh.last_ts, 0});

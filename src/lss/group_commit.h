@@ -25,10 +25,15 @@
 //                kAborted from the first not-applied ticket on, when the
 //                engine threw mid-batch — *after* reading its link_newer:
 //                tickets live on follower stacks and may be destroyed the
-//                instant they complete. Any device-model flush wait
-//                happens strictly after this, on the submitting thread
-//                only (see set_flush_wait): a batch never serializes its
-//                followers behind a modeled sleep.
+//                instant they complete. Before publishing, the leader
+//                submits the batch's drained flush records to the device
+//                model (OUTSIDE the shard lock) and stamps the modeled
+//                durable time into every ticket, so each op — leader and
+//                followers alike — waits out its own share of the
+//                coalesced flush on its own thread (see set_device_model):
+//                a batch never serializes its followers behind a modeled
+//                sleep, and no op's latency silently excludes its device
+//                time.
 //
 // Determinism contract (the oracle): a shard's final state is a pure
 // function of its (op, lba, blocks, ts) sequence. The leader records every
@@ -112,6 +117,15 @@ struct WriteTicket {
   std::uint32_t blocks;
   TimeUs submit_us;         ///< simulated submit timestamp (monotonised
                             ///< per shard by the leader before applying)
+  /// Modeled durable time of this op's batch, stamped by the LEADER before
+  /// the ticket is published (pre-publication stores are lifetime-safe —
+  /// the owner cannot unwind until it observes a terminal state — and
+  /// publish's release CAS/store pairs with await's acquire load, so the
+  /// stamp is visible to the waiter). 0 when the batch flushed nothing.
+  /// Every non-aborted op waits this out on its OWN thread: the coalesced
+  /// flush is charged to each op in the batch, never absorbed by the
+  /// leader alone.
+  TimeUs durable_us = 0;
   WriteTicket* link_older = nullptr;              ///< set once by link()
   std::atomic<WriteTicket*> link_newer{nullptr};  ///< back-filled by leader
   std::atomic<WriteState> state{WriteState::kInit};
@@ -316,21 +330,32 @@ class ConcurrentEngine {
     return shard_config_.logical_blocks;
   }
 
-  /// Device-model hook: called once per write() OUTSIDE every shard lock
-  /// with the total chunks that op's batches flushed (> 0), after follower
-  /// completions have been published. The submitting thread alone absorbs
-  /// the modeled flush time, so followers never serialize behind a
-  /// leader's device wait. Accounting caveat vs the big-lock path: a
-  /// batch's flushes are all charged to its LEADER (followers always see
-  /// 0 flushed chunks), where under the big lock each client that tipped
-  /// a chunk paid its own wait. Under heavy batching, leader ops' measured
-  /// latency therefore folds in other clients' device time and follower
-  /// latencies exclude it — group-commit latency percentiles are
-  /// per-thread-accounting-skewed relative to the big-lock oracle even
-  /// when total device time is identical (see DESIGN.md "Concurrent
-  /// front-end"). Must be thread-safe; set before the first write.
-  void set_flush_wait(std::function<void(std::uint64_t chunks)> fn) {
-    flush_wait_ = std::move(fn);
+  /// Submits one batch's drained flush records to a device model (e.g.
+  /// DeviceLanes::submit_chunks) and returns the modeled time at which the
+  /// LAST of them is durable. Called by the batch leader OUTSIDE every
+  /// shard lock; must be thread-safe.
+  using FlushSubmitFn = std::function<TimeUs(
+      std::uint32_t shard, const std::vector<PendingFlush>& flushes)>;
+  /// Blocks the calling op's thread until the modeled durable time (e.g.
+  /// the prototype sleeps the gap between its wall clock and durable_us).
+  /// Called once per non-aborted op whose batch flushed, on that op's own
+  /// thread; must be thread-safe.
+  using DurableWaitFn = std::function<void(TimeUs durable_us)>;
+
+  /// Device-model hooks, replacing the old leader-absorbs-the-wait flush
+  /// hook. The leader submits the batch's flushes once (outside the shard
+  /// lock, before follower completions are published) and stamps the
+  /// returned durable time into every ticket of the batch; each op then
+  /// runs `wait` on its OWN thread. Leader and follower submit→durable
+  /// latencies therefore both include their share of the coalesced flush —
+  /// the per-thread accounting matches the big-lock path, where each
+  /// client that tipped a chunk paid its own wait (the skew the PR 8
+  /// prototype documented as a caveat is gone; the follower-latency
+  /// regression test in tests/concurrent_commit_test.cpp pins it). Set
+  /// both hooks before the first write, or neither.
+  void set_device_model(FlushSubmitFn submit, DurableWaitFn wait) {
+    flush_submit_ = std::move(submit);
+    durable_wait_ = std::move(wait);
   }
 
   /// Attaches a trace sink to shard `i` (engine events + kGroupCommit
@@ -343,8 +368,9 @@ class ConcurrentEngine {
   /// single shard; when it straddles a boundary, every touched shard's
   /// ticket is linked BEFORE any is awaited, so the sub-writes commit in
   /// parallel instead of paying one intake round trip per shard. Returns
-  /// once every sub-span has been applied and the flush-wait hook has been
-  /// charged for whatever the op flushed. Failure contract: if the engine
+  /// once every sub-span has been applied and this op has waited out the
+  /// modeled durable time of every batch it rode in (its durable share of
+  /// the coalesced flushes). Failure contract: if the engine
   /// throws while a leader applies a batch, the leader's thread rethrows
   /// the engine's exception, and every caller whose op was NOT applied
   /// (the failing op and everything linked after it in that batch) throws
@@ -355,9 +381,12 @@ class ConcurrentEngine {
   /// Thread-safe proactive GC pass on shard `i`. Returns true when the
   /// pass migrated work (and was therefore recorded in the shard log).
   /// When `flushed_chunks` is non-null it receives the number of chunks
-  /// the pass flushed, so the caller can charge the device model.
+  /// the pass flushed. When `flushes` is non-null it receives the drained
+  /// flush records of the pass, so the GC thread can submit them to the
+  /// device model itself (a GC pass has no write tickets to stamp).
   bool gc_step(std::uint32_t i, TimeUs now_us, std::uint32_t watermark,
-               std::uint64_t* flushed_chunks = nullptr);
+               std::uint64_t* flushed_chunks = nullptr,
+               std::vector<PendingFlush>* flushes = nullptr);
 
   /// Quiesced-only: pads out every partial chunk on every shard and
   /// records the drain in each shard log.
@@ -401,6 +430,11 @@ class ConcurrentEngine {
     std::unique_ptr<LssEngine> engine ADAPT_PT_GUARDED_BY(mu);
     WriteIntake intake;
     TimeUs last_ts ADAPT_GUARDED_BY(mu) = 0;
+    /// Flush records appended by the engine's chunk writer (the collector
+    /// attached in the ctor) since the last drain. Every batch and GC pass
+    /// drains it while still holding the shard lock, so it holds at most
+    /// one batch's worth of records.
+    std::vector<PendingFlush> flushes ADAPT_GUARDED_BY(mu);
     std::vector<RecordedOp> log ADAPT_GUARDED_BY(mu);
     TraceSink* sink ADAPT_GUARDED_BY(mu) = nullptr;
     std::atomic<std::uint64_t> groups{0};
@@ -408,16 +442,19 @@ class ConcurrentEngine {
     std::atomic<std::uint64_t> max_batch{0};
   };
 
-  /// Leader protocol: capture batch, apply under the shard lock, hand off
-  /// leadership, publish completions. Returns the number of chunks the
-  /// batch flushed so the caller can charge the device model — the wait
-  /// must NOT happen here, or every follower would serialize behind it.
-  std::uint64_t lead(Shard& sh, WriteTicket* leader);
+  /// Leader protocol: capture batch, apply under the shard lock, drain the
+  /// batch's flush records, submit them to the device model OUTSIDE the
+  /// lock, stamp the modeled durable time into every batch ticket, hand
+  /// off leadership, publish completions. The durable WAIT must NOT happen
+  /// here — each op (this leader included) runs it from write() on its own
+  /// thread, or every follower would serialize behind the leader's sleep.
+  void lead(Shard& sh, WriteTicket* leader);
 
   LssConfig shard_config_;
   std::uint64_t logical_blocks_ = 0;
   bool record_ops_ = true;
-  std::function<void(std::uint64_t)> flush_wait_;
+  FlushSubmitFn flush_submit_;
+  DurableWaitFn durable_wait_;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

@@ -34,6 +34,10 @@ enum class TraceEventKind : std::uint8_t {
   kThresholdAdapt,  ///< a = new threshold, b = total adoptions so far
   kGroupCommit,     ///< group = shard index, a = batched ops, b = blocks,
                     ///< c = chunks flushed by the batch
+  kLaneSubmit,      ///< group = lane, a = seq, b = inflight after admission,
+                    ///< c = admit_us (>= wall_us when the queue was full)
+  kLaneComplete,    ///< group = lane, a = seq, b = service_us,
+                    ///< c = complete_us (virtual durable time)
 };
 
 /// POD event record. `ts` is the engine's deterministic virtual clock

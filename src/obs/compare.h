@@ -11,6 +11,7 @@
 // tools/adapt_compare wraps this as the CI gate over committed baselines.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 #include <vector>

@@ -200,6 +200,40 @@ std::string manifest_json(const RunManifest& m) {
     out += ',';
     append_histogram_json(out, "latency_ns", m.latency_ns);
   }
+  if (!m.lanes.empty()) {
+    out += ',';
+    out += json::quote("lanes");
+    out += ":{";
+    append_kv(out, "count",
+              static_cast<std::uint64_t>(m.lanes.per_lane.size()));
+    out += ',';
+    append_kv(out, "queue_depth",
+              static_cast<std::uint64_t>(m.lanes.queue_depth));
+    out += ',';
+    out += json::quote("per_lane");
+    out += ":[";
+    for (std::size_t i = 0; i < m.lanes.per_lane.size(); ++i) {
+      if (i != 0) out += ',';
+      const lss::LaneStats& l = m.lanes.per_lane[i];
+      out += '{';
+      append_kv(out, "submits", l.submits);
+      out += ',';
+      append_kv(out, "stalled_submits", l.stalled_submits);
+      out += ',';
+      append_kv(out, "busy_us", l.busy_us);
+      out += ',';
+      append_kv(out, "inflight_high_water", l.inflight_high_water);
+      out += ',';
+      append_kv(out, "busy_until_us", l.busy_until_us);
+      out += '}';
+    }
+    out += "],";
+    append_histogram_json(out, "queue_depth_hist", m.lanes.queue_depth_hist);
+    out += ',';
+    append_histogram_json(out, "submit_complete_us",
+                          m.lanes.submit_complete_us);
+    out += '}';
+  }
   out += '}';
   return out;
 }
@@ -392,6 +426,33 @@ void validate_manifest_json(std::string_view text) {
   if (const json::Value* latency = doc.find("latency_ns");
       latency != nullptr) {
     validate_histogram_json(*latency, "latency_ns");
+  }
+  // Optional: only prototype manifests carry device-lane stats.
+  if (const json::Value* lanes = doc.find("lanes"); lanes != nullptr) {
+    if (!lanes->is_object()) {
+      throw std::invalid_argument("schema: lanes must be an object");
+    }
+    const auto count =
+        static_cast<std::uint64_t>(require_number(*lanes, "count"));
+    require_number(*lanes, "queue_depth");
+    const json::Value& per_lane = require(*lanes, "per_lane");
+    if (!per_lane.is_array()) {
+      throw std::invalid_argument("schema: lanes.per_lane must be an array");
+    }
+    if (per_lane.items().size() != count) {
+      throw std::invalid_argument(
+          "schema: lanes.count disagrees with the per_lane array length");
+    }
+    for (const json::Value& l : per_lane.items()) {
+      for (const char* key : {"submits", "stalled_submits", "busy_us",
+                              "inflight_high_water", "busy_until_us"}) {
+        require_number(l, key);
+      }
+    }
+    validate_histogram_json(require(*lanes, "queue_depth_hist"),
+                            "lanes.queue_depth_hist");
+    validate_histogram_json(require(*lanes, "submit_complete_us"),
+                            "lanes.submit_complete_us");
   }
 }
 

@@ -13,6 +13,7 @@
 // reason on schema violations; `tools/check_bench_json` wraps them as a CLI.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -21,6 +22,7 @@
 #include <vector>
 
 #include "common/histogram.h"
+#include "lss/device_lanes.h"
 #include "obs/provenance.h"
 #include "obs/registry.h"
 #include "obs/series.h"
@@ -65,6 +67,12 @@ struct RunManifest {
   /// when non-empty (simulator manifests have no op latency), validated when
   /// present, and — being host timing — skipped by the adapt_compare gate.
   Log2Histogram latency_ns;
+  /// Device-lane submission/completion stats (lss::DeviceLanes), filled by
+  /// the prototype. Optional in the schema like latency_ns: emitted only
+  /// when non-empty, validated when present. Queue occupancy depends on
+  /// thread interleaving, so the block is informational — adapt_compare
+  /// compares only the fields it names and never this one.
+  lss::DeviceLanesStats lanes;
 };
 
 /// Peak resident set of this process in bytes (getrusage; 0 if unknown).

@@ -14,6 +14,7 @@
 // spacing.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <limits>

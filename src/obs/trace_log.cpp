@@ -41,6 +41,10 @@ KindInfo kind_info(lss::TraceEventKind kind) {
       return {"threshold_adapt", "adapt", 'i'};
     case TraceEventKind::kGroupCommit:
       return {"group_commit", "commit", 'i'};
+    case TraceEventKind::kLaneSubmit:
+      return {"lane_submit", "device", 'i'};
+    case TraceEventKind::kLaneComplete:
+      return {"lane_complete", "device", 'i'};
   }
   throw std::logic_error("unknown trace event kind");
 }
@@ -116,6 +120,20 @@ void append_args(std::string& out, const lss::TraceEvent& e) {
       append_kv_u64(out, "batch_blocks", e.b);
       out += ',';
       append_kv_u64(out, "chunks_flushed", e.c);
+      break;
+    case TraceEventKind::kLaneSubmit:
+      append_kv_u64(out, "seq", e.a);
+      out += ',';
+      append_kv_u64(out, "inflight", e.b);
+      out += ',';
+      append_kv_u64(out, "admit_us", e.c);
+      break;
+    case TraceEventKind::kLaneComplete:
+      append_kv_u64(out, "seq", e.a);
+      out += ',';
+      append_kv_u64(out, "service_us", e.b);
+      out += ',';
+      append_kv_u64(out, "complete_us", e.c);
       break;
   }
 }

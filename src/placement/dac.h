@@ -7,7 +7,9 @@
 // paper configures five.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "lss/placement_policy.h"

@@ -3,6 +3,8 @@
 // (e.g. HashKV); the paper's baseline.
 #pragma once
 
+#include <string_view>
+
 #include "lss/placement_policy.h"
 
 namespace adapt::placement {

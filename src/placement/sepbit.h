@@ -10,7 +10,9 @@
 // geometric boundaries in multiples of l.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "lss/placement_policy.h"

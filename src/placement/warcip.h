@@ -9,7 +9,9 @@
 #pragma once
 
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "lss/placement_policy.h"

@@ -109,33 +109,47 @@ PrototypeResult run_prototype(const PrototypeConfig& config) {
   const std::uint32_t shards = big_lock ? 1 : resolve_shards(config);
   const lss::ShardFactory factory = make_prototype_shard_factory(config);
 
-  // Shared-bandwidth device model: every flushed chunk reserves its service
-  // time on a single busy-until timeline, so aggregate write throughput is
-  // capped at the configured array bandwidth no matter how many threads
-  // submit. The submitting thread sleeps until its reservation completes
-  // (blocking at chunk granularity; the I/O depth is amortised into the
-  // aggregate bandwidth figure).
-  const double chunk_bytes = static_cast<double>(lss_config.chunk_blocks) *
-                             lss_config.block_bytes;
-  const double chunk_service_us =
-      chunk_bytes / (config.array_bandwidth_mb_per_s * 1e6) * 1e6;
-  std::atomic<std::uint64_t> device_busy_until_us{0};
+  // Device model: lss::DeviceLanes — one submission/completion queue per
+  // modeled SSD, each serving at its share of the aggregate bandwidth with
+  // an io_depth-bounded queue. Flush records are submitted round-robin
+  // across the lanes (byte-accurate: RMW flushes charge their sub-chunk
+  // payload, chunk flushes a full chunk) and the thread that owes the
+  // durability sleeps until the modeled completion, so aggregate write
+  // throughput is capped at the configured array bandwidth no matter how
+  // many threads submit.
+  const std::uint64_t chunk_bytes =
+      std::uint64_t{lss_config.chunk_blocks} * lss_config.block_bytes;
+  lss::DeviceLanesConfig lanes_config;
+  lanes_config.lanes = std::max<std::uint32_t>(config.device_lanes, 1);
+  lanes_config.queue_depth = std::max<std::uint32_t>(config.io_depth, 1);
+  lanes_config.chunk_bytes = chunk_bytes;
+  lanes_config.lane_bandwidth_mb_per_s =
+      config.array_bandwidth_mb_per_s / lanes_config.lanes;
+  lss::DeviceLanes lanes(lanes_config);
+  std::atomic<std::uint32_t> lane_rotor{0};
 
   const auto start = Clock::now();
 
-  auto reserve_device = [&](std::uint64_t chunks) -> TimeUs {
-    const auto service = static_cast<std::uint64_t>(
-        static_cast<double>(chunks) * chunk_service_us + 0.5);
+  // Submits one drained flush batch to the lanes and returns the modeled
+  // durable time of its last record. Thread-safe (atomic rotor + per-lane
+  // locks inside DeviceLanes); the shard index is deliberately unused —
+  // the lanes are one global resource shared by every shard, like the
+  // physical array.
+  auto submit_flushes =
+      [&](std::uint32_t /*shard*/,
+          const std::vector<lss::PendingFlush>& flushes) -> TimeUs {
     const TimeUs now = wall_now_us(start);
-    std::uint64_t prev = device_busy_until_us.load(std::memory_order_relaxed);
-    for (;;) {
-      const TimeUs begin = std::max<TimeUs>(now, prev);
-      const TimeUs complete = begin + service;
-      if (device_busy_until_us.compare_exchange_weak(
-              prev, complete, std::memory_order_relaxed)) {
-        return complete;
-      }
+    TimeUs durable_us = 0;
+    for (const lss::PendingFlush& f : flushes) {
+      const std::uint64_t bytes =
+          f.rmw ? std::uint64_t{f.blocks} * lss_config.block_bytes
+                : chunk_bytes;
+      const std::uint32_t lane =
+          lane_rotor.fetch_add(1, std::memory_order_relaxed) %
+          lanes_config.lanes;
+      durable_us = std::max(durable_us, lanes.submit(lane, bytes, now).complete_us);
     }
+    return durable_us;
   };
 
   auto wait_until = [&](TimeUs deadline) {
@@ -149,6 +163,12 @@ PrototypeResult run_prototype(const PrototypeConfig& config) {
   std::vector<Log2Histogram> client_latency(config.num_clients);
   std::vector<ClientSpan> spans(config.num_clients);
   std::atomic<bool> done{false};
+  // GC wake-up: clients bump after every write (new garbage may have
+  // crossed the watermark) and once more at shutdown; an idle GC task
+  // parks on the signal instead of burning a 50 us poll loop. The timeout
+  // is a safety net for missed transitions, not the scheduling mechanism.
+  WorkSignal gc_signal;
+  constexpr std::uint64_t kGcIdleWaitUs = 1000;
 
   // Runs all client threads against `write_op` (blocking submit→durable)
   // and joins them. write_op must be thread-safe.
@@ -199,8 +219,11 @@ PrototypeResult run_prototype(const PrototypeConfig& config) {
     // ---- the live path: lock-free MPSC group-commit over LBA shards ----
     lss::ConcurrentEngine engine(lss_config, shards, config.seed, factory,
                                  /*record_ops=*/false);
-    engine.set_flush_wait(
-        [&](std::uint64_t chunks) { wait_until(reserve_device(chunks)); });
+    // Apply/durable split: batch leaders submit their drained flushes to
+    // the lanes and stamp the completion into every ticket; each op then
+    // sleeps out its own share on its own thread.
+    engine.set_device_model(submit_flushes,
+                            [&](TimeUs durable_us) { wait_until(durable_us); });
     const std::uint32_t watermark =
         lss_config.free_segment_reserve +
         engine.shard_for_inspection(0).group_count() + 4;
@@ -210,14 +233,18 @@ PrototypeResult run_prototype(const PrototypeConfig& config) {
       gc_pool = std::make_unique<ThreadPool>(shards);
       for (std::uint32_t i = 0; i < shards; ++i) {
         gc_pool->submit([&, i] {
+          std::vector<lss::PendingFlush> flushes;
           while (!done.load(std::memory_order_relaxed)) {
-            std::uint64_t flushed = 0;
-            const bool worked =
-                engine.gc_step(i, wall_now_us(start), watermark, &flushed);
-            if (worked && flushed > 0) {
-              wait_until(reserve_device(flushed));
+            // Snapshot the signal BEFORE probing for work: a write that
+            // lands between the probe and the park bumps the version, so
+            // wait_change returns immediately instead of losing the wakeup.
+            const std::uint64_t seen = gc_signal.version();
+            const bool worked = engine.gc_step(i, wall_now_us(start),
+                                               watermark, nullptr, &flushes);
+            if (worked && !flushes.empty()) {
+              wait_until(submit_flushes(i, flushes));
             } else if (!worked) {
-              sleep_for_us(50);
+              gc_signal.wait_change(seen, kGcIdleWaitUs);
             }
           }
         });
@@ -226,8 +253,10 @@ PrototypeResult run_prototype(const PrototypeConfig& config) {
 
     run_clients([&](Lba lba, std::uint32_t blocks, TimeUs submit_us) {
       engine.write(lba, blocks, submit_us);
+      gc_signal.bump();
     });
     done.store(true, std::memory_order_relaxed);
+    gc_signal.bump();
     if (gc_pool != nullptr) gc_pool->shutdown();
 
     result.metrics = engine.merged_metrics();
@@ -250,7 +279,14 @@ PrototypeResult run_prototype(const PrototypeConfig& config) {
       explicit GuardedEngine(lss::LssEngine& e) : engine(&e) {}
       Mutex mu;
       lss::LssEngine* const engine ADAPT_PT_GUARDED_BY(mu);
+      /// Flush records collected by the engine since the last drain
+      /// (attached below); drained by whichever thread holds the lock.
+      std::vector<lss::PendingFlush> flushes ADAPT_GUARDED_BY(mu);
     } shared(engine);
+    {
+      LockGuard lock(shared.mu);
+      shared.engine->set_flush_collector(&shared.flushes);
+    }
 
     const std::uint32_t watermark = lss_config.free_segment_reserve +
                                     parts.policy->group_count() + 4;
@@ -261,20 +297,21 @@ PrototypeResult run_prototype(const PrototypeConfig& config) {
       gc_pool = std::make_unique<ThreadPool>(config.num_clients);
       for (std::uint32_t i = 0; i < config.num_clients; ++i) {
         gc_pool->submit([&] {
+          std::vector<lss::PendingFlush> flushes;
           while (!done.load(std::memory_order_relaxed)) {
-            std::uint64_t delta = 0;
+            const std::uint64_t seen = gc_signal.version();
             bool worked = false;
+            flushes.clear();
             {
               LockGuard lock(shared.mu);
-              const std::uint64_t before = shared.engine->chunks_flushed();
               worked =
                   shared.engine->gc_step(wall_now_us(start), watermark);
-              delta = shared.engine->chunks_flushed() - before;
+              flushes.swap(shared.flushes);
             }
-            if (worked && delta > 0) {
-              wait_until(reserve_device(delta));
+            if (worked && !flushes.empty()) {
+              wait_until(submit_flushes(0, flushes));
             } else if (!worked) {
-              sleep_for_us(50);
+              gc_signal.wait_change(seen, kGcIdleWaitUs);
             }
           }
         });
@@ -282,16 +319,17 @@ PrototypeResult run_prototype(const PrototypeConfig& config) {
     }
 
     run_clients([&](Lba lba, std::uint32_t blocks, TimeUs submit_us) {
-      std::uint64_t delta = 0;
+      std::vector<lss::PendingFlush> flushes;
       {
         LockGuard lock(shared.mu);
-        const std::uint64_t before = shared.engine->chunks_flushed();
         shared.engine->write(lba, blocks, submit_us);
-        delta = shared.engine->chunks_flushed() - before;
+        flushes.swap(shared.flushes);
       }
-      if (delta > 0) wait_until(reserve_device(delta));
+      if (!flushes.empty()) wait_until(submit_flushes(0, flushes));
+      gc_signal.bump();
     });
     done.store(true, std::memory_order_relaxed);
+    gc_signal.bump();
     if (gc_pool != nullptr) gc_pool->shutdown();
 
     result.metrics = engine.metrics();
@@ -306,6 +344,7 @@ PrototypeResult run_prototype(const PrototypeConfig& config) {
   }
 
   // ---- shared result assembly ----
+  result.lanes = lanes.stats();
   result.elapsed_seconds = spans_elapsed_seconds(spans);
   result.user_blocks = result.metrics.user_blocks;
   const double user_bytes =
@@ -349,6 +388,7 @@ PrototypeResult run_prototype(const PrototypeConfig& config) {
   m.block_lifetime = result.metrics.block_lifetime;
   m.gc_pause_us = result.metrics.gc_pause_us;
   m.latency_ns = result.latency_ns;
+  m.lanes = result.lanes;
   return result;
 }
 

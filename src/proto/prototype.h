@@ -1,13 +1,15 @@
 // Log-structured storage prototype (paper §4.4).
 //
 // The paper's prototype runs on a real mdraid RAID-5 of four NVMe SSDs; we
-// substitute a bandwidth-modelled array: every chunk flushed costs its
-// service time (chunk_bytes / array bandwidth, divided by the I/O depth to
-// model asynchronous submission), slept for *outside* the engine lock by
-// the thread that caused the flush. GC chunk traffic therefore steals real
-// wall-clock bandwidth from clients exactly as on hardware, which is the
-// effect behind Figure 12a: once the device saturates, the scheme with the
-// lowest WA sustains the highest client throughput.
+// substitute lss::DeviceLanes: one submission/completion queue per modeled
+// device, each serving at its share of the aggregate bandwidth with an
+// io_depth-bounded queue. Flushes are SUBMITTED to a lane (virtual-time
+// accounting, outside every engine lock) and the thread that owes the
+// durability sleeps until the modeled completion. GC chunk traffic
+// therefore steals real wall-clock bandwidth from clients exactly as on
+// hardware, which is the effect behind Figure 12a: once the device
+// saturates, the scheme with the lowest WA sustains the highest client
+// throughput.
 //
 // Client threads replay independent YCSB-A streams against the live
 // concurrent front-end (lss::ConcurrentEngine): per-shard lock-free MPSC
@@ -21,12 +23,14 @@
 // and reported as p50/p99/p999 plus an adapt-manifest-v1 run manifest.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "common/histogram.h"
 #include "lss/config.h"
+#include "lss/device_lanes.h"
 #include "lss/group_commit.h"
 #include "lss/metrics.h"
 #include "obs/export.h"
@@ -49,7 +53,13 @@ struct PrototypeConfig {
   std::string policy = "adapt";
   std::string victim_policy = "greedy";
   std::uint32_t num_clients = 4;
-  std::uint32_t io_depth = 8;          ///< paper's setting
+  /// Per-lane submission queue depth (the paper's io_depth=8 setting):
+  /// DeviceLanesConfig::queue_depth. The old model amortised this into the
+  /// bandwidth figure; now it bounds each lane's outstanding submissions.
+  std::uint32_t io_depth = 8;
+  /// Modeled devices (lanes), matching the paper's 4-SSD array. The
+  /// aggregate bandwidth below is split evenly across them.
+  std::uint32_t device_lanes = 4;
   std::uint64_t writes_per_client = 50'000;  ///< blocks written per client
   trace::YcsbConfig workload;          ///< per-client generator (seed+i)
   /// Aggregate array bandwidth to model. Scaled down from real hardware so
@@ -92,6 +102,10 @@ struct PrototypeResult {
   Log2Histogram latency_ns;
   /// Group-commit batching counters (all zero under the big-lock oracle).
   lss::GroupCommitStats group_commit;
+  /// Device-lane snapshot: per-lane submit/stall/busy counters plus the
+  /// merged queue-depth and submit→complete distributions (both front-ends
+  /// drive the same DeviceLanes instance).
+  lss::DeviceLanesStats lanes;
   lss::LssMetrics metrics;
   std::size_t policy_memory_bytes = 0;
   std::size_t engine_memory_bytes = 0;  ///< block map + segment metadata

@@ -4,7 +4,9 @@
 // paper's figures report.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>

@@ -4,6 +4,7 @@
 // traffic, policy memory).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>

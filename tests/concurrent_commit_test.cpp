@@ -429,6 +429,120 @@ TEST(ConcurrentEngineTest, EngineFailureAbortsNotAppliedFollowers) {
   EXPECT_EQ(engine.recorded_ops(0).size(), 1u);
 }
 
+// Delegating policy that parks call #1 inside the leader's apply (same
+// rendezvous shape as FaultyPolicy, without the injected throw), so the
+// test can deterministically link followers behind a held leader.
+class HoldFirstPolicy : public PlacementPolicy {
+ public:
+  HoldFirstPolicy(std::unique_ptr<PlacementPolicy> inner, FaultyControl* ctrl)
+      : inner_(std::move(inner)), ctrl_(ctrl) {}
+
+  std::string_view name() const override { return inner_->name(); }
+  GroupId group_count() const override { return inner_->group_count(); }
+  bool is_user_group(GroupId g) const override {
+    return inner_->is_user_group(g);
+  }
+  GroupId place_user_write(Lba lba, VTime now) override {
+    if (ctrl_->calls.fetch_add(1, std::memory_order_relaxed) == 0) {
+      ctrl_->leader_blocked.store(true, std::memory_order_release);
+      while (!ctrl_->release.load(std::memory_order_acquire)) yield_now();
+    }
+    return inner_->place_user_write(lba, now);
+  }
+  GroupId place_gc_rewrite(Lba lba, GroupId victim_group,
+                           VTime now) override {
+    return inner_->place_gc_rewrite(lba, victim_group, now);
+  }
+  void note_segment_sealed(GroupId g, VTime now) override {
+    inner_->note_segment_sealed(g, now);
+  }
+  void note_segment_reclaimed(GroupId g, VTime create_vtime,
+                              VTime now) override {
+    inner_->note_segment_reclaimed(g, create_vtime, now);
+  }
+  std::size_t memory_usage_bytes() const override {
+    return inner_->memory_usage_bytes();
+  }
+
+ private:
+  std::unique_ptr<PlacementPolicy> inner_;
+  FaultyControl* ctrl_;
+};
+
+// Regression for the PR 8 latency-attribution caveat: under the old
+// leader-absorbs-the-wait hook, a batch's coalesced flush was charged to
+// its LEADER alone — followers returned in microseconds and their
+// submit→durable latency silently excluded the device time their own
+// writes caused, where the big-lock oracle charges every client that tips
+// a chunk its own wait. The leader now stamps the batch's modeled durable
+// time into every ticket before publishing and each op waits its own share
+// on its own thread, so the held-leader rendezvous below must see ALL
+// three ops (the original leader, the promoted leader of {A, B}, and its
+// follower) spend at least the modeled service time inside write().
+// Before the fix the follower's latency was ~1000x below the floor.
+TEST(ConcurrentEngineTest, FollowersWaitTheirShareOfTheCoalescedFlush) {
+  LssConfig cfg;
+  cfg.logical_blocks = std::uint64_t{1} << 16;
+  proto::PrototypeConfig pc;
+  pc.policy = "sepgc";
+  FaultyControl ctrl;
+  const ShardFactory inner = proto::make_prototype_shard_factory(pc);
+  const ShardFactory factory = [&](std::uint32_t i, const LssConfig& c) {
+    ShardParts parts = inner(i, c);
+    parts.policy =
+        std::make_unique<HoldFirstPolicy>(std::move(parts.policy), &ctrl);
+    return parts;
+  };
+  ConcurrentEngine engine(cfg, 1, 1, factory);
+
+  // Modeled device: every flushing batch is durable kServiceUs after
+  // submit, and the wait really sleeps — host-clock latency is the proof.
+  constexpr TimeUs kServiceUs = 50'000;
+  std::atomic<int> submits{0}, waits{0};
+  engine.set_device_model(
+      [&](std::uint32_t, const std::vector<PendingFlush>& flushes) -> TimeUs {
+        EXPECT_FALSE(flushes.empty());
+        submits.fetch_add(1, std::memory_order_relaxed);
+        return kServiceUs;
+      },
+      [&](TimeUs durable_us) {
+        waits.fetch_add(1, std::memory_order_relaxed);
+        sleep_for_us(durable_us);
+      });
+
+  // sepgc routes every user write to one fixed group, so a chunk-sized
+  // write always tips exactly one full-chunk flush inside its own batch.
+  const std::uint32_t chunk = engine.per_shard_config().chunk_blocks;
+  std::uint64_t latency_ns[3] = {0, 0, 0};
+  auto timed_write = [&](int idx, Lba lba) {
+    const std::uint64_t begin_ns = monotonic_now_ns();
+    engine.write(lba, chunk, 1);
+    latency_ns[idx] = monotonic_now_ns() - begin_ns;
+  };
+  {
+    Thread c([&] { timed_write(0, 0); });
+    while (!ctrl.leader_blocked.load(std::memory_order_acquire)) {
+      yield_now();
+    }
+    Thread a([&] { timed_write(1, chunk); });
+    Thread b([&] { timed_write(2, 2 * chunk); });
+    // Same margin as the abort test: a and b must link behind the held
+    // leader, or the promoted batch is size one and waits drops below 3.
+    sleep_for_us(200'000);
+    ctrl.release.store(true, std::memory_order_release);
+  }  // joins a, b, c
+  // Two batches ({C} then {A, B}) flushed, and every one of the three ops
+  // paid a device wait of its own.
+  EXPECT_EQ(submits.load(), 2);
+  EXPECT_EQ(waits.load(), 3);
+  // 80% floor absorbs sleep_for_us granularity; the pre-fix follower came
+  // in three orders of magnitude below it.
+  const std::uint64_t floor_ns = std::uint64_t{kServiceUs} * 1000 * 8 / 10;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_GE(latency_ns[i], floor_ns) << "op " << i;
+  }
+}
+
 TEST(ConcurrentEngineTest, RecordOpsOffKeepsLogsEmpty) {
   LssConfig cfg;
   cfg.logical_blocks = std::uint64_t{1} << 16;

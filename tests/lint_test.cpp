@@ -257,13 +257,16 @@ TEST(LintHeaderHygieneTest, SilentWhenIncludesArePresent) {
   EXPECT_TRUE(findings.empty());
 }
 
-TEST(LintHeaderHygieneTest, OnlyLssHeadersAreInScope) {
+TEST(LintHeaderHygieneTest, EverySrcHeaderIsInScopeButNotSources) {
   const std::string body = "std::vector<int> v;\n";
-  EXPECT_TRUE(
+  // The rule started lss-only and now covers every src/ header.
+  EXPECT_FALSE(
       of_rule(lint_source("src/obs/x.h", body), kRuleHeaderHygiene).empty());
   EXPECT_TRUE(
       of_rule(lint_source("src/lss/x.cpp", body), kRuleHeaderHygiene)
           .empty());
+  EXPECT_TRUE(
+      of_rule(lint_source("bench/x.h", body), kRuleHeaderHygiene).empty());
 }
 
 TEST(LintHeaderHygieneTest, StringViewDoesNotRequireString) {
