@@ -84,6 +84,19 @@ int run() {
       report.add("commit.latency_p99", params, r.latency_p99_us * 1e3, "ns");
       report.add("commit.latency_p999", params, r.latency_p999_us * 1e3,
                  "ns");
+      // Phase-attributed p99 (virtual-time us, host-dependent interleave →
+      // presence-checked like the other latency rows). Group-commit only:
+      // the big-lock oracle has no batch timeline.
+      if (fe == proto::FrontEnd::kGroupCommit && !r.breakdown.empty()) {
+        report.add("commit.phase_intake_p99", params,
+                   r.breakdown.intake_wait_us.percentile(99.0), "us");
+        report.add("commit.phase_apply_p99", params,
+                   r.breakdown.batch_apply_us.percentile(99.0), "us");
+        report.add("commit.phase_queue_p99", params,
+                   r.breakdown.lane_queue_us.percentile(99.0), "us");
+        report.add("commit.phase_service_p99", params,
+                   r.breakdown.device_service_us.percentile(99.0), "us");
+      }
       std::printf("%-12s %8u %8u %12.1f %10.1f %10.1f %10.1f %8" PRIu64
                   "\n",
                   fe_name, clients, r.shards, r.throughput_kops,

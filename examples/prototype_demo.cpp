@@ -3,11 +3,16 @@
 // GC threads, printing live-measured throughput — a scaled-down version of
 // the paper's §4.4 testbed run.
 //
-// Usage: prototype_demo [policy] [clients] [writes_per_client]
+// Usage: prototype_demo [policy] [clients] [writes_per_client] [manifest.json]
+//
+// The optional 4th argument writes the run's adapt-manifest-v1 record
+// (including the latency_breakdown phase histograms) to the given path —
+// this is what CI's manifest teeth-check consumes.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "obs/export.h"
 #include "proto/prototype.h"
 
 int main(int argc, char** argv) {
@@ -45,5 +50,16 @@ int main(int argc, char** argv) {
               static_cast<double>(r.policy_memory_bytes) / (1 << 20));
   std::printf("engine metadata    : %.2f MiB\n",
               static_cast<double>(r.engine_memory_bytes) / (1 << 20));
+  if (argc > 4) {
+    const std::string json = obs::manifest_json(r.manifest);
+    std::FILE* f = std::fopen(argv[4], "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "prototype_demo: cannot open %s\n", argv[4]);
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("manifest           : %s\n", argv[4]);
+  }
   return 0;
 }

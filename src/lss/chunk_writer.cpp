@@ -184,12 +184,13 @@ ADAPT_HOT void ChunkWriter::flush_chunk(GroupId g, std::uint32_t fill_blocks,
   if (flush_collector_ != nullptr) {
     // Drained every batch by the owner, so steady state reuses capacity.
     flush_collector_->push_back(  // ADAPT_LINT_ALLOW(hot-alloc)
-        PendingFlush{g, fill_blocks, false});
+        PendingFlush{g, fill_blocks, false, flow_id_});
   }
   if (trace_ != nullptr) {
     emit(trace_, TraceEvent{TraceEventKind::kChunkFlush, g, vtime_, wall_us_,
                             fill_blocks, padded ? 1u : 0u,
-                            global_chunk_index(seg_id, chunk_begin)});
+                            global_chunk_index(seg_id, chunk_begin),
+                            flow_id_});
   }
   if (array_ != nullptr) {
     array_->write_chunk(g, static_cast<std::uint64_t>(fill_blocks) *
@@ -227,12 +228,13 @@ void ChunkWriter::rmw_flush(GroupId g) {
   // Small-write parity update reads the old data chunk and old parity.
   metrics_.rmw_read_blocks += 2ull * config_.chunk_blocks;
   if (flush_collector_ != nullptr) {
-    flush_collector_->push_back(PendingFlush{g, pending, true});
+    flush_collector_->push_back(PendingFlush{g, pending, true, flow_id_});
   }
   if (trace_ != nullptr) {
     emit(trace_,
          TraceEvent{TraceEventKind::kRmwFlush, g, vtime_, wall_us_, pending,
-                    0, global_chunk_index(gs.open_seg, chunk_begin_slot)});
+                    0, global_chunk_index(gs.open_seg, chunk_begin_slot),
+                    flow_id_});
   }
   if (array_ != nullptr) {
     array_->write_partial(g, static_cast<std::uint64_t>(pending) *

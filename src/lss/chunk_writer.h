@@ -42,6 +42,10 @@ struct PendingFlush {
   GroupId group = kInvalidGroup;
   std::uint32_t blocks = 0;  ///< real payload blocks in the flush
   bool rmw = false;          ///< sub-chunk RMW write, not a full chunk
+  /// Causal-flow id of the batch whose apply produced this flush (see
+  /// TraceEvent::id); 0 outside a traced group-commit batch. Device models
+  /// forward it to DeviceLanes::submit so lane events join the op's flow.
+  std::uint64_t id = 0;
 };
 
 class ChunkWriter {
@@ -75,6 +79,12 @@ class ChunkWriter {
   void set_flush_collector(std::vector<PendingFlush>* out) noexcept {
     flush_collector_ = out;
   }
+
+  /// Sets the causal-flow id stamped into every flush event and collected
+  /// PendingFlush until the next call (0 = no flow). ConcurrentEngine's
+  /// batch leader sets the batch id before applying and the GC/drain paths
+  /// reset it, so a flush is attributed to the batch that tipped it.
+  void set_flow_id(std::uint64_t id) noexcept { flow_id_ = id; }
 
   /// Appends one block to `g`'s open chunk, flushing at chunk boundaries
   /// and arming the coalescing deadline on the first pending user block.
@@ -182,6 +192,7 @@ class ChunkWriter {
   const TimeUs& wall_us_;
   TraceSink* trace_ = nullptr;
   std::vector<PendingFlush>* flush_collector_ = nullptr;
+  std::uint64_t flow_id_ = 0;
   array::SsdArray* array_;
   array::AddressedArray* addressed_array_ = nullptr;
 

@@ -36,7 +36,7 @@ void DeviceLanes::set_trace_sink(std::uint32_t lane, TraceSink* sink) {
 }
 
 LaneCompletion DeviceLanes::submit(std::uint32_t lane, std::uint64_t bytes,
-                                   TimeUs now_us) {
+                                   TimeUs now_us, std::uint64_t flow_id) {
   if (lane >= lanes_.size()) {
     throw std::out_of_range("DeviceLanes: lane index out of range");
   }
@@ -77,6 +77,7 @@ LaneCompletion DeviceLanes::submit(std::uint32_t lane, std::uint64_t bytes,
   c.submit_us = now_us;
   c.admit_us = admit_us;
   c.complete_us = complete_us;
+  c.service_us = service;
 
   ++l.stats.submits;
   l.stats.busy_us += service;
@@ -90,10 +91,10 @@ LaneCompletion DeviceLanes::submit(std::uint32_t lane, std::uint64_t bytes,
   if (l.sink != nullptr) {
     emit(l.sink, TraceEvent{TraceEventKind::kLaneSubmit,
                             static_cast<GroupId>(lane), c.seq, now_us,
-                            c.seq, l.inflight, admit_us});
+                            c.seq, l.inflight, admit_us, flow_id});
     emit(l.sink, TraceEvent{TraceEventKind::kLaneComplete,
                             static_cast<GroupId>(lane), c.seq, now_us,
-                            c.seq, service, complete_us});
+                            c.seq, service, complete_us, flow_id});
   }
   return c;
 }

@@ -68,6 +68,7 @@ struct LaneCompletion {
   TimeUs submit_us = 0;       ///< caller's wall time at submit
   TimeUs admit_us = 0;        ///< > submit_us iff the bounded queue was full
   TimeUs complete_us = 0;     ///< durable time on the lane's timeline
+  TimeUs service_us = 0;      ///< pure device service time of this payload
 };
 
 /// The deterministic global completion order: earliest completion first,
@@ -141,9 +142,11 @@ class DeviceLanes {
   /// lanes and within a lane. Purely virtual-time: never blocks the host
   /// beyond the lane mutex. The returned completion carries the admission
   /// time (delayed when queue_depth submissions were still outstanding at
-  /// `now_us`) and the modeled durable time.
+  /// `now_us`), the modeled durable time, and the pure service time.
+  /// `flow_id` (0 = none) is stamped into the lane's trace events so a
+  /// traced submission joins its originating batch's causal flow.
   LaneCompletion submit(std::uint32_t lane, std::uint64_t bytes,
-                        TimeUs now_us);
+                        TimeUs now_us, std::uint64_t flow_id = 0);
 
   /// Convenience for chunk-granular callers: submits `chunks` submissions
   /// of config().chunk_bytes round-robin over the lanes starting at

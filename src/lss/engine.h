@@ -124,6 +124,10 @@ class LssEngine {
     writer_.set_flush_collector(out);
   }
 
+  /// Sets the causal-flow id the chunk writer stamps into flush events and
+  /// collected PendingFlush records (see ChunkWriter::set_flow_id).
+  void set_flow_id(std::uint64_t id) noexcept { writer_.set_flow_id(id); }
+
   /// Attaches an address-mapped array with flash-backed devices: every
   /// chunk flush writes through at its real array address, segment
   /// reclamation TRIMs the range, and device-internal WA becomes

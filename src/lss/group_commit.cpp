@@ -190,9 +190,19 @@ void ConcurrentEngine::lead(Shard& sh, WriteTicket* leader) {
   // everything linked after it get published kAborted so their write()
   // calls fail instead of silently reporting lost writes as durable.
   WriteTicket* aborted_from = nullptr;
+  // Applied milestone of the batch: the shard clock after the last applied
+  // op (batch-granular — ops in one batch share the apply timestamp).
+  TimeUs applied_us = 0;
+  // Nonzero only while tracing: (shard << 40) | per-shard batch counter,
+  // the causal-flow id correlating this batch's op, flush and lane events.
+  std::uint64_t flow_id = 0;
   {
     LockGuard g(sh.mu);
     const std::uint64_t chunks_before = sh.engine->chunks_flushed();
+    if (sh.sink != nullptr) {
+      flow_id = (std::uint64_t{sh.index} << 40) | ++sh.batch_seq;
+      sh.engine->set_flow_id(flow_id);
+    }
     WriteTicket* w = leader;
     try {
       for (;; w = w->link_newer.load(std::memory_order_relaxed)) {
@@ -203,9 +213,16 @@ void ConcurrentEngine::lead(Shard& sh, WriteTicket* leader) {
         const TimeUs ts = std::max(sh.last_ts, w->submit_us);
         sh.last_ts = ts;
         sh.engine->write(w->lba, w->blocks, ts);
+        w->joined_us = ts;
         if (record_ops_) {
           sh.log.push_back(
               RecordedOp{RecordedOp::Kind::kWrite, w->lba, w->blocks, ts, 0});
+        }
+        if (sh.sink != nullptr) {
+          emit(sh.sink, TraceEvent{TraceEventKind::kOpSubmit,
+                                   static_cast<GroupId>(sh.index),
+                                   sh.engine->vtime(), ts, w->lba, w->blocks,
+                                   0, flow_id});
         }
         ++batch_ops;
         batch_blocks += w->blocks;
@@ -218,6 +235,7 @@ void ConcurrentEngine::lead(Shard& sh, WriteTicket* leader) {
       error = std::current_exception();
       aborted_from = w;
     }
+    applied_us = sh.last_ts;
     flushed_delta = sh.engine->chunks_flushed() - chunks_before;
     // Drain the flush records this batch appended while still holding the
     // lock; the device submit happens OUTSIDE the critical section so the
@@ -233,7 +251,8 @@ void ConcurrentEngine::lead(Shard& sh, WriteTicket* leader) {
       emit(sh.sink,
            TraceEvent{TraceEventKind::kGroupCommit,
                       static_cast<GroupId>(sh.index), sh.engine->vtime(),
-                      sh.last_ts, batch_ops, batch_blocks, flushed_delta});
+                      sh.last_ts, batch_ops, batch_blocks, flushed_delta,
+                      flow_id});
     }
   }
   sh.groups.fetch_add(1, std::memory_order_relaxed);
@@ -246,19 +265,57 @@ void ConcurrentEngine::lead(Shard& sh, WriteTicket* leader) {
   // Model durability outside every lock. Even a batch that failed mid-way
   // submits: the applied prefix's flushes hit the device before the engine
   // threw, and their modeled time must not vanish from the timeline.
-  TimeUs durable_us = 0;
+  FlushOutcome outcome;
   if (flush_submit_ && !flushes.empty()) {
-    durable_us = flush_submit_(sh.index, flushes);
+    outcome = flush_submit_(sh.index, flushes);
   }
-  // Stamp every batch ticket's durable time BEFORE any completion is
-  // published: followers cannot unwind until they observe a terminal
-  // state, so the pre-publication store is lifetime-safe, and publish's
-  // release pairs with await's acquire to make it visible. Aborted tickets
-  // get stamped too (harmless — their write() skips the wait).
-  if (durable_us > 0) {
+  const TimeUs durable_us = outcome.durable_us;
+  // Walk the batch BEFORE any completion is published: followers cannot
+  // unwind until they observe a terminal state, so pre-publication ticket
+  // access is lifetime-safe, and publish's release pairs with await's
+  // acquire to make the durable stamp visible. Aborted tickets get stamped
+  // too (harmless — their write() skips the wait) but are excluded from
+  // the phase breakdown: they were never applied, so they have no
+  // lifecycle to attribute.
+  LatencyBreakdown batch_lat;
+  {
+    bool aborted = false;
     for (WriteTicket* w = leader;;
          w = w->link_newer.load(std::memory_order_relaxed)) {
-      w->durable_us = durable_us;
+      if (w == aborted_from) aborted = true;
+      if (durable_us > 0) w->durable_us = durable_us;
+      if (!aborted) {
+        batch_lat.add_op(w->submit_us, w->joined_us, applied_us, durable_us,
+                         outcome.service_us);
+      }
+      if (w == last) break;
+    }
+  }
+  if (batch_ops > 0) {
+    {
+      LockGuard g(sh.lat_mu);
+      sh.breakdown.merge_from(batch_lat);
+    }
+    if (batch_hook_) {
+      batch_hook_(BatchSample{sh.index, batch_ops, batch_blocks, batch_lat});
+    }
+  }
+  // Emit per-op durability events under the re-acquired shard lock (the
+  // per-shard ring is unsynchronised); still pre-publication, so every
+  // ticket is alive. Traced runs pay this second lock hop; untraced runs
+  // skip it entirely.
+  if (flow_id != 0 && durable_us > 0) {
+    LockGuard g(sh.mu);
+    bool aborted = false;
+    for (WriteTicket* w = leader;;
+         w = w->link_newer.load(std::memory_order_relaxed)) {
+      if (w == aborted_from) aborted = true;
+      if (!aborted && sh.sink != nullptr) {
+        emit(sh.sink, TraceEvent{TraceEventKind::kOpDurable,
+                                 static_cast<GroupId>(sh.index),
+                                 sh.engine->vtime(), durable_us, w->lba,
+                                 w->blocks, durable_us, flow_id});
+      }
       if (w == last) break;
     }
   }
@@ -295,6 +352,9 @@ bool ConcurrentEngine::gc_step(std::uint32_t i, TimeUs now_us,
                                std::vector<PendingFlush>* flushes) {
   Shard& sh = *shards_.at(i);
   LockGuard g(sh.mu);
+  // GC flushes are not part of any batch's causal flow; clear the stale
+  // flow id a previous traced batch left on the engine.
+  if (sh.sink != nullptr) sh.engine->set_flow_id(0);
   const TimeUs ts = std::max(sh.last_ts, now_us);
   const std::uint64_t chunks_before = sh.engine->chunks_flushed();
   // A false step mutates nothing (GcController::step checks the watermark
@@ -330,6 +390,8 @@ void ConcurrentEngine::flush_all() {
   for (const std::unique_ptr<Shard>& shard : shards_) {
     Shard& sh = *shard;
     LockGuard g(sh.mu);
+    // End-of-run pad flushes belong to no batch; drop any stale flow id.
+    if (sh.sink != nullptr) sh.engine->set_flow_id(0);
     sh.engine->flush_all();
     // The final drain is a quiesced-only bookkeeping pass; nobody is
     // measuring per-op durability any more, so just empty the collector.
@@ -415,6 +477,15 @@ GroupCommitStats ConcurrentEngine::merged_stats() const {
     merged.groups += s.groups;
     merged.ops += s.ops;
     merged.max_batch = std::max(merged.max_batch, s.max_batch);
+  }
+  return merged;
+}
+
+LatencyBreakdown ConcurrentEngine::latency_breakdown() const {
+  LatencyBreakdown merged;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    LockGuard g(shard->lat_mu);
+    merged.merge_from(shard->breakdown);
   }
   return merged;
 }

@@ -64,6 +64,7 @@
 #include "common/sync.h"
 #include "common/types.h"
 #include "lss/engine.h"
+#include "lss/op_timeline.h"
 #include "lss/sharded_engine.h"
 
 namespace adapt::lss {
@@ -126,6 +127,12 @@ struct WriteTicket {
   /// flush is charged to each op in the batch, never absorbed by the
   /// leader alone.
   TimeUs durable_us = 0;
+  /// The per-shard-monotonised timestamp the LEADER applied this op at —
+  /// the op's "joined" milestone for the phase breakdown. Leader-only
+  /// storage: written and read exclusively by the current leader between
+  /// capture_group and publish, while the ticket is pinned on its owner's
+  /// stack, so no synchronisation is needed beyond the publish fence.
+  TimeUs joined_us = 0;
   WriteTicket* link_older = nullptr;              ///< set once by link()
   std::atomic<WriteTicket*> link_newer{nullptr};  ///< back-filled by leader
   std::atomic<WriteState> state{WriteState::kInit};
@@ -331,10 +338,12 @@ class ConcurrentEngine {
   }
 
   /// Submits one batch's drained flush records to a device model (e.g.
-  /// DeviceLanes::submit_chunks) and returns the modeled time at which the
-  /// LAST of them is durable. Called by the batch leader OUTSIDE every
-  /// shard lock; must be thread-safe.
-  using FlushSubmitFn = std::function<TimeUs(
+  /// DeviceLanes::submit) and returns the modeled FlushOutcome: the time
+  /// at which the LAST of them is durable plus that flush's pure device
+  /// service time (splitting lane queueing from media time in the phase
+  /// breakdown). Called by the batch leader OUTSIDE every shard lock; must
+  /// be thread-safe.
+  using FlushSubmitFn = std::function<FlushOutcome(
       std::uint32_t shard, const std::vector<PendingFlush>& flushes)>;
   /// Blocks the calling op's thread until the modeled durable time (e.g.
   /// the prototype sleeps the gap between its wall clock and durable_us).
@@ -359,9 +368,19 @@ class ConcurrentEngine {
   }
 
   /// Attaches a trace sink to shard `i` (engine events + kGroupCommit
-  /// batch events). Emission happens under the shard lock, so an
-  /// unsynchronised per-shard ring is safe, mirroring ShardedEngine.
+  /// batch events + per-op kOpSubmit/kOpDurable lifecycle events).
+  /// Emission happens under the shard lock, so an unsynchronised per-shard
+  /// ring is safe, mirroring ShardedEngine.
   void set_trace_sink(std::uint32_t i, TraceSink* sink);
+
+  /// Installs a live-stats hook called by every batch leader right after
+  /// the batch's durable time is known (outside every engine lock) with
+  /// that batch's BatchSample. The hook must be thread-safe — leaders of
+  /// different shards call it concurrently. Set before the first write,
+  /// like set_device_model; nullptr-able by assigning {}.
+  void set_batch_hook(std::function<void(const BatchSample&)> hook) {
+    batch_hook_ = std::move(hook);
+  }
 
   /// Thread-safe group-commit write of `blocks` consecutive global blocks
   /// at `lba`. Under range partitioning the span almost always lands on a
@@ -404,6 +423,12 @@ class ConcurrentEngine {
   GroupCommitStats shard_stats(std::uint32_t i) const;
   GroupCommitStats merged_stats() const;
 
+  /// Merged phase-attributed latency over every shard's committed batches
+  /// (virtual-time microseconds; see lss/op_timeline.h for the identity).
+  /// Takes each shard's stats mutex, not the shard lock — safe to call
+  /// concurrently with writers, though meant for post-run export.
+  LatencyBreakdown latency_breakdown() const;
+
   /// Copy of shard `i`'s linearized op log (empty when record_ops=false).
   std::vector<RecordedOp> recorded_ops(std::uint32_t i) const;
 
@@ -437,9 +462,17 @@ class ConcurrentEngine {
     std::vector<PendingFlush> flushes ADAPT_GUARDED_BY(mu);
     std::vector<RecordedOp> log ADAPT_GUARDED_BY(mu);
     TraceSink* sink ADAPT_GUARDED_BY(mu) = nullptr;
+    /// Monotone per-shard batch counter; combined with the shard index it
+    /// forms the batch's nonzero causal-flow id.
+    std::uint64_t batch_seq ADAPT_GUARDED_BY(mu) = 0;
     std::atomic<std::uint64_t> groups{0};
     std::atomic<std::uint64_t> ops{0};
     std::atomic<std::uint64_t> max_batch{0};
+    /// Phase-attributed latency of this shard's committed batches. Guarded
+    /// by its own mutex (not `mu`) so latency export never contends the
+    /// apply path's critical section.
+    mutable Mutex lat_mu;
+    LatencyBreakdown breakdown ADAPT_GUARDED_BY(lat_mu);
   };
 
   /// Leader protocol: capture batch, apply under the shard lock, drain the
@@ -455,6 +488,7 @@ class ConcurrentEngine {
   bool record_ops_ = true;
   FlushSubmitFn flush_submit_;
   DurableWaitFn durable_wait_;
+  std::function<void(const BatchSample&)> batch_hook_;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

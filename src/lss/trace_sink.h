@@ -38,6 +38,9 @@ enum class TraceEventKind : std::uint8_t {
                     ///< c = admit_us (>= wall_us when the queue was full)
   kLaneComplete,    ///< group = lane, a = seq, b = service_us,
                     ///< c = complete_us (virtual durable time)
+  kOpSubmit,        ///< group = shard, a = lba, b = blocks (op applied into
+                    ///< a batch; id carries the batch flow id)
+  kOpDurable,       ///< group = shard, a = lba, b = blocks, c = durable_us
 };
 
 /// POD event record. `ts` is the engine's deterministic virtual clock
@@ -51,6 +54,11 @@ struct TraceEvent {
   std::uint64_t a = 0;
   std::uint64_t b = 0;
   std::uint64_t c = 0;
+  /// Causal-flow correlation id: events of one op's lifecycle (op submit ->
+  /// group commit -> chunk flush -> lane submit/complete -> op durable)
+  /// share the batch's nonzero id; 0 means "not part of a flow". The
+  /// chrome-trace exporter renders matching ids as Perfetto flow arrows.
+  std::uint64_t id = 0;
 };
 
 /// Abstract sink; the obs layer provides the ring-buffer implementation.

@@ -234,6 +234,41 @@ std::string manifest_json(const RunManifest& m) {
                           m.lanes.submit_complete_us);
     out += '}';
   }
+  if (!m.latency_breakdown.empty()) {
+    out += ',';
+    out += json::quote("latency_breakdown");
+    out += ":{";
+    append_histogram_json(out, "intake_wait_us",
+                          m.latency_breakdown.intake_wait_us);
+    out += ',';
+    append_histogram_json(out, "batch_apply_us",
+                          m.latency_breakdown.batch_apply_us);
+    out += ',';
+    append_histogram_json(out, "lane_queue_us",
+                          m.latency_breakdown.lane_queue_us);
+    out += ',';
+    append_histogram_json(out, "device_service_us",
+                          m.latency_breakdown.device_service_us);
+    out += ',';
+    append_histogram_json(out, "total_us", m.latency_breakdown.total_us);
+    out += '}';
+  }
+  if (m.trace_present) {
+    out += ',';
+    out += json::quote("trace");
+    out += ":{";
+    append_kv(out, "recorded", m.trace_recorded);
+    out += ',';
+    append_kv(out, "dropped", m.trace_dropped);
+    out += ',';
+    out += json::quote("per_shard_dropped");
+    out += ":[";
+    for (std::size_t i = 0; i < m.trace_per_shard_dropped.size(); ++i) {
+      if (i != 0) out += ',';
+      out += std::to_string(m.trace_per_shard_dropped[i]);
+    }
+    out += "]}";
+  }
   out += '}';
   return out;
 }
@@ -453,6 +488,64 @@ void validate_manifest_json(std::string_view text) {
                             "lanes.queue_depth_hist");
     validate_histogram_json(require(*lanes, "submit_complete_us"),
                             "lanes.submit_complete_us");
+  }
+  // Optional: only concurrent-engine manifests carry the phase-attributed
+  // latency breakdown. When present, enforce the additivity identity from
+  // lss/op_timeline.h: every phase histogram counts the same ops as total,
+  // and the four phase sums telescope exactly to total's sum. A manifest
+  // whose phases don't explain its total is rejected, like a provenance
+  // matrix that doesn't balance.
+  if (const json::Value* lat = doc.find("latency_breakdown");
+      lat != nullptr) {
+    if (!lat->is_object()) {
+      throw std::invalid_argument(
+          "schema: latency_breakdown must be an object");
+    }
+    const json::Value& total = require(*lat, "total_us");
+    validate_histogram_json(total, "latency_breakdown.total_us");
+    const double total_count = require_number(total, "count");
+    const double total_sum = require_number(total, "sum");
+    double phase_sum = 0.0;
+    for (const char* key : {"intake_wait_us", "batch_apply_us",
+                            "lane_queue_us", "device_service_us"}) {
+      const json::Value& phase = require(*lat, key);
+      validate_histogram_json(phase, "latency_breakdown." + std::string(key));
+      if (require_number(phase, "count") != total_count) {
+        throw std::invalid_argument("schema: latency_breakdown." +
+                                    std::string(key) +
+                                    ".count must equal total_us.count");
+      }
+      phase_sum += require_number(phase, "sum");
+    }
+    if (phase_sum != total_sum) {
+      throw std::invalid_argument(
+          "schema: latency_breakdown phase sums must add up to total_us.sum");
+    }
+  }
+  // Optional trace capture summary: per-shard drops must sum to the total.
+  if (const json::Value* trace = doc.find("trace"); trace != nullptr) {
+    if (!trace->is_object()) {
+      throw std::invalid_argument("schema: trace must be an object");
+    }
+    require_number(*trace, "recorded");
+    const double dropped = require_number(*trace, "dropped");
+    const json::Value& per_shard = require(*trace, "per_shard_dropped");
+    if (!per_shard.is_array()) {
+      throw std::invalid_argument(
+          "schema: trace.per_shard_dropped must be an array");
+    }
+    double shard_sum = 0.0;
+    for (const json::Value& v : per_shard.items()) {
+      if (!v.is_number()) {
+        throw std::invalid_argument(
+            "schema: trace.per_shard_dropped entries must be numbers");
+      }
+      shard_sum += v.as_number();
+    }
+    if (shard_sum != dropped) {
+      throw std::invalid_argument(
+          "schema: trace.per_shard_dropped must sum to trace.dropped");
+    }
   }
 }
 

@@ -23,6 +23,7 @@
 
 #include "common/histogram.h"
 #include "lss/device_lanes.h"
+#include "lss/op_timeline.h"
 #include "obs/provenance.h"
 #include "obs/registry.h"
 #include "obs/series.h"
@@ -73,6 +74,21 @@ struct RunManifest {
   /// thread interleaving, so the block is informational — adapt_compare
   /// compares only the fields it names and never this one.
   lss::DeviceLanesStats lanes;
+  /// Phase-attributed op latency (virtual-time microseconds) from the
+  /// concurrent write path (ConcurrentEngine::latency_breakdown). Optional
+  /// like lanes: emitted only when non-empty. When present the validator
+  /// enforces the additivity identity — every phase histogram has the same
+  /// count as total, and the four phase sums add up to total's sum exactly
+  /// (see lss/op_timeline.h).
+  lss::LatencyBreakdown latency_breakdown;
+  /// Trace capture summary: recorded/dropped event counts per run plus the
+  /// per-shard drop split. Optional: emitted when a trace was captured
+  /// (trace_present), even if it dropped nothing. The validator requires
+  /// per_shard_dropped to sum to dropped.
+  bool trace_present = false;
+  std::uint64_t trace_recorded = 0;
+  std::uint64_t trace_dropped = 0;
+  std::vector<std::uint64_t> trace_per_shard_dropped;
 };
 
 /// Peak resident set of this process in bytes (getrusage; 0 if unknown).

@@ -1,0 +1,125 @@
+#include "obs/runtime_stats.h"
+
+#include <cstdio>
+
+namespace adapt::obs {
+
+void RuntimeStats::begin_write() noexcept {
+  // Writer holds write_mu_, so the relaxed read-modify-write of seq_ is
+  // single-threaded. Fence-free protocol: ordering of this odd bump before
+  // the payload mutations comes from the payload stores being RELEASE —
+  // each one carries the bump with it for any reader that acquires it.
+  const std::uint64_t s0 = seq_.load(std::memory_order_relaxed);
+  seq_.store(s0 + 1, std::memory_order_relaxed);
+}
+
+void RuntimeStats::end_write() noexcept {
+  const std::uint64_t s1 = seq_.load(std::memory_order_relaxed);
+  seq_.store(s1 + 1, std::memory_order_release);
+}
+
+void RuntimeStats::publish(const lss::BatchSample& sample) {
+  const Log2Histogram& total = sample.breakdown.total_us;
+  LockGuard g(write_mu_);
+  begin_write();
+  batches_.fetch_add(1, std::memory_order_release);
+  ops_.fetch_add(sample.ops, std::memory_order_release);
+  blocks_.fetch_add(sample.blocks, std::memory_order_release);
+  intake_us_.fetch_add(sample.breakdown.intake_wait_us.sum(),
+                       std::memory_order_release);
+  apply_us_.fetch_add(sample.breakdown.batch_apply_us.sum(),
+                      std::memory_order_release);
+  queue_us_.fetch_add(sample.breakdown.lane_queue_us.sum(),
+                      std::memory_order_release);
+  service_us_.fetch_add(sample.breakdown.device_service_us.sum(),
+                        std::memory_order_release);
+  total_count_.fetch_add(total.count(), std::memory_order_release);
+  total_sum_.fetch_add(total.sum(), std::memory_order_release);
+  if (total.max_value() > total_max_.load(std::memory_order_relaxed)) {
+    total_max_.store(total.max_value(), std::memory_order_release);
+  }
+  for (std::size_t b = 0; b < Log2Histogram::kBuckets; ++b) {
+    const std::uint64_t n = total.bucket(b);
+    if (n != 0) total_buckets_[b].fetch_add(n, std::memory_order_release);
+  }
+  end_write();
+}
+
+void RuntimeStats::publish_progress(std::uint64_t ops, std::uint64_t blocks) {
+  LockGuard g(write_mu_);
+  begin_write();
+  ops_.fetch_add(ops, std::memory_order_release);
+  blocks_.fetch_add(blocks, std::memory_order_release);
+  end_write();
+}
+
+RuntimeSnapshot RuntimeStats::snapshot() const {
+  for (;;) {
+    const std::uint64_t s1 = seq_.load(std::memory_order_acquire);
+    if ((s1 & 1) != 0) {
+      yield_now();
+      continue;
+    }
+    RuntimeSnapshot out;
+    // Acquire payload loads: the final seq_ re-read below cannot hoist
+    // above them, and a load that observes a mid-write value synchronises
+    // with its release store, making the writer's odd seq_ bump visible to
+    // that re-read (fence-free seqlock — see runtime_stats.h).
+    out.batches = batches_.load(std::memory_order_acquire);
+    out.ops = ops_.load(std::memory_order_acquire);
+    out.blocks = blocks_.load(std::memory_order_acquire);
+    out.intake_wait_us = intake_us_.load(std::memory_order_acquire);
+    out.batch_apply_us = apply_us_.load(std::memory_order_acquire);
+    out.lane_queue_us = queue_us_.load(std::memory_order_acquire);
+    out.device_service_us = service_us_.load(std::memory_order_acquire);
+    const std::uint64_t count = total_count_.load(std::memory_order_acquire);
+    const std::uint64_t sum = total_sum_.load(std::memory_order_acquire);
+    const std::uint64_t max = total_max_.load(std::memory_order_acquire);
+    std::array<std::uint64_t, Log2Histogram::kBuckets> buckets;
+    for (std::size_t b = 0; b < Log2Histogram::kBuckets; ++b) {
+      buckets[b] = total_buckets_[b].load(std::memory_order_acquire);
+    }
+    if (seq_.load(std::memory_order_relaxed) != s1) continue;
+    out.total_us = Log2Histogram::from_parts(buckets, count, sum, max);
+    return out;
+  }
+}
+
+std::string format_live_line(const RuntimeSnapshot& prev,
+                             const RuntimeSnapshot& cur, double interval_s) {
+  const std::uint64_t d_ops = cur.ops - prev.ops;
+  const std::uint64_t d_blocks = cur.blocks - prev.blocks;
+  const double rate =
+      interval_s > 0.0 ? static_cast<double>(d_ops) / interval_s : 0.0;
+  const std::uint64_t d_intake = cur.intake_wait_us - prev.intake_wait_us;
+  const std::uint64_t d_apply = cur.batch_apply_us - prev.batch_apply_us;
+  const std::uint64_t d_queue = cur.lane_queue_us - prev.lane_queue_us;
+  const std::uint64_t d_service =
+      cur.device_service_us - prev.device_service_us;
+  const std::uint64_t phase_total = d_intake + d_apply + d_queue + d_service;
+  char buf[256];
+  if (phase_total > 0) {
+    const double pt = static_cast<double>(phase_total);
+    std::snprintf(
+        buf, sizeof buf,
+        "live: ops=%llu (+%llu) blocks=%llu thpt=%.1f ops/s p99=%.1fus "
+        "phase%% intake=%.1f apply=%.1f queue=%.1f service=%.1f",
+        static_cast<unsigned long long>(cur.ops),
+        static_cast<unsigned long long>(d_ops),
+        static_cast<unsigned long long>(cur.blocks), rate, cur.p99_us(),
+        100.0 * static_cast<double>(d_intake) / pt,
+        100.0 * static_cast<double>(d_apply) / pt,
+        100.0 * static_cast<double>(d_queue) / pt,
+        100.0 * static_cast<double>(d_service) / pt);
+  } else {
+    std::snprintf(buf, sizeof buf,
+                  "live: ops=%llu (+%llu) blocks=%llu (+%llu) thpt=%.1f ops/s",
+                  static_cast<unsigned long long>(cur.ops),
+                  static_cast<unsigned long long>(d_ops),
+                  static_cast<unsigned long long>(cur.blocks),
+                  static_cast<unsigned long long>(d_blocks), rate);
+  }
+  return std::string(buf);
+}
+
+}  // namespace adapt::obs

@@ -1,0 +1,136 @@
+// Live runtime snapshot: a seqlock-published view of the concurrent write
+// path that a monitoring thread can read WITHOUT ever blocking a writer.
+//
+// Batch leaders call publish() with their BatchSample (group_commit's
+// set_batch_hook), the serial sim path calls publish_progress() through
+// LiveStatsObserver; both sides touch only std::atomic fields, so readers
+// and writers are race-free by construction (TSan-clean) and a stalled or
+// absent reader costs writers nothing.
+//
+// The snapshot protocol is the fence-free seqlock variant (Boehm, "Can
+// seqlocks get along with programming language memory models?", §4 —
+// GCC's TSan rejects atomic_thread_fence, so the fenced form is not an
+// option here): the writer bumps `seq_` to odd, mutates the payload with
+// RELEASE ops (each release store orders the odd bump before the new
+// value), then release-stores `seq_` back to even; the reader
+// acquire-loads `seq_`, ACQUIRE-loads the payload (later loads cannot
+// hoist above them), and re-reads `seq_` — a torn read (odd or changed
+// seq) is retried. Torn snapshots are therefore impossible; every
+// RuntimeSnapshot is a state some writer actually published.
+//
+// Writers serialise on a Mutex (publication is batch-granular — far off the
+// per-op hot path), so payload mutation needs no RMW beyond fetch_add.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/histogram.h"
+#include "common/sync.h"
+#include "lss/engine.h"
+#include "lss/op_timeline.h"
+
+namespace adapt::obs {
+
+/// One coherent view of cumulative runtime progress. Phase sums cover only
+/// ops published with a full BatchSample; progress published through
+/// publish_progress() advances ops/blocks alone.
+struct RuntimeSnapshot {
+  std::uint64_t batches = 0;
+  std::uint64_t ops = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t intake_wait_us = 0;     ///< cumulative phase sums (virtual us)
+  std::uint64_t batch_apply_us = 0;
+  std::uint64_t lane_queue_us = 0;
+  std::uint64_t device_service_us = 0;
+  Log2Histogram total_us;               ///< submit->durable distribution
+
+  double p99_us() const {
+    return total_us.empty() ? 0.0 : total_us.percentile(99.0);
+  }
+};
+
+class RuntimeStats {
+ public:
+  RuntimeStats() = default;
+  RuntimeStats(const RuntimeStats&) = delete;
+  RuntimeStats& operator=(const RuntimeStats&) = delete;
+
+  /// Accumulates one committed batch (thread-safe; called by batch leaders
+  /// concurrently). Matches group_commit's batch-hook signature.
+  void publish(const lss::BatchSample& sample);
+
+  /// Accumulates bare progress (ops/blocks only) for producers without
+  /// phase data — the serial sim path via LiveStatsObserver.
+  void publish_progress(std::uint64_t ops, std::uint64_t blocks);
+
+  /// Lock-free consistent read; retries while a writer is mid-publish.
+  /// Safe from any thread, any number of concurrent readers.
+  RuntimeSnapshot snapshot() const;
+
+ private:
+  void begin_write() noexcept;
+  void end_write() noexcept;
+
+  /// Writer-side serialisation only; readers never touch it.
+  Mutex write_mu_;
+  std::atomic<std::uint64_t> seq_{0};
+
+  // Payload: every field atomic so reader loads are race-free; coherence
+  // across fields comes from the seqlock protocol, not from the atomics.
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> ops_{0};
+  std::atomic<std::uint64_t> blocks_{0};
+  std::atomic<std::uint64_t> intake_us_{0};
+  std::atomic<std::uint64_t> apply_us_{0};
+  std::atomic<std::uint64_t> queue_us_{0};
+  std::atomic<std::uint64_t> service_us_{0};
+  std::atomic<std::uint64_t> total_count_{0};
+  std::atomic<std::uint64_t> total_sum_{0};
+  std::atomic<std::uint64_t> total_max_{0};
+  std::array<std::atomic<std::uint64_t>, Log2Histogram::kBuckets>
+      total_buckets_{};
+};
+
+/// EngineObserver adapter for the serial sim path: counts user blocks and
+/// publishes them into a RuntimeStats every `stride` blocks (publication
+/// has seqlock cost, so per-block publishing would be wasteful). Forwards
+/// every callback to an optional inner observer first, so it stacks on top
+/// of the existing EngineSampler without a second observer slot.
+class LiveStatsObserver final : public lss::EngineObserver {
+ public:
+  explicit LiveStatsObserver(RuntimeStats& stats,
+                             lss::EngineObserver* inner = nullptr,
+                             std::uint64_t stride = 256)
+      : stats_(stats), inner_(inner), stride_(stride == 0 ? 1 : stride) {}
+
+  void on_user_block(const lss::LssEngine& engine, TimeUs now_us) override {
+    if (inner_ != nullptr) inner_->on_user_block(engine, now_us);
+    if (++pending_ >= stride_) flush();
+  }
+
+  /// Publishes any sub-stride remainder (call after the end-of-run drain).
+  void flush() {
+    if (pending_ == 0) return;
+    stats_.publish_progress(pending_, pending_);
+    pending_ = 0;
+  }
+
+ private:
+  RuntimeStats& stats_;
+  lss::EngineObserver* inner_;
+  std::uint64_t stride_;
+  std::uint64_t pending_ = 0;
+};
+
+/// Renders one periodic live-stats line from two snapshots `interval_s`
+/// apart. Pure function of its inputs (deterministic, unit-testable):
+///   live: ops=N (+dN) blocks=M thpt=R ops/s p99=Pus
+///         phase% intake=A apply=B queue=C service=D
+/// The phase%% tail is omitted while no phase data has been published.
+std::string format_live_line(const RuntimeSnapshot& prev,
+                             const RuntimeSnapshot& cur, double interval_s);
+
+}  // namespace adapt::obs

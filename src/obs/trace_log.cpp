@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 #include <tuple>
+#include <unordered_map>
 
 #include "common/annotations.h"
 #include "obs/json.h"
@@ -45,6 +46,10 @@ KindInfo kind_info(lss::TraceEventKind kind) {
       return {"lane_submit", "device", 'i'};
     case TraceEventKind::kLaneComplete:
       return {"lane_complete", "device", 'i'};
+    case TraceEventKind::kOpSubmit:
+      return {"op_submit", "op", 'X'};
+    case TraceEventKind::kOpDurable:
+      return {"op_durable", "op", 'X'};
   }
   throw std::logic_error("unknown trace event kind");
 }
@@ -135,6 +140,25 @@ void append_args(std::string& out, const lss::TraceEvent& e) {
       out += ',';
       append_kv_u64(out, "complete_us", e.c);
       break;
+    case TraceEventKind::kOpSubmit:
+      append_kv_u64(out, "lba", e.a);
+      out += ',';
+      append_kv_u64(out, "blocks", e.b);
+      break;
+    case TraceEventKind::kOpDurable:
+      append_kv_u64(out, "lba", e.a);
+      out += ',';
+      append_kv_u64(out, "blocks", e.b);
+      out += ',';
+      append_kv_u64(out, "durable_us", e.c);
+      break;
+  }
+  // Causal-flow correlation id (batch id in the concurrent engine). Only
+  // flow participants carry it, so id-free traces render byte-identically
+  // to pre-flow exports.
+  if (e.id != 0) {
+    out += ',';
+    append_kv_u64(out, "flow_id", e.id);
   }
 }
 
@@ -193,11 +217,13 @@ std::vector<lss::TraceEvent> TraceLog::events() const {
 TraceData merge_trace_logs(const std::vector<const TraceLog*>& shards) {
   TraceData data;
   data.shard_count = static_cast<std::uint32_t>(shards.size());
+  data.per_shard_dropped.assign(data.shard_count, 0);
   for (std::uint32_t shard = 0; shard < shards.size(); ++shard) {
     const TraceLog* log = shards[shard];
     if (log == nullptr) continue;
     data.recorded += log->recorded();
     data.dropped += log->dropped();
+    data.per_shard_dropped[shard] = log->dropped();
     std::uint64_t seq = 0;
     for (const lss::TraceEvent& event : log->events()) {
       data.entries.push_back(TraceData::Entry{event, shard, seq++});
@@ -232,7 +258,16 @@ std::string chrome_trace_json(const TraceData& data, const TraceMeta& meta) {
   append_kv_u64(out, "recorded", data.recorded);
   out += ',';
   append_kv_u64(out, "dropped", data.dropped);
-  out += "},";
+  out += ',';
+  out += json::quote("per_shard_dropped");
+  out += ":[";
+  for (std::uint32_t shard = 0; shard < data.shard_count; ++shard) {
+    if (shard > 0) out += ',';
+    out += std::to_string(shard < data.per_shard_dropped.size()
+                              ? data.per_shard_dropped[shard]
+                              : 0);
+  }
+  out += "]},";
   out += json::quote("traceEvents");
   out += ":[";
   append_metadata_event(out, 0, "process_name", "adapt-lss");
@@ -241,15 +276,31 @@ std::string chrome_trace_json(const TraceData& data, const TraceMeta& meta) {
     append_metadata_event(out, shard, "thread_name",
                           "shard " + std::to_string(shard));
   }
+  // Pre-pass for Perfetto flow arrows: each nonzero event id is one causal
+  // flow (op -> batch -> flush -> lane). The first slice of an id starts
+  // the flow ("s"), the last finishes it ("f"), everything between steps
+  // it ("t") — so occurrence counts must be known before rendering.
+  struct FlowCount {
+    std::uint64_t total = 0;
+    std::uint64_t emitted = 0;
+  };
+  std::unordered_map<std::uint64_t, FlowCount> flows;
+  for (const TraceData::Entry& entry : data.entries) {
+    if (entry.event.id != 0) ++flows[entry.event.id].total;
+  }
   for (const TraceData::Entry& entry : data.entries) {
     const lss::TraceEvent& e = entry.event;
     const KindInfo info = kind_info(e.kind);
+    // Flow events bind to a slice at the same pid/tid/ts, so every flow
+    // participant must render as a complete span: instants carrying an id
+    // are promoted to width-1 slices.
+    const char ph = (e.id != 0 && info.ph == 'i') ? 'X' : info.ph;
     out += ",{";
     append_kv_str(out, "name", info.name);
     out += ',';
     append_kv_str(out, "cat", info.cat);
     out += ',';
-    append_kv_str(out, "ph", std::string_view(&info.ph, 1));
+    append_kv_str(out, "ph", std::string_view(&ph, 1));
     out += ',';
     append_kv_u64(out, "pid", 0);
     out += ',';
@@ -257,13 +308,16 @@ std::string chrome_trace_json(const TraceData& data, const TraceMeta& meta) {
     out += ',';
     append_kv_u64(out, "ts", e.ts);
     out += ',';
-    if (info.ph == 'X') {
-      // Pseudo-duration: migrated blocks, so victim quality reads directly
-      // off the span width (vtime units, like ts).
-      append_kv_u64(out, "dur", e.b > 0 ? e.b : 1);
+    if (ph == 'X') {
+      // Pseudo-duration: GC runs use migrated blocks, so victim quality
+      // reads directly off the span width (vtime units, like ts); every
+      // other slice is nominal width 1.
+      const std::uint64_t dur =
+          e.kind == lss::TraceEventKind::kGcRun && e.b > 0 ? e.b : 1;
+      append_kv_u64(out, "dur", dur);
       out += ',';
     }
-    if (info.ph == 'i') {
+    if (ph == 'i') {
       append_kv_str(out, "s", "t");
       out += ',';
     }
@@ -271,6 +325,30 @@ std::string chrome_trace_json(const TraceData& data, const TraceMeta& meta) {
     out += ":{";
     append_args(out, e);
     out += "}}";
+    if (e.id != 0) {
+      FlowCount& fc = flows[e.id];
+      const char* flow_ph = fc.emitted == 0             ? "s"
+                            : fc.emitted + 1 == fc.total ? "f"
+                                                         : "t";
+      ++fc.emitted;
+      out += ",{";
+      append_kv_str(out, "name", "op_flow");
+      out += ',';
+      append_kv_str(out, "cat", "flow");
+      out += ',';
+      append_kv_str(out, "ph", flow_ph);
+      out += ',';
+      append_kv_u64(out, "pid", 0);
+      out += ',';
+      append_kv_u64(out, "tid", entry.shard);
+      out += ',';
+      append_kv_u64(out, "ts", e.ts);
+      out += ',';
+      append_kv_u64(out, "id", e.id);
+      out += ',';
+      out += json::quote("args");
+      out += ":{}}";
+    }
   }
   out += "]}";
   return out;
@@ -305,6 +383,25 @@ void validate_trace_json(std::string_view text) {
                                   " must be a number");
     }
   }
+  {
+    const json::Value* per_shard = other->find("per_shard_dropped");
+    if (per_shard == nullptr || !per_shard->is_array()) {
+      throw std::invalid_argument(
+          "schema: otherData.per_shard_dropped must be an array");
+    }
+    double shard_sum = 0.0;
+    for (const json::Value& v : per_shard->items()) {
+      if (!v.is_number()) {
+        throw std::invalid_argument(
+            "schema: otherData.per_shard_dropped entries must be numbers");
+      }
+      shard_sum += v.as_number();
+    }
+    if (shard_sum != other->find("dropped")->as_number()) {
+      throw std::invalid_argument(
+          "schema: otherData.per_shard_dropped must sum to otherData.dropped");
+    }
+  }
   const json::Value* events = doc.find("traceEvents");
   if (events == nullptr || !events->is_array()) {
     throw std::invalid_argument("schema: traceEvents must be an array");
@@ -326,9 +423,18 @@ void validate_trace_json(std::string_view text) {
                                   ".ph must be a string");
     }
     const std::string& phase = ph->as_string();
-    if (phase != "M" && phase != "i" && phase != "X" && phase != "C") {
+    const bool flow_phase = phase == "s" || phase == "t" || phase == "f";
+    if (phase != "M" && phase != "i" && phase != "X" && phase != "C" &&
+        !flow_phase) {
       throw std::invalid_argument("schema: " + where + " has unknown phase \"" +
                                   phase + '"');
+    }
+    if (flow_phase) {
+      const json::Value* id = event.find("id");
+      if (id == nullptr || !id->is_number()) {
+        throw std::invalid_argument("schema: " + where +
+                                    ".id must be a number on flow events");
+      }
     }
     for (const char* key : {"pid", "tid"}) {
       const json::Value* v = event.find(key);

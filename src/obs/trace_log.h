@@ -68,6 +68,10 @@ struct TraceData {
   std::uint32_t shard_count = 0;
   std::uint64_t recorded = 0;
   std::uint64_t dropped = 0;
+  /// Ring-overwrite losses per shard (size == shard_count; 0 for shards
+  /// without a sink). Summing this must reproduce `dropped` — the exporter
+  /// emits both and the validator enforces the identity.
+  std::vector<std::uint64_t> per_shard_dropped;
 };
 
 /// Merges per-shard rings into one deterministic timeline. Null shard

@@ -5,6 +5,8 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <limits>
 #include <memory>
@@ -19,6 +21,7 @@
 #include "common/thread_pool.h"
 #include "lss/engine.h"
 #include "obs/provenance.h"
+#include "obs/runtime_stats.h"
 #include "placement/factory.h"
 
 namespace adapt::proto {
@@ -131,15 +134,18 @@ PrototypeResult run_prototype(const PrototypeConfig& config) {
   const auto start = Clock::now();
 
   // Submits one drained flush batch to the lanes and returns the modeled
-  // durable time of its last record. Thread-safe (atomic rotor + per-lane
+  // FlushOutcome of its last-completing record (durable time + that
+  // record's pure service time, which the phase breakdown uses to split
+  // lane queueing from media time). Thread-safe (atomic rotor + per-lane
   // locks inside DeviceLanes); the shard index is deliberately unused —
   // the lanes are one global resource shared by every shard, like the
-  // physical array.
+  // physical array. Each record's causal-flow id rides into the lane's
+  // trace events, correlating batch -> flush -> lane in the trace.
   auto submit_flushes =
       [&](std::uint32_t /*shard*/,
-          const std::vector<lss::PendingFlush>& flushes) -> TimeUs {
+          const std::vector<lss::PendingFlush>& flushes) -> lss::FlushOutcome {
     const TimeUs now = wall_now_us(start);
-    TimeUs durable_us = 0;
+    lss::FlushOutcome out;
     for (const lss::PendingFlush& f : flushes) {
       const std::uint64_t bytes =
           f.rmw ? std::uint64_t{f.blocks} * lss_config.block_bytes
@@ -147,9 +153,13 @@ PrototypeResult run_prototype(const PrototypeConfig& config) {
       const std::uint32_t lane =
           lane_rotor.fetch_add(1, std::memory_order_relaxed) %
           lanes_config.lanes;
-      durable_us = std::max(durable_us, lanes.submit(lane, bytes, now).complete_us);
+      const lss::LaneCompletion c = lanes.submit(lane, bytes, now, f.id);
+      if (c.complete_us >= out.durable_us) {
+        out.durable_us = c.complete_us;
+        out.service_us = c.service_us;
+      }
     }
-    return durable_us;
+    return out;
   };
 
   auto wait_until = [&](TimeUs deadline) {
@@ -224,6 +234,42 @@ PrototypeResult run_prototype(const PrototypeConfig& config) {
     // sleeps out its own share on its own thread.
     engine.set_device_model(submit_flushes,
                             [&](TimeUs durable_us) { wait_until(durable_us); });
+    // Live runtime snapshot (ADAPT_LIVE_STATS=<seconds>): batch leaders
+    // publish their BatchSample into a seqlock-readable RuntimeStats; a
+    // poller thread prints periodic throughput/p99/phase lines to stderr
+    // without ever blocking a writer.
+    obs::RuntimeStats live_stats;
+    std::atomic<bool> live_stop{false};
+    Thread live_poller;
+    double live_interval = 0.0;
+    if (const char* env = std::getenv("ADAPT_LIVE_STATS");
+        env != nullptr && *env != '\0') {
+      live_interval = std::atof(env);
+    }
+    if (live_interval > 0.0) {
+      engine.set_batch_hook(
+          [&live_stats](const lss::BatchSample& s) { live_stats.publish(s); });
+      live_poller = Thread([&live_stats, &live_stop, live_interval] {
+        obs::RuntimeSnapshot prev;
+        double slept = 0.0;
+        while (!live_stop.load(std::memory_order_relaxed)) {
+          // Sleep in 50 ms slices so shutdown never waits out a long
+          // interval.
+          sleep_for_us(50'000);
+          slept += 0.05;
+          if (slept + 1e-9 < live_interval) continue;
+          slept = 0.0;
+          const obs::RuntimeSnapshot cur = live_stats.snapshot();
+          std::fprintf(stderr, "%s\n",
+                       obs::format_live_line(prev, cur, live_interval).c_str());
+          prev = cur;
+        }
+        // Final summary line so even sub-interval runs report once.
+        const obs::RuntimeSnapshot cur = live_stats.snapshot();
+        std::fprintf(stderr, "%s\n",
+                     obs::format_live_line(prev, cur, live_interval).c_str());
+      });
+    }
     const std::uint32_t watermark =
         lss_config.free_segment_reserve +
         engine.shard_for_inspection(0).group_count() + 4;
@@ -242,7 +288,7 @@ PrototypeResult run_prototype(const PrototypeConfig& config) {
             const bool worked = engine.gc_step(i, wall_now_us(start),
                                                watermark, nullptr, &flushes);
             if (worked && !flushes.empty()) {
-              wait_until(submit_flushes(i, flushes));
+              wait_until(submit_flushes(i, flushes).durable_us);
             } else if (!worked) {
               gc_signal.wait_change(seen, kGcIdleWaitUs);
             }
@@ -258,9 +304,12 @@ PrototypeResult run_prototype(const PrototypeConfig& config) {
     done.store(true, std::memory_order_relaxed);
     gc_signal.bump();
     if (gc_pool != nullptr) gc_pool->shutdown();
+    live_stop.store(true, std::memory_order_relaxed);
+    if (live_poller.joinable()) live_poller.join();
 
     result.metrics = engine.merged_metrics();
     result.group_commit = engine.merged_stats();
+    result.breakdown = engine.latency_breakdown();
     result.policy_memory_bytes = engine.policy_memory_bytes();
     pending_blocks_total = engine.merged_pending_blocks();
     const lss::LssConfig& per_shard = engine.per_shard_config();
@@ -309,7 +358,7 @@ PrototypeResult run_prototype(const PrototypeConfig& config) {
               flushes.swap(shared.flushes);
             }
             if (worked && !flushes.empty()) {
-              wait_until(submit_flushes(0, flushes));
+              wait_until(submit_flushes(0, flushes).durable_us);
             } else if (!worked) {
               gc_signal.wait_change(seen, kGcIdleWaitUs);
             }
@@ -325,7 +374,7 @@ PrototypeResult run_prototype(const PrototypeConfig& config) {
         shared.engine->write(lba, blocks, submit_us);
         flushes.swap(shared.flushes);
       }
-      if (!flushes.empty()) wait_until(submit_flushes(0, flushes));
+      if (!flushes.empty()) wait_until(submit_flushes(0, flushes).durable_us);
       gc_signal.bump();
     });
     done.store(true, std::memory_order_relaxed);
@@ -389,6 +438,7 @@ PrototypeResult run_prototype(const PrototypeConfig& config) {
   m.gc_pause_us = result.metrics.gc_pause_us;
   m.latency_ns = result.latency_ns;
   m.lanes = result.lanes;
+  m.latency_breakdown = result.breakdown;
   return result;
 }
 

@@ -102,6 +102,11 @@ struct PrototypeResult {
   Log2Histogram latency_ns;
   /// Group-commit batching counters (all zero under the big-lock oracle).
   lss::GroupCommitStats group_commit;
+  /// Phase-attributed virtual-time latency from the group-commit path
+  /// (empty under the big-lock oracle): intake wait, batch apply, lane
+  /// queue, device service — exported into the manifest's
+  /// latency_breakdown block with its additivity identity.
+  lss::LatencyBreakdown breakdown;
   /// Device-lane snapshot: per-lane submit/stall/busy counters plus the
   /// merged queue-depth and submit→complete distributions (both front-ends
   /// drive the same DeviceLanes instance).

@@ -140,6 +140,20 @@ VolumeResult run_volume(const trace::Volume& volume,
       engine.shard(i).set_observer(samplers[i].get());
     }
   }
+  // Live runtime stats stack ON TOP of sampling: each shard's observer
+  // slot gets a LiveStatsObserver that forwards to the sampler (if any)
+  // and publishes block progress into the shared seqlock sink.
+  std::vector<std::unique_ptr<obs::LiveStatsObserver>> live_observers;
+  if (config.live_stats != nullptr) {
+    live_observers.reserve(shards);
+    for (std::uint32_t i = 0; i < shards; ++i) {
+      lss::EngineObserver* inner =
+          i < samplers.size() ? samplers[i].get() : nullptr;
+      live_observers.push_back(std::make_unique<obs::LiveStatsObserver>(
+          *config.live_stats, inner));
+      engine.shard(i).set_observer(live_observers[i].get());
+    }
+  }
 
   // Requests past the volume's declared capacity are trace noise: clamp.
   const Lba addressable =
@@ -174,6 +188,7 @@ VolumeResult run_volume(const trace::Volume& volume,
        ++i) {
     samplers[i]->finalize(engine.shard(i), last_ts);
   }
+  for (const auto& live : live_observers) live->flush();
   if (config.progress) config.progress(total_records, total_records);
 
   VolumeResult result;
@@ -222,8 +237,15 @@ VolumeResult run_volume(const trace::Volume& volume,
     std::vector<const obs::TraceLog*> ptrs;
     ptrs.reserve(trace_logs.size());
     for (const auto& log : trace_logs) ptrs.push_back(log.get());
-    result.trace = std::make_shared<const obs::TraceData>(
-        obs::merge_trace_logs(ptrs));
+    obs::TraceData data = obs::merge_trace_logs(ptrs);
+    // Trace capture summary rides in the manifest, so drop accounting
+    // survives even when the trace JSON itself is discarded.
+    man.trace_present = true;
+    man.trace_recorded = data.recorded;
+    man.trace_dropped = data.dropped;
+    man.trace_per_shard_dropped = data.per_shard_dropped;
+    result.trace =
+        std::make_shared<const obs::TraceData>(std::move(data));
   }
   if (!samplers.empty()) {
     std::vector<obs::TimeSeries> parts;

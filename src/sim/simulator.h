@@ -17,6 +17,7 @@
 #include "lss/engine.h"
 #include "lss/metrics.h"
 #include "obs/export.h"
+#include "obs/runtime_stats.h"
 #include "obs/trace_log.h"
 #include "trace/record.h"
 
@@ -54,6 +55,11 @@ struct SimConfig {
   /// Optional replay-progress callback (records done, records total);
   /// invoked every ~64k records and once at completion.
   std::function<void(std::uint64_t, std::uint64_t)> progress;
+  /// Live runtime stats: when set, replay progress (ops/blocks) is
+  /// published into this seqlock-readable sink so a poller thread (e.g.
+  /// adapt_run --live-stats) can print periodic lines without touching the
+  /// replay. Not owned; must outlive run_volume. Null (off) by default.
+  obs::RuntimeStats* live_stats = nullptr;
 };
 
 struct VolumeResult {

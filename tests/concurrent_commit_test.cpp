@@ -500,10 +500,11 @@ TEST(ConcurrentEngineTest, FollowersWaitTheirShareOfTheCoalescedFlush) {
   constexpr TimeUs kServiceUs = 50'000;
   std::atomic<int> submits{0}, waits{0};
   engine.set_device_model(
-      [&](std::uint32_t, const std::vector<PendingFlush>& flushes) -> TimeUs {
+      [&](std::uint32_t,
+          const std::vector<PendingFlush>& flushes) -> FlushOutcome {
         EXPECT_FALSE(flushes.empty());
         submits.fetch_add(1, std::memory_order_relaxed);
-        return kServiceUs;
+        return {kServiceUs, kServiceUs};
       },
       [&](TimeUs durable_us) {
         waits.fetch_add(1, std::memory_order_relaxed);
@@ -540,6 +541,144 @@ TEST(ConcurrentEngineTest, FollowersWaitTheirShareOfTheCoalescedFlush) {
   const std::uint64_t floor_ns = std::uint64_t{kServiceUs} * 1000 * 8 / 10;
   for (int i = 0; i < 3; ++i) {
     EXPECT_GE(latency_ns[i], floor_ns) << "op " << i;
+  }
+}
+
+// The additivity identity from lss/op_timeline.h, proven on the live
+// concurrent path: under real multi-threaded contention, every applied op
+// lands in all five phase histograms and the four phase sums telescope
+// EXACTLY back to the total — the same identity validate_manifest_json
+// enforces on every exported latency_breakdown block.
+TEST(ConcurrentEngineTest, LatencyBreakdownTelescopesExactly) {
+  LssConfig cfg;
+  cfg.logical_blocks = std::uint64_t{1} << 16;
+  proto::PrototypeConfig pc;
+  pc.policy = "sepgc";
+  ConcurrentEngine engine(cfg, 1, 1, proto::make_prototype_shard_factory(pc));
+
+  // Virtual device: each submitted batch is durable 100us later on a
+  // monotone modeled clock, 40us of it pure service; waits are free.
+  std::atomic<TimeUs> device_clock{0};
+  engine.set_device_model(
+      [&](std::uint32_t,
+          const std::vector<PendingFlush>& flushes) -> FlushOutcome {
+        EXPECT_FALSE(flushes.empty());
+        const TimeUs durable =
+            device_clock.fetch_add(100, std::memory_order_relaxed) + 100;
+        return {durable, 40};
+      },
+      [](TimeUs) {});
+
+  constexpr int kThreads = 4;
+  constexpr int kWritesPerThread = 400;
+  const std::uint32_t chunk = engine.per_shard_config().chunk_blocks;
+  {
+    std::vector<Thread> clients;
+    clients.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      clients.emplace_back([&engine, chunk, t] {
+        for (int i = 0; i < kWritesPerThread; ++i) {
+          const Lba lba =
+              (static_cast<Lba>(i) * kThreads + static_cast<Lba>(t)) % 256 *
+              chunk % ((std::uint64_t{1} << 16) - chunk);
+          engine.write(lba, chunk, static_cast<TimeUs>(i + 1));
+        }
+      });
+    }
+  }  // joins all clients
+
+  const LatencyBreakdown bd = engine.latency_breakdown();
+  const std::uint64_t n = std::uint64_t{kThreads} * kWritesPerThread;
+  EXPECT_EQ(bd.total_us.count(), n);
+  EXPECT_EQ(bd.intake_wait_us.count(), n);
+  EXPECT_EQ(bd.batch_apply_us.count(), n);
+  EXPECT_EQ(bd.lane_queue_us.count(), n);
+  EXPECT_EQ(bd.device_service_us.count(), n);
+  // Exact, not approximate: the clamped milestones telescope value for
+  // value, so the identity survives summation.
+  EXPECT_EQ(bd.intake_wait_us.sum() + bd.batch_apply_us.sum() +
+                bd.lane_queue_us.sum() + bd.device_service_us.sum(),
+            bd.total_us.sum());
+  // Every write tipped a chunk flush, so some device time was attributed.
+  EXPECT_GT(bd.device_service_us.sum(), 0u);
+}
+
+class CollectSink final : public TraceSink {
+ public:
+  void record(const TraceEvent& e) override { events.push_back(e); }
+  std::vector<TraceEvent> events;
+};
+
+// Causal-flow correlation: a traced batch mints one nonzero flow id and
+// stamps it on every event of the batch's lifecycle — per-op kOpSubmit,
+// the kGroupCommit batch event, the chunk flushes it tipped (and their
+// PendingFlush records, which the prototype forwards to the device lanes),
+// and the per-op kOpDurable records. Single-threaded, so batches are size
+// one and the per-shard ids are exactly 1..N.
+TEST(ConcurrentEngineTest, TracedBatchesCarryCausalFlowIds) {
+  if (!kTracingCompiled) GTEST_SKIP() << "tracing compiled out";
+  LssConfig cfg;
+  cfg.logical_blocks = std::uint64_t{1} << 16;
+  proto::PrototypeConfig pc;
+  pc.policy = "sepgc";
+  ConcurrentEngine engine(cfg, 1, 1, proto::make_prototype_shard_factory(pc));
+  CollectSink sink;
+  engine.set_trace_sink(0, &sink);
+  engine.set_device_model(
+      [](std::uint32_t,
+         const std::vector<PendingFlush>& flushes) -> FlushOutcome {
+        for (const PendingFlush& f : flushes) {
+          EXPECT_NE(f.id, 0u) << "traced batch flush lost its flow id";
+        }
+        return {1'000, 200};
+      },
+      [](TimeUs) {});
+
+  static constexpr std::uint64_t kOps = 8;
+  const std::uint32_t chunk = engine.per_shard_config().chunk_blocks;
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    engine.write(i * chunk, chunk, static_cast<TimeUs>(i + 1));
+  }
+
+  std::vector<std::uint64_t> submit_ids, commit_ids, durable_ids, flush_ids;
+  for (const TraceEvent& e : sink.events) {
+    switch (e.kind) {
+      case TraceEventKind::kOpSubmit:
+        submit_ids.push_back(e.id);
+        break;
+      case TraceEventKind::kGroupCommit:
+        commit_ids.push_back(e.id);
+        break;
+      case TraceEventKind::kOpDurable:
+        durable_ids.push_back(e.id);
+        EXPECT_EQ(e.c, 1'000u);  // the modeled durable time rides in c
+        break;
+      case TraceEventKind::kChunkFlush:
+        flush_ids.push_back(e.id);
+        break;
+      default:
+        break;
+    }
+  }
+  const auto expect_one_to_n = [](const std::vector<std::uint64_t>& ids,
+                                  const char* what) {
+    ASSERT_EQ(ids.size(), kOps) << what;
+    for (std::uint64_t i = 0; i < kOps; ++i) {
+      EXPECT_EQ(ids[i], i + 1) << what << " event " << i;
+    }
+  };
+  expect_one_to_n(submit_ids, "kOpSubmit");
+  expect_one_to_n(commit_ids, "kGroupCommit");
+  expect_one_to_n(durable_ids, "kOpDurable");
+  // Every write tipped exactly one full-chunk flush inside its own batch.
+  expect_one_to_n(flush_ids, "kChunkFlush");
+
+  // End-of-run drain belongs to no batch: events emitted by flush_all must
+  // not inherit the last batch's id.
+  sink.events.clear();
+  engine.flush_all();
+  for (const TraceEvent& e : sink.events) {
+    EXPECT_EQ(e.id, 0u) << "flush_all event carries a stale flow id";
   }
 }
 

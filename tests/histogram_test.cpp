@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -155,6 +157,67 @@ TEST(Log2HistogramPercentileTest, SurvivesMerge) {
   const double p50 = a.percentile(50);
   EXPECT_GE(p50, 32.0);
   EXPECT_LE(p50, 128.0);
+}
+
+// Merging shards with DISJOINT value ranges must behave as if every sample
+// had been added to one histogram: bucket-for-bucket, count, sum, and max
+// all accumulate exactly (the property the per-shard latency_breakdown
+// merge in ConcurrentEngine::latency_breakdown relies on).
+TEST(Log2HistogramMergeTest, DisjointRangesMergeExactly) {
+  Log2Histogram lo, hi, reference;
+  for (std::uint64_t v = 0; v <= 15; ++v) {
+    lo.add(v);
+    reference.add(v);
+  }
+  for (std::uint64_t v = 1000; v <= 1015; ++v) {
+    hi.add(v);
+    reference.add(v);
+  }
+  lo.merge_from(hi);
+  EXPECT_EQ(lo.count(), reference.count());
+  EXPECT_EQ(lo.sum(), reference.sum());
+  EXPECT_EQ(lo.max_value(), reference.max_value());
+  for (std::size_t b = 0; b < Log2Histogram::kBuckets; ++b) {
+    EXPECT_EQ(lo.bucket(b), reference.bucket(b)) << "bucket " << b;
+  }
+  // Identical buckets ⇒ identical percentile estimates at every p.
+  for (const double p : {0.0, 25.0, 50.0, 75.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(lo.percentile(p), reference.percentile(p)) << p;
+  }
+}
+
+// merge-then-percentile vs percentile-then-merge: the merged estimate can
+// differ from any aggregation of the parts' estimates, but it must stay
+// bracketed by them — merging never manufactures a tail outside the parts.
+TEST(Log2HistogramMergeTest, MergedPercentileBracketedByParts) {
+  Log2Histogram fast, slow;
+  for (std::uint64_t i = 0; i < 1000; ++i) fast.add(10 + (i % 5));
+  for (std::uint64_t i = 0; i < 1000; ++i) slow.add(5000 + (i % 7) * 100);
+  for (const double p : {50.0, 90.0, 99.0, 99.9}) {
+    const double lo_est = fast.percentile(p);
+    const double hi_est = slow.percentile(p);
+    Log2Histogram merged = fast;
+    merged.merge_from(slow);
+    const double m = merged.percentile(p);
+    EXPECT_GE(m, std::min(lo_est, hi_est)) << "p=" << p;
+    EXPECT_LE(m, std::max(lo_est, hi_est)) << "p=" << p;
+  }
+}
+
+TEST(Log2HistogramMergeTest, FromPartsRoundTrips) {
+  Log2Histogram h;
+  for (std::uint64_t v = 0; v < 300; ++v) h.add(v * v);
+  std::array<std::uint64_t, Log2Histogram::kBuckets> buckets{};
+  for (std::size_t b = 0; b < Log2Histogram::kBuckets; ++b) {
+    buckets[b] = h.bucket(b);
+  }
+  const Log2Histogram copy = Log2Histogram::from_parts(
+      buckets, h.count(), h.sum(), h.max_value());
+  EXPECT_EQ(copy.count(), h.count());
+  EXPECT_EQ(copy.sum(), h.sum());
+  EXPECT_EQ(copy.max_value(), h.max_value());
+  EXPECT_DOUBLE_EQ(copy.percentile(99.0), h.percentile(99.0));
+  EXPECT_DOUBLE_EQ(copy.percentile(50.0), h.percentile(50.0));
 }
 
 }  // namespace

@@ -276,6 +276,70 @@ TEST(ExportTest, ManifestValidatorRejectsMissingKey) {
   EXPECT_THROW(obs::validate_manifest_json(json), std::invalid_argument);
 }
 
+// latency_breakdown teeth: a manifest whose phase histograms don't
+// telescope to the total must be rejected, exactly like an unbalanced
+// provenance matrix. The tamper flips one digit of one phase sum, so the
+// additivity identity is off by one.
+TEST(ExportTest, ManifestValidatorEnforcesLatencyBreakdownIdentity) {
+  obs::RunManifest m;
+  m.policy = "adapt";
+  m.victim = "greedy";
+  // Two ops through the clamped milestone math: phases telescope exactly.
+  m.latency_breakdown.add_op(0, 10, 30, 100, 40);
+  m.latency_breakdown.add_op(5, 5, 30, 90, 20);
+  const std::string good = obs::manifest_json(m);
+  ASSERT_NE(good.find("\"latency_breakdown\""), std::string::npos);
+  EXPECT_NO_THROW(obs::validate_manifest_json(good));
+
+  // Tamper 1: bump intake_wait's sum (10 + 0 = 10 -> 11).
+  std::string bad = good;
+  std::size_t pos = bad.find("\"intake_wait_us\"");
+  ASSERT_NE(pos, std::string::npos);
+  pos = bad.find("\"sum\":10", pos);
+  ASSERT_NE(pos, std::string::npos);
+  bad.replace(pos, 8, "\"sum\":11");
+  EXPECT_THROW(obs::validate_manifest_json(bad), std::invalid_argument);
+
+  // Tamper 2: a phase counting fewer ops than the total is rejected even
+  // when the sums happen to balance.
+  std::string short_count = good;
+  pos = short_count.find("\"batch_apply_us\"");
+  ASSERT_NE(pos, std::string::npos);
+  pos = short_count.find("\"count\":2", pos);
+  ASSERT_NE(pos, std::string::npos);
+  short_count.replace(pos, 9, "\"count\":1");
+  EXPECT_THROW(obs::validate_manifest_json(short_count),
+               std::invalid_argument);
+
+  // A manifest without the optional block still validates (sim manifests
+  // from the serial path never carry one).
+  obs::RunManifest plain;
+  plain.policy = "adapt";
+  plain.victim = "greedy";
+  const std::string plain_json = obs::manifest_json(plain);
+  EXPECT_EQ(plain_json.find("\"latency_breakdown\""), std::string::npos);
+  EXPECT_NO_THROW(obs::validate_manifest_json(plain_json));
+}
+
+TEST(ExportTest, ManifestValidatorEnforcesTraceDropAccounting) {
+  obs::RunManifest m;
+  m.policy = "adapt";
+  m.victim = "greedy";
+  m.trace_present = true;
+  m.trace_recorded = 12;
+  m.trace_dropped = 5;
+  m.trace_per_shard_dropped = {2, 3};
+  const std::string good = obs::manifest_json(m);
+  ASSERT_NE(good.find("\"trace\""), std::string::npos);
+  EXPECT_NO_THROW(obs::validate_manifest_json(good));
+  // Per-shard drops that no longer sum to the total are rejected.
+  std::string bad = good;
+  const std::size_t pos = bad.find("[2,3]");
+  ASSERT_NE(pos, std::string::npos);
+  bad.replace(pos, 5, "[2,2]");
+  EXPECT_THROW(obs::validate_manifest_json(bad), std::invalid_argument);
+}
+
 TEST(ExportTest, BenchReportRoundTripsThroughValidator) {
   obs::BenchReport report("unit");
   report.add("wa", {{"policy", "adapt"}}, 1.25, "ratio");

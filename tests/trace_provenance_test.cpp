@@ -130,6 +130,81 @@ TEST(TraceLogTest, MergeOrdersByTsThenShardAndSkipsNulls) {
   EXPECT_EQ(data.entries[2].event.a, 1u);
 }
 
+// A wrapped ring merges only its retained suffix, but the drop accounting
+// must survive the merge per shard — the manifest/export split relies on
+// per_shard_dropped attributing losses to the shard that overflowed, not
+// smearing them across the volume.
+TEST(TraceLogTest, MergeAfterRingWrapKeepsPerShardDropCounts) {
+  obs::TraceLogConfig small;
+  small.capacity = 4;
+  obs::TraceLogConfig large;
+  large.capacity = 64;
+  obs::TraceLog wrapped(small);
+  obs::TraceLog intact(large);
+  for (std::uint64_t i = 0; i < 10; ++i) wrapped.record(user_write(i, i));
+  intact.record(user_write(100, 7));
+  const obs::TraceData data = obs::merge_trace_logs({&wrapped, &intact});
+  EXPECT_EQ(data.recorded, 11u);
+  EXPECT_EQ(data.dropped, 6u);
+  ASSERT_EQ(data.per_shard_dropped.size(), 2u);
+  EXPECT_EQ(data.per_shard_dropped[0], 6u);
+  EXPECT_EQ(data.per_shard_dropped[1], 0u);
+  // Only the retained suffix (ts 6..9) plus the intact shard's event merge,
+  // oldest first.
+  ASSERT_EQ(data.entries.size(), 5u);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(data.entries[i].event.ts, 6 + i);
+    EXPECT_EQ(data.entries[i].shard, 0u);
+  }
+  EXPECT_EQ(data.entries[4].event.ts, 100u);
+}
+
+// An attached-but-empty shard ring among non-empty ones must neither skew
+// the ordering nor lose its per_shard_dropped slot (unlike a nullptr
+// shard, it was present — it just recorded nothing).
+TEST(TraceLogTest, MergeWithEmptyShardAmongNonEmpty) {
+  obs::TraceLogConfig config;
+  config.capacity = 8;
+  obs::TraceLog a(config);
+  obs::TraceLog empty(config);
+  obs::TraceLog b(config);
+  a.record(user_write(2, 0));
+  b.record(user_write(1, 1));
+  const obs::TraceData data = obs::merge_trace_logs({&a, &empty, &b});
+  EXPECT_EQ(data.shard_count, 3u);
+  EXPECT_EQ(data.recorded, 2u);
+  EXPECT_EQ(data.dropped, 0u);
+  ASSERT_EQ(data.per_shard_dropped.size(), 3u);
+  EXPECT_EQ(data.per_shard_dropped[1], 0u);
+  ASSERT_EQ(data.entries.size(), 2u);
+  EXPECT_EQ(data.entries[0].shard, 2u);  // ts 1 first
+  EXPECT_EQ(data.entries[1].shard, 0u);
+}
+
+// The merge order is EXACTLY (ts, shard, seq): equal timestamps order by
+// shard index, and within one shard by recording sequence — deterministic
+// regardless of the vector the shards arrive in.
+TEST(TraceLogTest, MergeTieBreaksByTsShardSeq) {
+  obs::TraceLogConfig config;
+  config.capacity = 8;
+  obs::TraceLog shard0(config);
+  obs::TraceLog shard1(config);
+  // All four events share ts=5. lba encodes the expected final order.
+  shard1.record(user_write(5, 2));
+  shard1.record(user_write(5, 3));
+  shard0.record(user_write(5, 0));
+  shard0.record(user_write(5, 1));
+  const obs::TraceData data = obs::merge_trace_logs({&shard0, &shard1});
+  ASSERT_EQ(data.entries.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(data.entries[i].event.a, i) << "position " << i;
+  }
+  EXPECT_EQ(data.entries[0].shard, 0u);
+  EXPECT_EQ(data.entries[1].seq, 1u);
+  EXPECT_EQ(data.entries[2].shard, 1u);
+  EXPECT_EQ(data.entries[3].seq, 1u);
+}
+
 // ---------------------------------------------------------------------------
 // Traced simulation runs
 // ---------------------------------------------------------------------------
@@ -177,7 +252,8 @@ TEST(TraceExportTest, ValidatorRejectsMalformedTraces) {
                std::invalid_argument);
   const std::string head =
       R"({"schema":"adapt-trace-v1","otherData":{"tool":"t","policy":"p",)"
-      R"("workload":"w","seed":1,"shards":1,"recorded":1,"dropped":0},)";
+      R"("workload":"w","seed":1,"shards":1,"recorded":1,"dropped":0,)"
+      R"("per_shard_dropped":[0]},)";
   // A complete minimal document passes...
   EXPECT_NO_THROW(obs::validate_trace_json(
       head +
@@ -199,6 +275,37 @@ TEST(TraceExportTest, ValidatorRejectsMalformedTraces) {
                    head +
                    R"("traceEvents":[{"name":"gc_run","ph":"X","pid":0,)"
                    R"("tid":0,"ts":1,"args":{}}]})"),
+               std::invalid_argument);
+  // Flow events (Perfetto s/t/f) are accepted, but only with a numeric id.
+  EXPECT_NO_THROW(obs::validate_trace_json(
+      head +
+      R"("traceEvents":[{"name":"op_flow","cat":"flow","ph":"s","pid":0,)"
+      R"("tid":0,"ts":1,"id":7,"args":{}}]})"));
+  EXPECT_THROW(obs::validate_trace_json(
+                   head +
+                   R"("traceEvents":[{"name":"op_flow","cat":"flow","ph":"t",)"
+                   R"("pid":0,"tid":0,"ts":1,"args":{}}]})"),
+               std::invalid_argument);
+}
+
+TEST(TraceExportTest, ValidatorEnforcesPerShardDroppedAccounting) {
+  const auto doc = [](std::string_view other_tail) {
+    return std::string(
+               R"({"schema":"adapt-trace-v1","otherData":{"tool":"t",)"
+               R"("policy":"p","workload":"w","seed":1,"shards":2,)"
+               R"("recorded":9,)") +
+           std::string(other_tail) + R"(},"traceEvents":[]})";
+  };
+  // per_shard_dropped must be present, numeric, and sum to dropped.
+  EXPECT_NO_THROW(obs::validate_trace_json(
+      doc(R"("dropped":5,"per_shard_dropped":[2,3])")));
+  EXPECT_THROW(obs::validate_trace_json(doc(R"("dropped":5)")),
+               std::invalid_argument);
+  EXPECT_THROW(obs::validate_trace_json(
+                   doc(R"("dropped":5,"per_shard_dropped":[2,2])")),
+               std::invalid_argument);
+  EXPECT_THROW(obs::validate_trace_json(
+                   doc(R"("dropped":5,"per_shard_dropped":[2,"x"])")),
                std::invalid_argument);
 }
 

@@ -15,6 +15,7 @@
 // "selfcheck FAILED: <artifact>: <reason>" and exits non-zero.
 //
 // Exit codes: 0 success, 1 runtime/selfcheck failure, 2 usage error.
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,8 +26,10 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/sync.h"
 #include "lss/sharded_engine.h"
 #include "obs/export.h"
+#include "obs/runtime_stats.h"
 #include "obs/trace_log.h"
 #include "sim/simulator.h"
 #include "trace/reader.h"
@@ -47,6 +50,7 @@ struct Options {
   std::uint64_t window = 4096;
   std::uint64_t max_rows = 512;
   std::uint32_t shards = 1;
+  double live_stats = 0.0;  // seconds between live lines; 0 = off
   bool rmw = false;
   bool no_array = false;
   bool no_per_group = false;
@@ -78,6 +82,9 @@ void usage(std::FILE* to) {
                "bit-identical)\n"
                "  --out DIR          output directory (default "
                "adapt_run_out)\n"
+               "  --live-stats SECS  print a live throughput line to stderr\n"
+               "                     every SECS seconds plus one final "
+               "summary\n"
                "  --rmw              read-modify-write partial flushes\n"
                "  --no-array         skip the SSD-array model\n"
                "  --no-per-group     drop per-group series columns\n"
@@ -127,6 +134,11 @@ Options parse_args(int argc, char** argv) {
       opt.max_rows = std::strtoull(need_value(i++), nullptr, 10);
     } else if (arg == "--shards") {
       opt.shards = adapt::lss::parse_shard_count(need_value(i++));
+    } else if (arg == "--live-stats") {
+      opt.live_stats = std::strtod(need_value(i++), nullptr);
+      if (!(opt.live_stats > 0.0)) {
+        throw std::invalid_argument("--live-stats requires seconds > 0");
+      }
     } else if (arg == "--rmw") {
       opt.rmw = true;
     } else if (arg == "--no-array") {
@@ -234,7 +246,44 @@ int run(const Options& opt) {
     };
   }
 
+  // Live stats: the replay publishes block progress into a seqlock sink; a
+  // poller prints periodic "live:" lines to stderr plus one guaranteed
+  // final summary after the replay (deterministic: the final line always
+  // appears, even for runs shorter than the interval).
+  obs::RuntimeStats live_stats;
+  std::atomic<bool> live_stop{false};
+  adapt::Thread live_poller;
+  if (opt.live_stats > 0.0) {
+    config.live_stats = &live_stats;
+    live_poller = adapt::Thread([&live_stats, &live_stop,
+                                 interval = opt.live_stats] {
+      obs::RuntimeSnapshot prev;
+      double slept = 0.0;
+      while (!live_stop.load(std::memory_order_relaxed)) {
+        // 50 ms slices so shutdown never waits out a long interval.
+        adapt::sleep_for_us(50'000);
+        slept += 0.05;
+        if (slept + 1e-9 < interval) continue;
+        slept = 0.0;
+        const obs::RuntimeSnapshot cur = live_stats.snapshot();
+        std::fprintf(stderr, "%s\n",
+                     obs::format_live_line(prev, cur, interval).c_str());
+        prev = cur;
+      }
+    });
+  }
+
   sim::VolumeResult result = sim::run_volume(volume, opt.policy, config);
+  live_stop.store(true, std::memory_order_relaxed);
+  if (live_poller.joinable()) live_poller.join();
+  if (opt.live_stats > 0.0) {
+    const obs::RuntimeSnapshot final_snap = live_stats.snapshot();
+    std::fprintf(
+        stderr, "%s\n",
+        obs::format_live_line(obs::RuntimeSnapshot{}, final_snap,
+                              opt.live_stats)
+            .c_str());
+  }
   result.manifest.tool = "adapt_run";
   result.manifest.workload = workload;
 
@@ -280,6 +329,22 @@ int run(const Options& opt) {
     std::printf("trace: %llu events recorded, %llu dropped\n",
                 static_cast<unsigned long long>(result.trace->recorded),
                 static_cast<unsigned long long>(result.trace->dropped));
+    if (result.trace->dropped > 0) {
+      // Per-shard split on stderr: a wrapped ring means the trace is a
+      // suffix of the run, which changes what the timeline can prove.
+      std::string shards_msg;
+      for (std::size_t i = 0; i < result.trace->per_shard_dropped.size();
+           ++i) {
+        if (i > 0) shards_msg += ' ';
+        shards_msg += std::to_string(result.trace->per_shard_dropped[i]);
+      }
+      std::fprintf(stderr,
+                   "adapt_run: warning: trace ring overflowed, %llu events "
+                   "dropped (per shard: %s); raise the ring capacity or "
+                   "shorten the run for a complete timeline\n",
+                   static_cast<unsigned long long>(result.trace->dropped),
+                   shards_msg.c_str());
+    }
   }
   std::printf("wall=%.3fs records/s=%.0f peak_rss=%llu\n",
               result.manifest.wall_seconds, result.manifest.records_per_sec,
